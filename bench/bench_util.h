@@ -1,0 +1,57 @@
+// Shared helpers for the experiment harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper and
+// prints (a) the measured series and (b) the paper's reported values for
+// side-by-side comparison. Iteration counts default to paper-faithful
+// values but can be reduced via argv[1] for quick runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.h"
+
+namespace shield5g::bench {
+
+/// Parses the iteration count: argv[1] if given, else `def`.
+inline int iterations(int argc, char** argv, int def) {
+  if (argc > 1) {
+    const int n = std::atoi(argv[1]);
+    if (n > 0) return n;
+  }
+  return def;
+}
+
+inline void heading(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void subheading(const std::string& title) {
+  std::printf("--- %s ---\n", title.c_str());
+}
+
+/// Box-plot-style row: median [p25, p75] (min..max), n.
+inline void print_dist_row(const std::string& label, const Samples& s,
+                           const char* unit) {
+  const Summary sum = Summary::of(s);
+  std::printf("  %-22s p50=%9.2f %-3s iqr=[%9.2f, %9.2f] "
+              "range=[%9.2f, %9.2f] n=%zu\n",
+              label.c_str(), sum.median, unit, sum.p25, sum.p75, sum.min,
+              sum.max, sum.count);
+}
+
+inline void print_kv(const std::string& key, double value,
+                     const char* unit) {
+  std::printf("  %-38s %10.3f %s\n", key.c_str(), value, unit);
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("  note: %s\n", note.c_str());
+}
+
+inline void paper_row(const std::string& what, const std::string& value) {
+  std::printf("  paper: %-30s %s\n", what.c_str(), value.c_str());
+}
+
+}  // namespace shield5g::bench

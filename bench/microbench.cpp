@@ -1,0 +1,155 @@
+// Host-time microbenchmarks (google-benchmark) of the cryptographic
+// primitives and codecs underneath the testbed. Unlike the experiment
+// harnesses (which report deterministic virtual time), these measure
+// real wall-clock throughput of the from-scratch implementations.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "crypto/aes128.h"
+#include "crypto/ecies.h"
+#include "crypto/hmac_sha256.h"
+#include "crypto/key_hierarchy.h"
+#include "crypto/milenage.h"
+#include "crypto/sha256.h"
+#include "crypto/suci.h"
+#include "crypto/x25519.h"
+#include "json/json.h"
+#include "net/tls.h"
+#include "nf/aka_core.h"
+#include "nf/nas.h"
+
+using namespace shield5g;
+
+namespace {
+
+void BM_Aes128Block(benchmark::State& state) {
+  const crypto::Aes128 aes(Bytes(16, 1));
+  const Bytes block(16, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aes.encrypt_block(block));
+  }
+  state.SetBytesProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_Aes128Block);
+
+void BM_Sha256(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  Rng rng(2);
+  const Bytes key = rng.bytes(32);
+  const Bytes data = rng.bytes(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+}
+BENCHMARK(BM_HmacSha256);
+
+void BM_MilenageFullVector(benchmark::State& state) {
+  Rng rng(3);
+  const crypto::Milenage milenage(rng.bytes(16), rng.bytes(16));
+  const Bytes rand = rng.bytes(16), sqn = rng.bytes(6), amf = rng.bytes(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(milenage.compute(rand, sqn, amf));
+  }
+}
+BENCHMARK(BM_MilenageFullVector);
+
+void BM_HeAvGeneration(benchmark::State& state) {
+  Rng rng(4);
+  const Bytes k = rng.bytes(16), opc = rng.bytes(16), rand = rng.bytes(16);
+  const Bytes sqn = rng.bytes(6), amf = {0x80, 0x00};
+  const std::string snn = "5G:mnc001.mcc001.3gppnetwork.org";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nf::generate_he_av(k, opc, rand, sqn, amf, snn));
+  }
+}
+BENCHMARK(BM_HeAvGeneration);
+
+void BM_X25519(benchmark::State& state) {
+  Rng rng(5);
+  const Bytes scalar = rng.bytes(32);
+  const auto peer = crypto::x25519_keypair(rng.bytes(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::x25519(scalar, peer.public_key));
+  }
+}
+BENCHMARK(BM_X25519);
+
+void BM_SuciConceal(benchmark::State& state) {
+  Rng rng(6);
+  const auto hn = crypto::x25519_keypair(rng.bytes(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::conceal_supi(
+        "001", "01", "0000000001", crypto::SuciScheme::kProfileA,
+        hn.public_key, rng.bytes(32)));
+  }
+}
+BENCHMARK(BM_SuciConceal);
+
+void BM_SuciDeconceal(benchmark::State& state) {
+  Rng rng(7);
+  const auto hn = crypto::x25519_keypair(rng.bytes(32));
+  const auto suci = crypto::conceal_supi(
+      "001", "01", "0000000001", crypto::SuciScheme::kProfileA,
+      hn.public_key, rng.bytes(32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        crypto::deconceal_suci(suci, hn.private_key));
+  }
+}
+BENCHMARK(BM_SuciDeconceal);
+
+void BM_JsonParseSbiBody(benchmark::State& state) {
+  const std::string body =
+      "{\"amfId\":\"8000\",\"opc\":\"cd63cb71954a9f4e48a5994e37a02baf\","
+      "\"rand\":\"23553cbe9637a89d218ae64dae47bf35\",\"snn\":"
+      "\"5G:mnc001.mcc001.3gppnetwork.org\",\"sqn\":\"ff9bb4d0b607\","
+      "\"supi\":\"001010000000001\"}";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(json::parse(body));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_JsonParseSbiBody);
+
+void BM_NasEncodeDecode(benchmark::State& state) {
+  nf::NasMessage msg;
+  msg.type = nf::NasType::kAuthenticationRequest;
+  msg.set(nf::NasIe::kRand, Bytes(16, 1));
+  msg.set(nf::NasIe::kAutn, Bytes(16, 2));
+  msg.set(nf::NasIe::kNgKsi, Bytes{0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nf::NasMessage::decode(msg.encode()));
+  }
+}
+BENCHMARK(BM_NasEncodeDecode);
+
+void BM_TlsRecordRoundTrip(benchmark::State& state) {
+  Rng rng(8);
+  const net::TlsIdentity id = net::TlsIdentity::generate(rng);
+  Bytes hello;
+  net::TlsSession client =
+      net::TlsSession::client_connect(id.key.public_key, rng, hello);
+  Bytes server_hello;
+  auto server = net::TlsSession::server_accept(id.key, hello, server_hello);
+  const Bytes payload = rng.bytes(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server->unprotect(client.protect(payload)));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TlsRecordRoundTrip)->Arg(256)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Threat-model walkthrough (paper §III and §VI): a malicious co-resident
+// that has escaped its container tries to compromise the 5G-AKA chain —
+// and is stopped at each step by the HMEE properties.
+//
+//   $ ./attack_surface
+#include <cstdio>
+
+#include "common/rng.h"
+#include "net/tls.h"
+#include "paka/aka_udm.h"
+#include "sgx/attestation.h"
+#include "sgx/sealing.h"
+#include "slice/slice.h"
+
+using namespace shield5g;
+
+namespace {
+void verdict(const char* attack, bool blocked) {
+  std::printf("  %-52s %s\n", attack, blocked ? "BLOCKED" : "SUCCEEDED");
+}
+}  // namespace
+
+int main() {
+  slice::SliceConfig config;
+  config.mode = slice::IsolationMode::kSgx;
+  config.subscriber_count = 2;
+  slice::Slice slice(config);
+  slice.create();
+  Rng attacker_rng(0x3716a1ULL);
+
+  std::printf("scenario: attacker gains co-residency and root on the\n"
+              "NFV host (paper Fig. 3), then goes after the AKA chain\n\n");
+
+  // Attack 1 (KI 27): steal the sealed key-table blob and unseal it in
+  // an attacker-controlled enclave on the same machine.
+  auto& rogue = slice.machine().create_enclave(
+      sgx::EnclaveConfig{"rogue-app", 64ULL << 20, 4, false});
+  rogue.add_pages(64ULL << 20, Bytes{0xde, 0xad});
+  rogue.init();
+  {
+    std::map<nf::Supi, Bytes> keys{{nf::Supi{"victim"}, Bytes(16, 7)}};
+    const auto blob = sgx::seal(
+        slice.eudm()->runtime()->enclave(),
+        paka::EudmAkaService::serialize_key_table(keys),
+        attacker_rng.bytes(16));
+    verdict("replay sealed K-table into attacker enclave (KI 27)",
+            !sgx::unseal(rogue, blob).has_value());
+  }
+
+  // Attack 2 (KI 13): stand up a lookalike eUDM and pass attestation.
+  {
+    const sgx::AttestationVerifier verifier(
+        Bytes(slice.machine().attestation_key().begin(),
+              slice.machine().attestation_key().end()));
+    const auto quote = sgx::generate_quote(rogue, Bytes{});
+    verdict("impostor module passing measurement check (KI 13)",
+            !verifier.verify(
+                quote, slice.eudm()->runtime()->enclave().measurement()));
+  }
+
+  // Attack 3: man-in-the-middle the UDM -> eUDM TLS link with a rogue
+  // server key (memory introspection of the real key is impossible, so
+  // the attacker must supply its own).
+  {
+    Bytes hello;
+    const auto pinned = net::TlsIdentity::generate(attacker_rng);
+    net::TlsSession client = net::TlsSession::client_connect(
+        pinned.key.public_key, attacker_rng, hello);
+    const auto mitm_key = net::TlsIdentity::generate(attacker_rng);
+    Bytes server_hello;
+    auto mitm =
+        net::TlsSession::server_accept(mitm_key.key, hello, server_hello);
+    const Bytes record = client.protect(to_bytes("OPc+RAND+SQN"));
+    verdict("MITM on the VNF-to-module TLS link (KI 6/7)",
+            !mitm || !mitm->unprotect(record).has_value());
+  }
+
+  // Attack 4: replay a captured NAS authentication challenge to a UE
+  // (the SQN freshness check turns it into a resync, not a session).
+  {
+    ran::UeDevice ue(slice.subscriber(0), 42);
+    const auto ok = slice.gnbsim().register_ue(ue, false);
+    ran::UeDevice replay_target(slice.subscriber(0), 43);
+    // The attacker cannot craft a valid AUTN without K; replaying the
+    // old SQN fails the USIM's freshness window. Demonstrate with the
+    // USIM primitive directly:
+    auto usim_cfg = slice.subscriber(0);
+    usim_cfg.sqn_ms = 1ULL << 40;  // UE has long moved past old SQNs
+    ran::Usim usim(usim_cfg);
+    const auto outcome = usim.verify_challenge(
+        Bytes(16, 0xaa), Bytes(16, 0xbb));  // forged challenge
+    verdict("forged/replayed NAS challenge at the USIM",
+            std::holds_alternative<ran::AuthMacFailure>(outcome) && ok.registered);
+  }
+
+  // Attack 5: tamper with a protected NAS message in flight.
+  {
+    const Bytes knas(16, 0x42);
+    nf::NasMessage msg;
+    msg.type = nf::NasType::kSecurityModeCommand;
+    auto sec = nf::SecuredNas::protect(msg, knas, 0, true);
+    sec.payload[1] ^= 0x01;
+    verdict("tampering with integrity-protected NAS",
+            !sec.verify(knas).has_value());
+  }
+
+  std::printf("\nlegitimate traffic is unaffected: ");
+  const auto result = slice.register_subscriber(1, true);
+  std::printf("UE registration %s (%.2f ms)\n",
+              result.session_up ? "succeeds" : "fails",
+              sim::to_ms(result.setup_time));
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: bring up an SGX-shielded 5G core slice and register one UE
+// through the protected AKA functions.
+//
+//   $ ./quickstart
+//
+// This walks the whole paper in ~40 lines of client code: slice creation
+// (GSC build, enclave loads, attestation, sealed key provisioning), then
+// a full registration + PDU session through eUDM/eAUSF/eAMF P-AKA.
+#include <cstdio>
+
+#include "slice/slice.h"
+
+using namespace shield5g;
+
+int main() {
+  // 1. Describe the slice: SGX isolation, the paper's test PLMN 001/01.
+  slice::SliceConfig config;
+  config.mode = slice::IsolationMode::kSgx;
+  config.subscriber_count = 4;
+
+  // 2. Create it. This boots the three P-AKA enclaves (~1 virtual
+  //    minute each), verifies their quotes and seals the subscriber key
+  //    table into the eUDM enclave.
+  slice::Slice slice(config);
+  const auto creation = slice.create();
+  std::printf("slice created in %.1f virtual seconds\n",
+              sim::to_s(creation.total));
+  std::printf("  eUDM enclave load  : %.1f s\n",
+              sim::to_s(creation.eudm_load));
+  std::printf("  attestation        : %s\n",
+              creation.attestation_ok ? "all modules verified" : "n/a");
+  std::printf("  key provisioning   : %s\n",
+              creation.sealed_provisioning_ok ? "sealed to eUDM enclave"
+                                              : "n/a");
+
+  // 3. Register UEs end to end (SUCI concealment, 5G-AKA challenge,
+  //    security mode, PDU session). The very first registration walks
+  //    the modules' cold paths (the paper's R_I spike), so register two.
+  const auto cold = slice.register_subscriber(0, /*with_pdu=*/true);
+  const auto result = slice.register_subscriber(1, /*with_pdu=*/true);
+  std::printf("\nUE registration : %s\n",
+              result.session_up ? "SUCCESS" : "FAILED");
+  std::printf("  first (cold)  : %.2f ms (includes per-module R_I)\n",
+              sim::to_ms(cold.setup_time));
+  std::printf("  session setup : %.2f ms (paper: ~62.4 ms)\n",
+              sim::to_ms(result.setup_time));
+  std::printf("  UE IP address : %s\n", result.ue_ip.c_str());
+  std::printf("  NAS rounds    : %d\n", result.message_rounds);
+
+  // 4. Peek at the SGX cost of serving this UE.
+  const auto* counters = slice.eudm()->sgx_counters();
+  std::printf("\neUDM enclave counters: %llu EENTERs, %llu EEXITs, "
+              "%llu AEXs\n",
+              static_cast<unsigned long long>(counters->eenter),
+              static_cast<unsigned long long>(counters->eexit),
+              static_cast<unsigned long long>(counters->aex));
+  return result.session_up ? 0 : 1;
+}

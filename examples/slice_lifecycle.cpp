@@ -1,0 +1,80 @@
+// Slice lifecycle: creation, module redeployment (migration to a new
+// host) and the operational costs the paper attributes to each phase —
+// the "slice creation time" discussion of §V-B1.
+//
+//   $ ./slice_lifecycle
+#include <cstdio>
+
+#include "paka/aka_udm.h"
+#include "sgx/sealing.h"
+#include "slice/slice.h"
+
+using namespace shield5g;
+
+int main() {
+  // Phase 1: initial slice creation on host A.
+  slice::SliceConfig config;
+  config.mode = slice::IsolationMode::kSgx;
+  config.subscriber_count = 8;
+  slice::Slice slice(config);
+  const auto creation = slice.create();
+  std::printf("phase 1: slice creation on host A\n");
+  std::printf("  total                : %6.1f s\n",
+              sim::to_s(creation.total));
+  std::printf("  eUDM / eAUSF / eAMF  : %.1f / %.1f / %.1f s\n",
+              sim::to_s(creation.eudm_load), sim::to_s(creation.eausf_load),
+              sim::to_s(creation.eamf_load));
+  std::printf("  attested + sealed    : %s\n",
+              creation.attestation_ok && creation.sealed_provisioning_ok
+                  ? "yes"
+                  : "no");
+
+  // Phase 2: steady-state service.
+  for (std::uint32_t i = 0; i < 4; ++i) slice.register_subscriber(i, true);
+  std::printf("\nphase 2: %llu registrations served "
+              "(eUDM L_T p50 %.1f us)\n",
+              static_cast<unsigned long long>(
+                  slice.amf().registrations_completed()),
+              slice.eudm()->server().lt_us().median());
+
+  // Phase 3: migrate the eUDM module (undeploy, redeploy = a fresh
+  // enclave on the destination host; the enclave cannot be live-moved).
+  std::printf("\nphase 3: eUDM migration (undeploy + redeploy)\n");
+  const sim::Nanos t0 = slice.clock().now();
+  slice.eudm()->undeploy();
+  const sim::Nanos reload = slice.eudm()->deploy();
+  // Key material must be re-provisioned: the new enclave instance has
+  // the same measurement, so the old sealed blob still opens... but only
+  // on the same physical host. Re-seal for the destination.
+  std::map<nf::Supi, Bytes> keys;
+  for (std::uint32_t i = 0; i < config.subscriber_count; ++i) {
+    const auto usim = slice.subscriber(i);
+    keys[nf::Supi{usim.plmn.id() + usim.msin}] = usim.k;
+  }
+  const auto blob = sgx::seal(
+      slice.eudm()->runtime()->enclave(),
+      paka::EudmAkaService::serialize_key_table(keys),
+      slice.machine().rng().bytes(16));
+  const bool reprovisioned = slice.eudm()->provision_sealed(blob);
+  std::printf("  enclave reload       : %6.1f s "
+              "(the dominant migration cost, Fig. 7)\n",
+              sim::to_s(reload));
+  std::printf("  re-provisioning      : %s\n",
+              reprovisioned ? "sealed table accepted" : "FAILED");
+  std::printf("  total downtime       : %6.1f s\n",
+              sim::to_s(slice.clock().now() - t0));
+
+  // Phase 4: service resumes; the first request pays R_I again.
+  const auto after = slice.register_subscriber(4, true);
+  std::printf("\nphase 4: first registration after migration: %s "
+              "(%.2f ms, includes the R_I cold path)\n",
+              after.session_up ? "ok" : "FAILED",
+              sim::to_ms(after.setup_time));
+  const auto steady = slice.register_subscriber(5, true);
+  std::printf("         next registration: %.2f ms (steady state)\n",
+              sim::to_ms(steady.setup_time));
+  std::printf("\nlesson (paper §V-B1): the ~1 minute enclave load does not "
+              "affect steady-state\nlatency but dominates slice creation "
+              "and migration - critical for ephemeral services.\n");
+  return 0;
+}

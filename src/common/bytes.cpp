@@ -1,0 +1,70 @@
+#include "common/bytes.h"
+
+#include <stdexcept>
+
+namespace shield5g {
+
+Bytes concat(std::initializer_list<ByteView> parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+Bytes xor_bytes(ByteView a, ByteView b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("xor_bytes: length mismatch");
+  }
+  Bytes out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
+  return out;
+}
+
+bool ct_equal(ByteView a, ByteView b) noexcept {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc = static_cast<std::uint8_t>(acc | (a[i] ^ b[i]));
+  }
+  return acc == 0;
+}
+
+Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string to_string(ByteView b) {
+  return std::string(b.begin(), b.end());
+}
+
+Bytes be_bytes(std::uint64_t value, std::size_t width) {
+  if (width > 8) throw std::invalid_argument("be_bytes: width > 8");
+  Bytes out(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    out[width - 1 - i] = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return out;
+}
+
+std::uint64_t be_value(ByteView b) {
+  if (b.size() > 8) throw std::invalid_argument("be_value: more than 8 bytes");
+  std::uint64_t v = 0;
+  for (std::uint8_t byte : b) v = (v << 8) | byte;
+  return v;
+}
+
+Bytes take(ByteView b, std::size_t n) {
+  return slice_bytes(b, 0, n);
+}
+
+Bytes slice_bytes(ByteView b, std::size_t pos, std::size_t n) {
+  if (pos + n > b.size()) throw std::out_of_range("slice: out of range");
+  return Bytes(b.begin() + static_cast<std::ptrdiff_t>(pos),
+               b.begin() + static_cast<std::ptrdiff_t>(pos + n));
+}
+
+}  // namespace shield5g

@@ -1,0 +1,46 @@
+// Byte-buffer utilities shared by every subsystem.
+//
+// A `Bytes` value is the universal currency for cryptographic material,
+// serialized protocol messages and simulated network payloads.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shield5g {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Concatenates any number of byte ranges into a freshly allocated buffer.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+/// Returns `a XOR b`; both inputs must have equal length.
+Bytes xor_bytes(ByteView a, ByteView b);
+
+/// Constant-time equality check for secret material (length leaks only).
+bool ct_equal(ByteView a, ByteView b) noexcept;
+
+/// Copies a string's bytes (no terminator) into a buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Interprets a buffer as text.
+std::string to_string(ByteView b);
+
+/// Big-endian encoding of an unsigned integer into `width` bytes.
+Bytes be_bytes(std::uint64_t value, std::size_t width);
+
+/// Big-endian decoding; `b.size()` must be <= 8.
+std::uint64_t be_value(ByteView b);
+
+/// Returns the first `n` bytes of `b` (n must be <= b.size()).
+Bytes take(ByteView b, std::size_t n);
+
+/// Returns bytes [pos, pos+n) of `b`.
+Bytes slice_bytes(ByteView b, std::size_t pos, std::size_t n);
+
+}  // namespace shield5g

@@ -1,0 +1,21 @@
+// Hexadecimal encoding/decoding for keys, identifiers and test vectors.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace shield5g {
+
+/// Lower-case hex encoding of a byte range.
+std::string hex_encode(ByteView b);
+
+/// Decodes a hex string (whitespace tolerated, case-insensitive).
+/// Throws std::invalid_argument on malformed input.
+Bytes hex_decode(std::string_view hex);
+
+/// Literal-style helper: `h2b("00 11 22")`.
+inline Bytes h2b(std::string_view hex) { return hex_decode(hex); }
+
+}  // namespace shield5g

@@ -1,0 +1,40 @@
+// Minimal leveled logger. Components log protocol-level events at debug
+// level; benches keep the default (warn) so experiment output stays clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace shield5g {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr: "[level] component: message".
+void log_line(LogLevel level, const std::string& component,
+              const std::string& message);
+
+/// Stream-style helper:  LOG(kInfo, "udm") << "generated AV for " << supi;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogStream() { log_line(level_, component_, ss_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    ss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream ss_;
+};
+
+}  // namespace shield5g
+
+#define S5G_LOG(level, component) ::shield5g::LogStream(level, component)

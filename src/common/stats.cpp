@@ -1,0 +1,72 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace shield5g {
+
+double Samples::mean() const {
+  if (values_.empty()) throw std::logic_error("Samples::mean: empty");
+  double sum = 0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  if (values_.empty()) throw std::logic_error("Samples::min: empty");
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  if (values_.empty()) throw std::logic_error("Samples::max: empty");
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) throw std::logic_error("Samples::percentile: empty");
+  if (p < 0 || p > 100) throw std::invalid_argument("percentile out of range");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary Summary::of(const Samples& s) {
+  Summary out;
+  out.count = s.count();
+  if (out.count == 0) return out;
+  out.mean = s.mean();
+  out.stddev = s.stddev();
+  out.min = s.min();
+  out.p25 = s.p25();
+  out.median = s.median();
+  out.p75 = s.p75();
+  out.max = s.max();
+  return out;
+}
+
+std::string Summary::to_string(const std::string& unit) const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.2f%s p50=%.2f%s iqr=[%.2f, %.2f] "
+                "range=[%.2f, %.2f]",
+                count, mean, unit.c_str(), median, unit.c_str(), p25, p75,
+                min, max);
+  return buf;
+}
+
+}  // namespace shield5g

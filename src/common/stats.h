@@ -1,0 +1,47 @@
+// Sample statistics for latency characterization: the paper reports box
+// plots (median / interquartile range) and means, so Summary captures both.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace shield5g {
+
+/// Accumulates raw samples and computes order statistics on demand.
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+  void clear() { values_.clear(); }
+
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile; p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double p25() const { return percentile(25.0); }
+  double p75() const { return percentile(75.0); }
+  double iqr() const { return p75() - p25(); }
+
+  const std::vector<double>& values() const noexcept { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Immutable five-number-style summary of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0, stddev = 0, min = 0, p25 = 0, median = 0, p75 = 0, max = 0;
+
+  static Summary of(const Samples& s);
+  /// One-line rendering, e.g. "n=500 mean=38.1 p50=37.9 iqr=[36.8,39.2]".
+  std::string to_string(const std::string& unit = "") const;
+};
+
+}  // namespace shield5g

@@ -1,0 +1,81 @@
+// Syscall vocabulary shared by the host (container) execution
+// environment and the LibOS syscall-interposition layer.
+//
+// Each class carries a modeled host-side service cost. In a container
+// deployment the cost is charged directly; under Gramine-SGX every
+// syscall becomes an OCALL round trip (EEXIT + host work + marshalling
+// + EENTER), which is precisely where the paper's SGX response-time
+// overhead comes from (§V-B5: "these calls are only invoked during
+// network I/O operations").
+#pragma once
+
+#include <cstdint>
+
+namespace shield5g {
+
+enum class Sys : std::uint8_t {
+  kOpen,
+  kStat,
+  kRead,
+  kWrite,
+  kClose,
+  kMmap,
+  kSocket,
+  kBind,
+  kListen,
+  kAccept,
+  kConnect,
+  kRecv,
+  kSend,
+  kEpollCreate,
+  kEpollCtl,
+  kEpollWait,
+  kFutex,
+  kTimerFd,
+  kPipe,
+  kClone,
+};
+
+/// Modeled host service time in nanoseconds: fixed part per class plus
+/// a per-byte part for data-moving calls. Values are generic Linux
+/// syscall costs on a ~2.4 GHz server.
+struct SyscallCost {
+  std::uint64_t fixed_ns;
+  double per_byte_ns;
+};
+
+constexpr SyscallCost syscall_cost(Sys sys) noexcept {
+  switch (sys) {
+    case Sys::kOpen: return {1'300, 0.0};
+    case Sys::kStat: return {800, 0.0};
+    case Sys::kRead: return {700, 0.05};
+    case Sys::kWrite: return {700, 0.05};
+    case Sys::kClose: return {600, 0.0};
+    case Sys::kMmap: return {1'600, 0.0};
+    case Sys::kSocket: return {1'200, 0.0};
+    case Sys::kBind: return {900, 0.0};
+    case Sys::kListen: return {700, 0.0};
+    case Sys::kAccept: return {2'000, 0.0};
+    case Sys::kConnect: return {2'600, 0.0};
+    case Sys::kRecv: return {900, 0.06};
+    case Sys::kSend: return {900, 0.06};
+    case Sys::kEpollCreate: return {1'100, 0.0};
+    case Sys::kEpollCtl: return {500, 0.0};
+    case Sys::kEpollWait: return {1'000, 0.0};
+    case Sys::kFutex: return {600, 0.0};
+    case Sys::kTimerFd: return {700, 0.0};
+    case Sys::kPipe: return {1'100, 0.0};
+    case Sys::kClone: return {12'000, 0.0};
+  }
+  return {1'000, 0.0};
+}
+
+constexpr std::uint64_t syscall_host_ns(Sys sys,
+                                        std::uint64_t bytes = 0) noexcept {
+  const SyscallCost c = syscall_cost(sys);
+  return c.fixed_ns +
+         static_cast<std::uint64_t>(c.per_byte_ns *
+                                    static_cast<double>(bytes));
+}
+
+}  // namespace shield5g

@@ -1,0 +1,40 @@
+// AES-128 block cipher (FIPS-197), implemented from scratch.
+//
+// This is the primitive under MILENAGE (TS 35.206) and the AES-CTR
+// stream used by the ECIES SUCI protection scheme (TS 33.501 Annex C).
+// The implementation is a straightforward table-free byte-oriented
+// version: correctness and auditability matter more here than raw
+// throughput, since all performance numbers come from the cost model.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace shield5g::crypto {
+
+class Aes128 {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  static constexpr std::size_t kKeySize = 16;
+
+  /// Expands the 128-bit key. Throws if key.size() != 16.
+  explicit Aes128(ByteView key);
+
+  /// Encrypts exactly one 16-byte block.
+  std::array<std::uint8_t, kBlockSize> encrypt_block(ByteView plaintext) const;
+
+  /// Decrypts exactly one 16-byte block.
+  std::array<std::uint8_t, kBlockSize> decrypt_block(ByteView ciphertext) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, 176> round_keys_{};
+};
+
+/// AES-128 in counter mode: encrypt == decrypt. `icb` is the 16-byte
+/// initial counter block, incremented big-endian across the whole block.
+Bytes aes128_ctr(ByteView key, ByteView icb, ByteView data);
+
+}  // namespace shield5g::crypto

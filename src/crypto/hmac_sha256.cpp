@@ -1,0 +1,41 @@
+#include "crypto/hmac_sha256.h"
+
+#include <stdexcept>
+
+#include "crypto/sha256.h"
+
+namespace shield5g::crypto {
+
+Bytes hmac_sha256(ByteView key, ByteView data) {
+  constexpr std::size_t kBlock = Sha256::kBlockSize;
+
+  Bytes k0(key.begin(), key.end());
+  if (k0.size() > kBlock) k0 = Sha256::digest(k0);
+  k0.resize(kBlock, 0x00);
+
+  Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
+
+  Sha256 inner;
+  inner.update(ipad).update(data);
+  const auto inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad).update(ByteView(inner_digest));
+  const auto mac = outer.finalize();
+  return Bytes(mac.begin(), mac.end());
+}
+
+Bytes hmac_sha256_trunc(ByteView key, ByteView data, std::size_t n) {
+  if (n > Sha256::kDigestSize) {
+    throw std::invalid_argument("hmac_sha256_trunc: n > 32");
+  }
+  Bytes mac = hmac_sha256(key, data);
+  mac.resize(n);
+  return mac;
+}
+
+}  // namespace shield5g::crypto

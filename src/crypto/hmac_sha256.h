@@ -1,0 +1,19 @@
+// HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//
+// The TS 33.220 generic key-derivation function — and therefore every key
+// in the 5G hierarchy (K_AUSF, K_SEAF, K_AMF, NAS keys, RES*) — is an
+// HMAC-SHA-256 invocation. Also used as the MAC of the ECIES SUCI scheme
+// and the quote signature of the simulated attestation service.
+#pragma once
+
+#include "common/bytes.h"
+
+namespace shield5g::crypto {
+
+/// Computes HMAC-SHA-256(key, data). Any key length is accepted.
+Bytes hmac_sha256(ByteView key, ByteView data);
+
+/// Truncated variant: the first `n` bytes of the MAC (n <= 32).
+Bytes hmac_sha256_trunc(ByteView key, ByteView data, std::size_t n);
+
+}  // namespace shield5g::crypto

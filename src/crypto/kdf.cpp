@@ -1,0 +1,33 @@
+#include "crypto/kdf.h"
+
+#include <stdexcept>
+
+#include "crypto/hmac_sha256.h"
+
+namespace shield5g::crypto {
+
+Bytes kdf_s_string(std::uint8_t fc, const std::vector<KdfParam>& params) {
+  Bytes s;
+  s.push_back(fc);
+  for (const auto& p : params) {
+    if (p.value.size() > 0xffff) {
+      throw std::invalid_argument("kdf: parameter too long");
+    }
+    s.insert(s.end(), p.value.begin(), p.value.end());
+    s.push_back(static_cast<std::uint8_t>(p.value.size() >> 8));
+    s.push_back(static_cast<std::uint8_t>(p.value.size() & 0xff));
+  }
+  return s;
+}
+
+Bytes kdf(ByteView key, std::uint8_t fc, const std::vector<KdfParam>& params) {
+  return hmac_sha256(key, kdf_s_string(fc, params));
+}
+
+Bytes kdf_trunc128(ByteView key, std::uint8_t fc,
+                   const std::vector<KdfParam>& params) {
+  Bytes full = kdf(key, fc, params);
+  return Bytes(full.begin() + 16, full.end());
+}
+
+}  // namespace shield5g::crypto

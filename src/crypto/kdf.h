@@ -1,0 +1,31 @@
+// Generic 3GPP key-derivation function (TS 33.220 Annex B.2).
+//
+// Every key in the 5G hierarchy is derived as
+//     HMAC-SHA-256(Key, FC || P0 || L0 || P1 || L1 || ...)
+// where each Li is the 2-byte big-endian length of the corresponding Pi.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace shield5g::crypto {
+
+/// One input parameter block Pi of the KDF S-string.
+struct KdfParam {
+  Bytes value;
+};
+
+/// Builds the S string: FC || P0 || L0 || ... || Pn || Ln.
+Bytes kdf_s_string(std::uint8_t fc, const std::vector<KdfParam>& params);
+
+/// Full 32-byte derived key.
+Bytes kdf(ByteView key, std::uint8_t fc, const std::vector<KdfParam>& params);
+
+/// 3GPP truncation rule for 128-bit keys: the 128 *least significant*
+/// bits (i.e. trailing 16 bytes) of the 256-bit KDF output.
+Bytes kdf_trunc128(ByteView key, std::uint8_t fc,
+                   const std::vector<KdfParam>& params);
+
+}  // namespace shield5g::crypto

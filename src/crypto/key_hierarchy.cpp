@@ -1,0 +1,82 @@
+#include "crypto/key_hierarchy.h"
+
+#include <stdexcept>
+
+#include "crypto/kdf.h"
+#include "crypto/sha256.h"
+
+namespace shield5g::crypto {
+
+std::string serving_network_name(const std::string& mcc,
+                                 const std::string& mnc) {
+  // MNC is zero-padded to three digits in the SNN (TS 24.501).
+  std::string mnc3 = mnc;
+  while (mnc3.size() < 3) mnc3.insert(mnc3.begin(), '0');
+  return "5G:mnc" + mnc3 + ".mcc" + mcc + ".3gppnetwork.org";
+}
+
+Bytes derive_kausf(ByteView ck, ByteView ik, const std::string& snn,
+                   ByteView sqn_xor_ak) {
+  if (ck.size() != 16 || ik.size() != 16 || sqn_xor_ak.size() != 6) {
+    throw std::invalid_argument("derive_kausf: bad sizes");
+  }
+  const Bytes key = concat({ck, ik});
+  return kdf(key, 0x6A,
+             {{to_bytes(snn)}, {Bytes(sqn_xor_ak.begin(), sqn_xor_ak.end())}});
+}
+
+Bytes derive_res_star(ByteView ck, ByteView ik, const std::string& snn,
+                      ByteView rand, ByteView res) {
+  if (ck.size() != 16 || ik.size() != 16 || rand.size() != 16) {
+    throw std::invalid_argument("derive_res_star: bad sizes");
+  }
+  const Bytes key = concat({ck, ik});
+  return kdf_trunc128(key, 0x6B,
+                      {{to_bytes(snn)},
+                       {Bytes(rand.begin(), rand.end())},
+                       {Bytes(res.begin(), res.end())}});
+}
+
+Bytes derive_hxres_star(ByteView rand, ByteView xres_star,
+                        std::size_t out_len) {
+  if (rand.size() != 16) {
+    throw std::invalid_argument("derive_hxres_star: RAND size");
+  }
+  if (out_len > Sha256::kDigestSize) {
+    throw std::invalid_argument("derive_hxres_star: out_len too long");
+  }
+  const Bytes digest = Sha256::digest(concat({rand, xres_star}));
+  return take(digest, out_len);
+}
+
+Bytes derive_kseaf(ByteView kausf, const std::string& snn) {
+  if (kausf.size() != 32) throw std::invalid_argument("derive_kseaf: size");
+  return kdf(kausf, 0x6C, {{to_bytes(snn)}});
+}
+
+Bytes derive_kamf(ByteView kseaf, const std::string& supi, ByteView abba) {
+  if (kseaf.size() != 32 || abba.size() != 2) {
+    throw std::invalid_argument("derive_kamf: bad sizes");
+  }
+  return kdf(kseaf, 0x6D,
+             {{to_bytes(supi)}, {Bytes(abba.begin(), abba.end())}});
+}
+
+Bytes derive_algo_key(ByteView kamf, AlgoType type, std::uint8_t algo_id) {
+  if (kamf.size() != 32) throw std::invalid_argument("derive_algo_key: size");
+  return kdf_trunc128(
+      kamf, 0x69,
+      {{Bytes{static_cast<std::uint8_t>(type)}}, {Bytes{algo_id}}});
+}
+
+Bytes derive_kgnb(ByteView kamf, std::uint32_t uplink_nas_count,
+                  std::uint8_t access_type) {
+  if (kamf.size() != 32) throw std::invalid_argument("derive_kgnb: size");
+  Bytes count(4);
+  for (int i = 0; i < 4; ++i) {
+    count[3 - i] = static_cast<std::uint8_t>(uplink_nas_count >> (8 * i));
+  }
+  return kdf(kamf, 0x6E, {{count}, {Bytes{access_type}}});
+}
+
+}  // namespace shield5g::crypto

@@ -1,0 +1,105 @@
+#include "crypto/milenage.h"
+
+#include <stdexcept>
+
+namespace shield5g::crypto {
+
+namespace {
+
+// Cyclic left rotation of a 16-byte block by a multiple of 8 bits.
+// TS 35.206 uses r1..r5 = 64, 0, 32, 64, 96 bits.
+std::array<std::uint8_t, 16> rot(ByteView in, int bits) {
+  if (bits % 8 != 0) throw std::invalid_argument("rot: bits must be /8");
+  const std::size_t shift = static_cast<std::size_t>(bits / 8);
+  std::array<std::uint8_t, 16> out{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    out[i] = in[(i + shift) % 16];
+  }
+  return out;
+}
+
+}  // namespace
+
+Milenage::Milenage(ByteView k, ByteView opc) : cipher_(k) {
+  if (opc.size() != 16) throw std::invalid_argument("Milenage: OPc size");
+  for (int i = 0; i < 16; ++i) opc_[i] = opc[i];
+}
+
+Bytes Milenage::derive_opc(ByteView k, ByteView op) {
+  if (op.size() != 16) throw std::invalid_argument("derive_opc: OP size");
+  const Aes128 cipher(k);
+  const auto enc = cipher.encrypt_block(op);
+  return xor_bytes(op, ByteView(enc));
+}
+
+Bytes Milenage::out_n(ByteView temp, int rot_bits, std::uint8_t c_last) const {
+  // OUTn = E_K[ rot(TEMP XOR OPc, rn) XOR cn ] XOR OPc
+  Bytes mixed = xor_bytes(temp, ByteView(opc_));
+  auto rotated = rot(mixed, rot_bits);
+  rotated[15] = static_cast<std::uint8_t>(rotated[15] ^ c_last);
+  const auto enc = cipher_.encrypt_block(rotated);
+  return xor_bytes(ByteView(enc), ByteView(opc_));
+}
+
+void Milenage::compute_f1(ByteView rand, ByteView sqn, ByteView amf,
+                          Bytes& mac_a, Bytes& mac_s) const {
+  if (rand.size() != 16 || sqn.size() != 6 || amf.size() != 2) {
+    throw std::invalid_argument("Milenage::compute_f1: bad sizes");
+  }
+  const Bytes rand_xor_opc = xor_bytes(rand, ByteView(opc_));
+  const auto temp = cipher_.encrypt_block(rand_xor_opc);
+
+  // IN1 = SQN || AMF || SQN || AMF
+  const Bytes in1 = concat({sqn, amf, sqn, amf});
+  const Bytes in1_xor_opc = xor_bytes(in1, ByteView(opc_));
+  auto arg = rot(in1_xor_opc, 64);  // r1 = 64 bits, c1 = 0
+  for (int i = 0; i < 16; ++i) arg[i] ^= temp[i];
+  const auto enc = cipher_.encrypt_block(arg);
+  const Bytes out1 = xor_bytes(ByteView(enc), ByteView(opc_));
+  mac_a = take(out1, 8);
+  mac_s = slice_bytes(out1, 8, 8);
+}
+
+MilenageOutput Milenage::compute_f2345(ByteView rand) const {
+  if (rand.size() != 16) {
+    throw std::invalid_argument("Milenage::compute_f2345: RAND size");
+  }
+  const Bytes rand_xor_opc = xor_bytes(rand, ByteView(opc_));
+  const auto temp_block = cipher_.encrypt_block(rand_xor_opc);
+  const ByteView temp(temp_block);
+
+  MilenageOutput out;
+  const Bytes out2 = out_n(temp, 0, 0x01);   // r2 = 0,  c2 = ..01
+  const Bytes out3 = out_n(temp, 32, 0x02);  // r3 = 32, c3 = ..02
+  const Bytes out4 = out_n(temp, 64, 0x04);  // r4 = 64, c4 = ..04
+  const Bytes out5 = out_n(temp, 96, 0x08);  // r5 = 96, c5 = ..08
+  out.res = slice_bytes(out2, 8, 8);
+  out.ak = take(out2, 6);
+  out.ck = out3;
+  out.ik = out4;
+  out.ak_s = take(out5, 6);
+  return out;
+}
+
+MilenageOutput Milenage::compute(ByteView rand, ByteView sqn,
+                                 ByteView amf) const {
+  MilenageOutput out = compute_f2345(rand);
+  compute_f1(rand, sqn, amf, out.mac_a, out.mac_s);
+  return out;
+}
+
+Bytes build_autn(ByteView sqn, ByteView ak, ByteView amf, ByteView mac_a) {
+  if (sqn.size() != 6 || ak.size() != 6 || amf.size() != 2 ||
+      mac_a.size() != 8) {
+    throw std::invalid_argument("build_autn: bad field sizes");
+  }
+  const Bytes sqn_xor_ak = xor_bytes(sqn, ak);
+  return concat({ByteView(sqn_xor_ak), amf, mac_a});
+}
+
+AutnFields parse_autn(ByteView autn) {
+  if (autn.size() != 16) throw std::invalid_argument("parse_autn: size");
+  return AutnFields{take(autn, 6), slice_bytes(autn, 6, 2), slice_bytes(autn, 8, 8)};
+}
+
+}  // namespace shield5g::crypto

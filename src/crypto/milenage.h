@@ -1,0 +1,65 @@
+// MILENAGE authentication algorithm set (3GPP TS 35.205/35.206).
+//
+// Implements f1, f1*, f2, f3, f4, f5 and f5* on top of AES-128. These are
+// the functions the paper's eUDM P-AKA module executes inside the enclave
+// ("f1", "f2345" in Table I) and the functions the USIM runs on the UE
+// side to answer the authentication challenge.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+#include "crypto/aes128.h"
+
+namespace shield5g::crypto {
+
+struct MilenageOutput {
+  Bytes mac_a;  // f1  — network authentication code (8 bytes)
+  Bytes mac_s;  // f1* — resynchronisation code (8 bytes)
+  Bytes res;    // f2  — response (8 bytes)
+  Bytes ck;     // f3  — cipher key (16 bytes)
+  Bytes ik;     // f4  — integrity key (16 bytes)
+  Bytes ak;     // f5  — anonymity key (6 bytes)
+  Bytes ak_s;   // f5* — resynchronisation anonymity key (6 bytes)
+};
+
+class Milenage {
+ public:
+  /// `k` is the 16-byte subscriber key, `opc` the 16-byte derived
+  /// operator code OPc.
+  Milenage(ByteView k, ByteView opc);
+
+  /// Derives OPc = OP XOR E_K(OP) from the raw operator code.
+  static Bytes derive_opc(ByteView k, ByteView op);
+
+  /// Runs all seven functions for one (RAND, SQN, AMF) tuple.
+  /// sqn is 6 bytes, amf 2 bytes, rand 16 bytes.
+  MilenageOutput compute(ByteView rand, ByteView sqn, ByteView amf) const;
+
+  /// f2/f3/f4/f5 only (the UE side does not need f1 to answer, it needs
+  /// it to *verify*; provided separately for clarity).
+  MilenageOutput compute_f2345(ByteView rand) const;
+
+  /// f1/f1* only.
+  void compute_f1(ByteView rand, ByteView sqn, ByteView amf, Bytes& mac_a,
+                  Bytes& mac_s) const;
+
+ private:
+  Bytes out_n(ByteView temp, int rot_bits, std::uint8_t c_last) const;
+
+  Aes128 cipher_;
+  std::array<std::uint8_t, 16> opc_{};
+};
+
+/// AUTN = (SQN XOR AK) || AMF || MAC-A   (16 bytes, TS 33.102 §6.3).
+Bytes build_autn(ByteView sqn, ByteView ak, ByteView amf, ByteView mac_a);
+
+/// Splits an AUTN back into its fields.
+struct AutnFields {
+  Bytes sqn_xor_ak;  // 6 bytes
+  Bytes amf;         // 2 bytes
+  Bytes mac_a;       // 8 bytes
+};
+AutnFields parse_autn(ByteView autn);
+
+}  // namespace shield5g::crypto

@@ -1,0 +1,10 @@
+#include "crypto/op_count.h"
+
+namespace shield5g::crypto {
+
+OpCounts& op_counts() noexcept {
+  static OpCounts counts;
+  return counts;
+}
+
+}  // namespace shield5g::crypto

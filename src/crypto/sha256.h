@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for: HXRES* derivation (TS 33.501 Annex A.5), HMAC-SHA-256 (and
+// through it the whole 3GPP key hierarchy), enclave measurement
+// (MRENCLAVE analogue), trusted-file integrity in the LibOS, and the
+// ECIES X9.63 KDF.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace shield5g::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  /// Streams more input into the hash.
+  Sha256& update(ByteView data);
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// after finalize() (call reset() first).
+  std::array<std::uint8_t, kDigestSize> finalize();
+
+  /// Restores the initial state for reuse.
+  void reset();
+
+  /// One-shot convenience.
+  static Bytes digest(ByteView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> h_{};
+  std::array<std::uint8_t, kBlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace shield5g::crypto

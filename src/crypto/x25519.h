@@ -1,0 +1,33 @@
+// X25519 Diffie-Hellman over Curve25519 (RFC 7748), from scratch.
+//
+// This is the key-agreement primitive of ECIES "Profile A" used for SUPI
+// concealment (TS 33.501 Annex C.3.4.1): the UE encrypts its permanent
+// identifier to the home network's public key, producing the SUCI that
+// the UDM/SIDF de-conceals inside the trust boundary.
+#pragma once
+
+#include <array>
+
+#include "common/bytes.h"
+
+namespace shield5g::crypto {
+
+constexpr std::size_t kX25519KeySize = 32;
+
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// Computes X25519(scalar, u). Both arguments are 32 bytes.
+X25519Key x25519(ByteView scalar, ByteView u);
+
+/// Public key for a private scalar: X25519(scalar, 9).
+X25519Key x25519_public(ByteView scalar);
+
+/// Key pair generated from 32 random bytes (clamped internally by the
+/// scalar multiplication, per RFC 7748).
+struct X25519KeyPair {
+  X25519Key private_key;
+  X25519Key public_key;
+};
+X25519KeyPair x25519_keypair(ByteView random32);
+
+}  // namespace shield5g::crypto

@@ -1,0 +1,335 @@
+#include "json/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace shield5g::json {
+
+bool Value::as_bool() const {
+  if (!is_bool()) throw std::runtime_error("json: not a bool");
+  return std::get<bool>(data_);
+}
+
+double Value::as_number() const {
+  if (!is_number()) throw std::runtime_error("json: not a number");
+  return std::get<double>(data_);
+}
+
+std::int64_t Value::as_int() const {
+  const double d = as_number();
+  return static_cast<std::int64_t>(d);
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw std::runtime_error("json: not a string");
+  return std::get<std::string>(data_);
+}
+
+const Array& Value::as_array() const {
+  if (!is_array()) throw std::runtime_error("json: not an array");
+  return std::get<Array>(data_);
+}
+
+const Object& Value::as_object() const {
+  if (!is_object()) throw std::runtime_error("json: not an object");
+  return std::get<Object>(data_);
+}
+
+Array& Value::as_array() {
+  if (!is_array()) throw std::runtime_error("json: not an array");
+  return std::get<Array>(data_);
+}
+
+Object& Value::as_object() {
+  if (!is_object()) throw std::runtime_error("json: not an object");
+  return std::get<Object>(data_);
+}
+
+const Value& Value::at(const std::string& key) const {
+  const auto& obj = as_object();
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::runtime_error("json: missing key " + key);
+  return it->second;
+}
+
+std::optional<std::string> Value::get_string(const std::string& key) const {
+  if (!is_object()) return std::nullopt;
+  const auto& obj = std::get<Object>(data_);
+  const auto it = obj.find(key);
+  if (it == obj.end() || !it->second.is_string()) return std::nullopt;
+  return it->second.as_string();
+}
+
+std::optional<std::int64_t> Value::get_int(const std::string& key) const {
+  if (!is_object()) return std::nullopt;
+  const auto& obj = std::get<Object>(data_);
+  const auto it = obj.find(key);
+  if (it == obj.end() || !it->second.is_number()) return std::nullopt;
+  return it->second.as_int();
+}
+
+bool Value::has(const std::string& key) const {
+  return is_object() && std::get<Object>(data_).count(key) > 0;
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (is_null()) data_ = Object{};
+  return as_object()[key];
+}
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void dump_value(const Value& v, std::string& out) {
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_number()) {
+    const double d = v.as_number();
+    if (std::floor(d) == d && std::abs(d) < 9.0e15) {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(d));
+      out += buf;
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out += buf;
+    }
+  } else if (v.is_string()) {
+    dump_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    out.push_back('[');
+    bool first = true;
+    for (const auto& e : v.as_array()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_value(e, out);
+    }
+    out.push_back(']');
+  } else {
+    out.push_back('{');
+    bool first = true;
+    for (const auto& [k, e] : v.as_object()) {
+      if (!first) out.push_back(',');
+      first = false;
+      dump_string(k, out);
+      out.push_back(':');
+      dump_value(e, out);
+    }
+    out.push_back('}');
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    skip_ws();
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) {
+      throw std::runtime_error("json parse error: unexpected end");
+    }
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) fail(std::string("expected '") + c + "'");
+  }
+
+  void expect_word(const char* word) {
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) fail("bad literal");
+      ++pos_;
+    }
+  }
+
+  Value parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't': expect_word("true"); return Value(true);
+      case 'f': expect_word("false"); return Value(false);
+      case 'n': expect_word("null"); return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    return Value(std::move(arr));
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            // Encode the code point as UTF-8 (BMP only; surrogate pairs
+            // are not needed for the protocol payloads here).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value");
+    try {
+      std::size_t consumed = 0;
+      const std::string token = text_.substr(start, pos_ - start);
+      const double d = std::stod(token, &consumed);
+      if (consumed != token.size()) fail("bad number");
+      return Value(d);
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_value(*this, out);
+  return out;
+}
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+}  // namespace shield5g::json

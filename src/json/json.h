@@ -1,0 +1,78 @@
+// Minimal JSON value / parser / serializer.
+//
+// The paper's P-AKA modules expose REST endpoints whose payloads are JSON
+// documents carrying the Table I parameters (hex-encoded). This module is
+// the in-repo replacement for the nlohmann/jsoncpp dependency the OAI
+// code uses: objects, arrays, strings, numbers, booleans and null, with
+// strict parsing and deterministic (sorted-key) serialization.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace shield5g::json {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::int64_t i) : data_(static_cast<double>(i)) {}
+  Value(std::uint64_t i) : data_(static_cast<double>(i)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  /// Typed accessors throw std::runtime_error on type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  const Object& as_object() const;
+  Array& as_array();
+  Object& as_object();
+
+  /// Object field lookup; throws if not an object or key missing.
+  const Value& at(const std::string& key) const;
+  /// Returns nullopt when the value is not an object or lacks the key.
+  std::optional<std::string> get_string(const std::string& key) const;
+  std::optional<std::int64_t> get_int(const std::string& key) const;
+  bool has(const std::string& key) const;
+
+  /// Mutating object index (creates the key).
+  Value& operator[](const std::string& key);
+
+  /// Compact serialization with sorted object keys.
+  std::string dump() const;
+
+  bool operator==(const Value& other) const = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Strict parser. Throws std::runtime_error with a position-annotated
+/// message on malformed input.
+Value parse(const std::string& text);
+
+}  // namespace shield5g::json

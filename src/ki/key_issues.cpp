@@ -1,0 +1,93 @@
+#include "ki/key_issues.h"
+
+namespace shield5g::ki {
+
+const char* property_name(HmeeProperty p) noexcept {
+  switch (p) {
+    case HmeeProperty::kMemoryEncryption: return "memory-encryption";
+    case HmeeProperty::kExecutionIsolation: return "execution-isolation";
+    case HmeeProperty::kLoadTimeIntegrity: return "load-time-integrity";
+    case HmeeProperty::kRemoteAttestation: return "remote-attestation";
+    case HmeeProperty::kSecretSealing: return "secret-sealing";
+    case HmeeProperty::kControlFlowEntry: return "entry-point-control";
+  }
+  return "?";
+}
+
+const char* verdict_symbol(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kFull: return "full";
+    case Verdict::kPartial: return "partial";
+    case Verdict::kNone: return "-";
+  }
+  return "?";
+}
+
+const std::vector<KeyIssue>& catalogue() {
+  using P = HmeeProperty;
+  static const std::vector<KeyIssue> issues = {
+      {2, "Confidentiality of sensitive data", false,
+       {P::kMemoryEncryption, P::kExecutionIsolation}, false},
+      {5, "Data location and lifecycle", false,
+       {P::kMemoryEncryption, P::kSecretSealing},
+       true},  // residual: storage-resource clearing is operator policy
+      {6, "Function isolation", true,
+       {P::kMemoryEncryption, P::kExecutionIsolation}, false},
+      {7, "Memory introspection", true,
+       {P::kMemoryEncryption, P::kExecutionIsolation}, false},
+      {11, "Where are my keys and confidential data", false,
+       {P::kRemoteAttestation, P::kSecretSealing},
+       true},  // residual: trusting virtual key-storage still needs policy
+      {12, "Where is my function", false,
+       {P::kRemoteAttestation, P::kLoadTimeIntegrity},
+       true},  // residual: placement validation is an orchestration step
+      {13, "Attestation at 3GPP function level", false,
+       {P::kRemoteAttestation, P::kLoadTimeIntegrity}, false},
+      {15, "Encrypted data processing", true,
+       {P::kMemoryEncryption}, false},
+      {20, "3rd party hosting environments", false,
+       {P::kMemoryEncryption, P::kRemoteAttestation},
+       true},  // residual: infrastructure-operator obligations remain
+      {21, "VM and hypervisor breakout", false,
+       {P::kMemoryEncryption, P::kExecutionIsolation},
+       true},  // residual: HMEE limits impact, cannot prevent the exploit
+      {25, "Container security", true,
+       {P::kExecutionIsolation, P::kControlFlowEntry}, false},
+      {26, "Container breakout", false,
+       {P::kMemoryEncryption, P::kExecutionIsolation},
+       true},  // residual: same as KI 21 for container engines
+      {27, "Secrets in NF container images", false,
+       {P::kSecretSealing, P::kRemoteAttestation}, false},
+  };
+  return issues;
+}
+
+Verdict evaluate(const KeyIssue& issue) {
+  if (issue.relevant.empty()) return Verdict::kNone;
+  return issue.residual_requirements ? Verdict::kPartial : Verdict::kFull;
+}
+
+std::vector<TableRow> generate_table() {
+  std::vector<TableRow> rows;
+  for (const auto& issue : catalogue()) {
+    rows.push_back(TableRow{issue.number, issue.description,
+                            issue.threegpp_marks_hmee, evaluate(issue)});
+  }
+  return rows;
+}
+
+TableSummary summarize(const std::vector<TableRow>& rows) {
+  TableSummary summary;
+  for (const auto& row : rows) {
+    if (row.threegpp_hmee) {
+      ++summary.threegpp_marked;
+    } else if (row.verdict != Verdict::kNone) {
+      ++summary.additional_beyond_3gpp;
+    }
+    if (row.verdict == Verdict::kFull) ++summary.full;
+    if (row.verdict == Verdict::kPartial) ++summary.partial;
+  }
+  return summary;
+}
+
+}  // namespace shield5g::ki

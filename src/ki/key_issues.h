@@ -1,0 +1,75 @@
+// 3GPP TR 33.848 Key-Issue catalogue and HMEE applicability analysis
+// (paper §VI, Table V).
+//
+// Encodes the 13 virtualisation key issues the paper discusses, the
+// HMEE/SGX properties relevant to each, whether 3GPP itself recommends
+// HMEE for it, and the paper's verdict (full / partial / none). The
+// mapping engine derives the verdict from the property sets rather than
+// hard-coding it, so the table is regenerated, not transcribed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shield5g::ki {
+
+/// Security properties an HMEE (SGX-class TEE) provides.
+enum class HmeeProperty : std::uint8_t {
+  kMemoryEncryption,     // EPC contents encrypted outside the package
+  kExecutionIsolation,   // host OS/hypervisor outside the TCB
+  kLoadTimeIntegrity,    // measured launch (EEXTEND/EINIT)
+  kRemoteAttestation,    // hardware-signed quotes
+  kSecretSealing,        // keys bound to measurement + platform
+  kControlFlowEntry,     // restricted entry points (ECALL table)
+};
+
+const char* property_name(HmeeProperty p) noexcept;
+
+enum class Verdict {
+  kFull,     // HMEE alone resolves the issue        (Table V: +)
+  kPartial,  // HMEE mitigates, residual requirements (Table V: half)
+  kNone,
+};
+
+const char* verdict_symbol(Verdict v) noexcept;
+
+struct KeyIssue {
+  int number;                 // TR 33.848 KI #
+  std::string description;
+  bool threegpp_marks_hmee;   // 3GPP itself lists HMEE as a solution
+  /// Properties that address the issue at all.
+  std::vector<HmeeProperty> relevant;
+  /// True when additional non-HMEE controls are still required
+  /// (deployment policy, lifecycle management, regulation, ...).
+  bool residual_requirements;
+};
+
+/// The 13 issues of Table V.
+const std::vector<KeyIssue>& catalogue();
+
+/// The paper's verdict logic: relevant properties present and no
+/// residual requirements -> full; relevant but residual -> partial.
+Verdict evaluate(const KeyIssue& issue);
+
+struct TableRow {
+  int ki;
+  std::string description;
+  bool threegpp_hmee;
+  Verdict verdict;
+};
+
+/// Regenerates Table V.
+std::vector<TableRow> generate_table();
+
+/// Counts for the paper's headline claim: 4 KIs marked by 3GPP, 9 more
+/// where HMEE helps (full or partial).
+struct TableSummary {
+  int threegpp_marked = 0;
+  int full = 0;
+  int partial = 0;
+  int additional_beyond_3gpp = 0;
+};
+TableSummary summarize(const std::vector<TableRow>& rows);
+
+}  // namespace shield5g::ki

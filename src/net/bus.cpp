@@ -1,0 +1,273 @@
+#include "net/bus.h"
+
+#include <stdexcept>
+
+#include "common/log.h"
+
+namespace shield5g::net {
+
+std::vector<std::pair<Sys, std::uint32_t>> RequestProfile::default_pre() {
+  // Reactor/worker churn between two requests of a Pistache-style
+  // server: epoll cycles, futex handoffs between the reactor and the
+  // worker, timer maintenance, read-readiness probes. 78 calls here +
+  // 3 recv + 3 send + 4 connection-path calls per request reproduce the
+  // ~90 EENTERs and ~90 EEXITs per UE registration of Table III.
+  std::vector<std::pair<Sys, std::uint32_t>> pre;
+  for (int i = 0; i < 6; ++i) pre.emplace_back(Sys::kEpollWait, 0);
+  for (int i = 0; i < 24; ++i) pre.emplace_back(Sys::kFutex, 0);
+  for (int i = 0; i < 10; ++i) pre.emplace_back(Sys::kTimerFd, 0);
+  for (int i = 0; i < 10; ++i) pre.emplace_back(Sys::kEpollCtl, 0);
+  for (int i = 0; i < 4; ++i) pre.emplace_back(Sys::kRecv, 0);  // probes
+  for (int i = 0; i < 24; ++i) pre.emplace_back(Sys::kFutex, 0);
+  return pre;
+}
+
+Server::Server(std::string name, ExecutionEnv& env, const NetCosts& costs)
+    : name_(std::move(name)), env_(&env), costs_(&costs) {}
+
+void Server::reset_stats() {
+  lf_us_.clear();
+  lt_us_.clear();
+}
+
+Server::ServeResult Server::serve_record(ByteView record_in,
+                                         TlsSession& session,
+                                         sim::VirtualClock& clock,
+                                         Rng& jitter) {
+  ServeResult result;
+  if (served_ == 0) env_->on_first_request();
+  env_->on_request(served_);
+
+  // Inter-request scheduling churn (outside the L_T window).
+  for (const auto& [sys, bytes] : profile_.pre_window) {
+    env_->syscall(sys, bytes);
+  }
+
+  const sim::Nanos lt_start = clock.now();
+
+  // Receive the protected request.
+  const std::size_t in_bytes = record_in.size();
+  for (std::uint32_t i = 0; i < profile_.recv_chunks; ++i) {
+    env_->syscall(Sys::kRecv, in_bytes / profile_.recv_chunks);
+  }
+  crypto::OpMeter tls_in;
+  auto plain = session.unprotect(record_in);
+  env_->compute(costs_->tls_record_fixed + tls_in.ns(costs_->primitives));
+  if (!plain) return result;
+
+  auto request = HttpRequest::parse(*plain);
+  env_->compute(costs_->http_parse_ns(plain->size()));
+  if (!request) return result;
+
+  // ---- L_F window: the AKA function itself -------------------------
+  const sim::Nanos lf_start = clock.now();
+  env_->compute(costs_->json_parse_ns(request->body.size()));
+  crypto::OpMeter handler_ops;
+  HttpResponse response = router_.route(*request);
+  const auto handler_fixed = static_cast<sim::Nanos>(
+      static_cast<double>(costs_->handler_fixed_ns) *
+      jitter.lognormal(1.0, costs_->jitter_sigma));
+  env_->compute(handler_fixed + handler_ops.ns(costs_->primitives));
+  env_->alloc_pages(profile_.alloc_pages);
+  env_->compute(costs_->json_dump_ns(response.body.size()));
+  result.l_f = clock.now() - lf_start;
+
+  // Serialize, protect and send the response.
+  const Bytes wire = response.serialize();
+  env_->compute(costs_->http_ser_ns(wire.size()));
+  crypto::OpMeter tls_out;
+  result.record_out = session.protect(wire);
+  env_->compute(costs_->tls_record_fixed + tls_out.ns(costs_->primitives));
+  for (std::uint32_t i = 0; i < profile_.send_chunks; ++i) {
+    env_->syscall(Sys::kSend, result.record_out.size() / profile_.send_chunks);
+  }
+  result.l_t = clock.now() - lt_start;
+  result.ok = true;
+
+  ++served_;
+  lf_us_.add(sim::to_us(result.l_f));
+  lt_us_.add(sim::to_us(result.l_t));
+  return result;
+}
+
+Bus::Bus(sim::VirtualClock& clock, NetCosts costs, std::uint64_t seed)
+    : clock_(clock), costs_(costs), rng_(seed), ambient_client_(clock) {}
+
+void Bus::attach(Server& server) {
+  if (servers_.count(server.name()) != 0) {
+    throw std::logic_error("Bus: duplicate server name " + server.name());
+  }
+  servers_.emplace(server.name(),
+                   Attachment{&server, TlsIdentity::generate(rng_)});
+}
+
+void Bus::detach(const std::string& name) {
+  drop_connections(name);
+  servers_.erase(name);
+}
+
+Server* Bus::find(const std::string& name) noexcept {
+  const auto it = servers_.find(name);
+  return it == servers_.end() ? nullptr : it->second.server;
+}
+
+double Bus::jitter() { return rng_.lognormal(1.0, costs_.jitter_sigma); }
+
+sim::Nanos Bus::bridge_ns(std::size_t bytes) {
+  const double base = static_cast<double>(costs_.bridge_one_way) +
+                      costs_.bridge_per_byte_ns * static_cast<double>(bytes);
+  return static_cast<sim::Nanos>(base * jitter());
+}
+
+Bus::Connection Bus::open_connection(Attachment& target,
+                                     ExecutionEnv& client_env) {
+  Server& server = *target.server;
+  // TCP handshake: one bridge round trip.
+  client_env.syscall(Sys::kSocket);
+  client_env.syscall(Sys::kConnect);
+  clock_.advance(bridge_ns(60));
+  server.env().syscall(Sys::kAccept);
+  clock_.advance(bridge_ns(60));
+
+  // TLS handshake: ClientHello (with the client's ephemeral key and
+  // modeled cert payload) out, ServerHello/Finished back. Key agreement
+  // executes for real on both sides and is charged to each side's
+  // environment.
+  Connection conn;
+  Bytes hello;
+  crypto::OpMeter client_ops;
+  conn.client = std::make_unique<TlsSession>(
+      TlsSession::client_connect(target.identity.key.public_key, rng_, hello));
+  client_env.compute(client_ops.ns(costs_.primitives));
+  client_env.syscall(Sys::kSend, hello.size());
+  clock_.advance(bridge_ns(hello.size()));
+
+  server.env().syscall(Sys::kRecv, hello.size());
+  Bytes server_hello;
+  crypto::OpMeter server_ops;
+  auto server_session =
+      TlsSession::server_accept(target.identity.key, hello, server_hello);
+  server.env().compute(server_ops.ns(costs_.primitives));
+  if (!server_session) {
+    throw std::runtime_error("Bus: TLS handshake failed");
+  }
+  conn.server = std::make_unique<TlsSession>(std::move(*server_session));
+  server.env().syscall(Sys::kSend, server_hello.size());
+  clock_.advance(bridge_ns(server_hello.size()));
+  client_env.syscall(Sys::kRecv, server_hello.size());
+  return conn;
+}
+
+Bus::Exchange Bus::request(const std::string& from, const std::string& to,
+                           const HttpRequest& req, ExecutionEnv* client_env) {
+  const auto it = servers_.find(to);
+  if (it == servers_.end()) {
+    throw std::runtime_error("Bus: no server attached as '" + to + "'");
+  }
+  Attachment& target = it->second;
+  Server& server = *target.server;
+  ExecutionEnv& client = client_env != nullptr ? *client_env : ambient_client_;
+
+  Exchange exchange;
+  const sim::Nanos start = clock_.now();
+
+  client.compute(static_cast<sim::Nanos>(
+      static_cast<double>(costs_.client_fixed_ns) * jitter()));
+
+  // Connection: cached under keep-alive, otherwise per-request.
+  const auto conn_key = std::make_pair(from, to);
+  Connection* conn = nullptr;
+  if (keep_alive_) {
+    auto cit = connections_.find(conn_key);
+    if (cit == connections_.end()) {
+      cit = connections_
+                .emplace(conn_key, open_connection(target, client))
+                .first;
+    }
+    conn = &cit->second;
+  } else {
+    connections_.erase(conn_key);
+    auto cit =
+        connections_.emplace(conn_key, open_connection(target, client)).first;
+    conn = &cit->second;
+  }
+
+  // Client: serialize, protect, send.
+  const Bytes wire = req.serialize();
+  client.compute(costs_.http_ser_ns(wire.size()));
+  crypto::OpMeter client_tls;
+  Bytes record = conn->client->protect(wire);
+  client.compute(costs_.tls_record_fixed + client_tls.ns(costs_.primitives));
+  client.syscall(Sys::kSend, record.size());
+  if (faults_.corrupt_record_prob > 0 &&
+      rng_.uniform01() < faults_.corrupt_record_prob) {
+    record[rng_.uniform(record.size())] ^= 0x01;  // bit flip in flight
+    ++faults_injected_;
+  }
+  clock_.advance(bridge_ns(record.size()));
+
+  // Server pipeline.
+  auto served = server.serve_record(record, *conn->server, clock_, rng_);
+  exchange.l_f = served.l_f;
+  exchange.l_t = served.l_t;
+  if (!served.ok) {
+    exchange.response = HttpResponse::error(500, "server pipeline failure");
+    exchange.response_ns = clock_.now() - start;
+    return exchange;
+  }
+
+  // Response back over the bridge; client receive path.
+  if (faults_.drop_response_prob > 0 &&
+      rng_.uniform01() < faults_.drop_response_prob) {
+    ++faults_injected_;
+    clock_.advance(faults_.retransmit_timeout);
+    exchange.response = HttpResponse::error(504, "response lost in transit");
+    exchange.response_ns = clock_.now() - start;
+    if (!keep_alive_) connections_.erase(conn_key);
+    return exchange;
+  }
+  clock_.advance(bridge_ns(served.record_out.size()));
+  client.syscall(Sys::kRecv, served.record_out.size());
+  crypto::OpMeter client_tls_in;
+  auto resp_plain = conn->client->unprotect(served.record_out);
+  client.compute(costs_.tls_record_fixed +
+                 client_tls_in.ns(costs_.primitives));
+  if (!resp_plain) {
+    exchange.response = HttpResponse::error(500, "record verify failed");
+    exchange.response_ns = clock_.now() - start;
+    return exchange;
+  }
+  auto response = HttpResponse::parse(*resp_plain);
+  client.compute(costs_.http_parse_ns(resp_plain->size()));
+  if (!response) {
+    exchange.response = HttpResponse::error(500, "malformed response");
+    exchange.response_ns = clock_.now() - start;
+    return exchange;
+  }
+
+  if (!keep_alive_) {
+    client.syscall(Sys::kClose);
+    server.env().syscall(Sys::kClose);
+    connections_.erase(conn_key);
+  }
+
+  exchange.response = std::move(*response);
+  exchange.transport_ok = true;
+  exchange.response_ns = clock_.now() - start;
+  return exchange;
+}
+
+std::optional<crypto::X25519Key> Bus::server_identity(
+    const std::string& name) const {
+  const auto it = servers_.find(name);
+  if (it == servers_.end()) return std::nullopt;
+  return it->second.identity.key.public_key;
+}
+
+void Bus::drop_connections(const std::string& server_name) {
+  std::erase_if(connections_, [&server_name](const auto& entry) {
+    return entry.first.second == server_name;
+  });
+}
+
+}  // namespace shield5g::net

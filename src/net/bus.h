@@ -1,0 +1,218 @@
+// The simulated Docker bridge: servers, connections and request routing.
+//
+// Services attach to the bus by name (the OAI docker-compose service
+// names). A request crosses the bridge as real TLS-protected wire bytes;
+// the bus charges client-side costs, bridge latency, and drives the
+// server's request pipeline, which charges its own environment
+// (container or SGX). The pipeline measures exactly the quantities the
+// paper reports:
+//   L_F  — execution time of the AKA function (JSON + crypto + handler),
+//   L_T  — request-received .. response-sent inside the module,
+//   R    — response time observed by the calling VNF.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "crypto/cost.h"
+#include "net/env.h"
+#include "net/http.h"
+#include "net/router.h"
+#include "net/tls.h"
+#include "sim/clock.h"
+
+namespace shield5g::net {
+
+/// Network & software-stack cost constants (the container baseline; the
+/// SGX deltas come from the environment the server runs in).
+struct NetCosts {
+  sim::Nanos bridge_one_way = 55 * sim::kMicrosecond;
+  double bridge_per_byte_ns = 1.0;
+
+  sim::Nanos handler_fixed_ns = 14 * sim::kMicrosecond;
+  sim::Nanos http_parse_fixed = 2 * sim::kMicrosecond;
+  double http_parse_per_byte = 12.0;
+  sim::Nanos http_ser_fixed = 1'500;
+  double http_ser_per_byte = 8.0;
+  sim::Nanos json_parse_fixed = 3'500;
+  double json_parse_per_byte = 55.0;
+  sim::Nanos json_dump_fixed = 2'500;
+  double json_dump_per_byte = 30.0;
+  sim::Nanos tls_record_fixed = 1'800;
+  sim::Nanos client_fixed_ns = 6 * sim::kMicrosecond;
+
+  /// Multiplicative log-normal jitter applied to compute and bridge
+  /// charges (gives the paper's box plots their spread).
+  double jitter_sigma = 0.045;
+
+  crypto::PrimitiveCosts primitives;
+
+  sim::Nanos http_parse_ns(std::size_t bytes) const noexcept {
+    return http_parse_fixed +
+           static_cast<sim::Nanos>(http_parse_per_byte * double(bytes));
+  }
+  sim::Nanos http_ser_ns(std::size_t bytes) const noexcept {
+    return http_ser_fixed +
+           static_cast<sim::Nanos>(http_ser_per_byte * double(bytes));
+  }
+  sim::Nanos json_parse_ns(std::size_t bytes) const noexcept {
+    if (bytes == 0) return 0;
+    return json_parse_fixed +
+           static_cast<sim::Nanos>(json_parse_per_byte * double(bytes));
+  }
+  sim::Nanos json_dump_ns(std::size_t bytes) const noexcept {
+    if (bytes == 0) return 0;
+    return json_dump_fixed +
+           static_cast<sim::Nanos>(json_dump_per_byte * double(bytes));
+  }
+};
+
+/// Per-request server activity outside the handler window: epoll wait,
+/// reactor-to-worker futex handoffs, timer maintenance. Under SGX every
+/// entry is an OCALL round trip — these dominate R_S^SGX (paper §V-B5:
+/// the transitions "are only invoked during network I/O operations").
+struct RequestProfile {
+  std::vector<std::pair<Sys, std::uint32_t>> pre_window = default_pre();
+  std::uint32_t recv_chunks = 3;
+  std::uint32_t send_chunks = 3;
+  /// Heap churn per request (EPC allocation pressure under SGX).
+  std::uint64_t alloc_pages = 2;
+  /// Cold-path pages / lazy-load OCALLs triggered by the first request.
+  std::uint64_t first_request_pages = 9'000;
+  std::uint32_t first_request_ocalls = 200;
+
+  static std::vector<std::pair<Sys, std::uint32_t>> default_pre();
+};
+
+class Server {
+ public:
+  Server(std::string name, ExecutionEnv& env, const NetCosts& costs);
+  virtual ~Server() = default;
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  Router& router() noexcept { return router_; }
+  ExecutionEnv& env() noexcept { return *env_; }
+  RequestProfile& profile() noexcept { return profile_; }
+
+  /// Swaps the execution environment (used when re-deploying the same
+  /// module from container to enclave).
+  void rebind_env(ExecutionEnv& env) noexcept { env_ = &env; }
+
+  struct ServeResult {
+    Bytes record_out;  // TLS-protected response
+    sim::Nanos l_f = 0;
+    sim::Nanos l_t = 0;
+    bool ok = false;
+  };
+
+  /// Runs the full server-side pipeline for one protected request.
+  ServeResult serve_record(ByteView record_in, TlsSession& session,
+                           sim::VirtualClock& clock, Rng& jitter);
+
+  /// Latency samples in microseconds, accumulated per request.
+  Samples& lf_us() noexcept { return lf_us_; }
+  Samples& lt_us() noexcept { return lt_us_; }
+  std::uint64_t requests_served() const noexcept { return served_; }
+  void reset_stats();
+  /// Marks the next request as a "first" request again (fresh deploy).
+  void reset_served() noexcept { served_ = 0; }
+
+ private:
+  std::string name_;
+  ExecutionEnv* env_;
+  const NetCosts* costs_;
+  Router router_;
+  RequestProfile profile_;
+  Samples lf_us_;
+  Samples lt_us_;
+  std::uint64_t served_ = 0;
+};
+
+class Bus {
+ public:
+  explicit Bus(sim::VirtualClock& clock, NetCosts costs = {},
+               std::uint64_t seed = 0xb05b05ULL);
+
+  sim::VirtualClock& clock() noexcept { return clock_; }
+  NetCosts& costs() noexcept { return costs_; }
+  Rng& rng() noexcept { return rng_; }
+
+  /// Attaches a server; a TLS identity is generated for it.
+  void attach(Server& server);
+  void detach(const std::string& name);
+  Server* find(const std::string& name) noexcept;
+
+  /// Keep-alive policy: when false (the default, matching OAI's
+  /// one-shot libcurl clients), every request performs a TCP connect
+  /// plus TLS handshake and closes the connection afterwards.
+  void set_keep_alive(bool keep_alive) noexcept { keep_alive_ = keep_alive; }
+
+  /// Fault injection on the bridge (co-residency noise, congested
+  /// vswitch): records corrupted in flight fail the server's TLS check;
+  /// dropped responses surface as transport errors after a
+  /// retransmission timeout.
+  struct FaultPlan {
+    double corrupt_record_prob = 0.0;
+    double drop_response_prob = 0.0;
+    sim::Nanos retransmit_timeout = 200 * sim::kMillisecond;
+  };
+  void set_fault_plan(FaultPlan plan) noexcept { faults_ = plan; }
+  std::uint64_t faults_injected() const noexcept { return faults_injected_; }
+
+  /// Pinned TLS public key of an attached server (what a client
+  /// certificate check — or an RA-TLS quote — must bind to).
+  std::optional<crypto::X25519Key> server_identity(
+      const std::string& name) const;
+
+  struct Exchange {
+    HttpResponse response;
+    sim::Nanos l_f = 0;        // server handler window
+    sim::Nanos l_t = 0;        // server request window
+    sim::Nanos response_ns = 0;  // client-observed response time
+    bool transport_ok = false;
+  };
+
+  /// Performs one request from `from` (an arbitrary client label) to
+  /// the server attached as `to`. `client_env` charges the client-side
+  /// work; pass nullptr for an ambient host client.
+  Exchange request(const std::string& from, const std::string& to,
+                   const HttpRequest& req, ExecutionEnv* client_env = nullptr);
+
+  /// Drops cached connections to a server (server restart).
+  void drop_connections(const std::string& server_name);
+
+ private:
+  struct Attachment {
+    Server* server;
+    TlsIdentity identity;
+  };
+  struct Connection {
+    std::unique_ptr<TlsSession> client;
+    std::unique_ptr<TlsSession> server;
+  };
+
+  Connection open_connection(Attachment& target, ExecutionEnv& client_env);
+  sim::Nanos bridge_ns(std::size_t bytes);
+  double jitter();
+
+  sim::VirtualClock& clock_;
+  NetCosts costs_;
+  Rng rng_;
+  bool keep_alive_ = false;
+  FaultPlan faults_;
+  std::uint64_t faults_injected_ = 0;
+  std::map<std::string, Attachment> servers_;
+  std::map<std::pair<std::string, std::string>, Connection> connections_;
+  HostEnv ambient_client_;
+};
+
+}  // namespace shield5g::net

@@ -1,0 +1,130 @@
+#include "net/http.h"
+
+#include <sstream>
+
+namespace shield5g::net {
+
+namespace {
+
+constexpr const char* kCrlf = "\r\n";
+
+std::string headers_block(const std::map<std::string, std::string>& headers,
+                          std::size_t body_size) {
+  std::ostringstream os;
+  for (const auto& [k, v] : headers) os << k << ": " << v << kCrlf;
+  os << "content-length: " << body_size << kCrlf;
+  return os.str();
+}
+
+struct ParsedHead {
+  std::string start_line;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+std::optional<ParsedHead> parse_common(ByteView wire) {
+  const std::string text = to_string(wire);
+  const std::size_t head_end = text.find("\r\n\r\n");
+  if (head_end == std::string::npos) return std::nullopt;
+
+  ParsedHead out;
+  std::istringstream head(text.substr(0, head_end));
+  if (!std::getline(head, out.start_line)) return std::nullopt;
+  if (!out.start_line.empty() && out.start_line.back() == '\r') {
+    out.start_line.pop_back();
+  }
+  std::string line;
+  while (std::getline(head, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    std::string key = line.substr(0, colon);
+    std::size_t vstart = colon + 1;
+    while (vstart < line.size() && line[vstart] == ' ') ++vstart;
+    out.headers[key] = line.substr(vstart);
+  }
+  out.body = text.substr(head_end + 4);
+  const auto it = out.headers.find("content-length");
+  if (it != out.headers.end()) {
+    const std::size_t want = std::stoul(it->second);
+    if (out.body.size() != want) return std::nullopt;
+    out.headers.erase(it);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* method_name(Method m) noexcept {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kPost: return "POST";
+    case Method::kPut: return "PUT";
+    case Method::kDelete: return "DELETE";
+    case Method::kPatch: return "PATCH";
+  }
+  return "GET";
+}
+
+Bytes HttpRequest::serialize() const {
+  std::ostringstream os;
+  os << method_name(method) << " " << path << " HTTP/1.1" << kCrlf
+     << headers_block(headers, body.size()) << kCrlf << body;
+  return to_bytes(os.str());
+}
+
+std::optional<HttpRequest> HttpRequest::parse(ByteView wire) {
+  auto head = parse_common(wire);
+  if (!head) return std::nullopt;
+  std::istringstream start(head->start_line);
+  std::string method_str, path, version;
+  if (!(start >> method_str >> path >> version)) return std::nullopt;
+
+  HttpRequest req;
+  if (method_str == "GET") req.method = Method::kGet;
+  else if (method_str == "POST") req.method = Method::kPost;
+  else if (method_str == "PUT") req.method = Method::kPut;
+  else if (method_str == "DELETE") req.method = Method::kDelete;
+  else if (method_str == "PATCH") req.method = Method::kPatch;
+  else return std::nullopt;
+  req.path = path;
+  req.headers = std::move(head->headers);
+  req.body = std::move(head->body);
+  return req;
+}
+
+Bytes HttpResponse::serialize() const {
+  std::ostringstream os;
+  os << "HTTP/1.1 " << status << " " << (status < 300 ? "OK" : "Error")
+     << kCrlf << headers_block(headers, body.size()) << kCrlf << body;
+  return to_bytes(os.str());
+}
+
+std::optional<HttpResponse> HttpResponse::parse(ByteView wire) {
+  auto head = parse_common(wire);
+  if (!head) return std::nullopt;
+  std::istringstream start(head->start_line);
+  std::string version;
+  int status = 0;
+  if (!(start >> version >> status)) return std::nullopt;
+
+  HttpResponse resp;
+  resp.status = status;
+  resp.headers = std::move(head->headers);
+  resp.body = std::move(head->body);
+  return resp;
+}
+
+HttpResponse HttpResponse::json(int status, const std::string& body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.headers["content-type"] = "application/json";
+  resp.body = body;
+  return resp;
+}
+
+HttpResponse HttpResponse::error(int status, const std::string& detail) {
+  return json(status, "{\"error\":\"" + detail + "\"}");
+}
+
+}  // namespace shield5g::net

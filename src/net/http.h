@@ -1,0 +1,43 @@
+// HTTP/1.1-style message framing for the service-based interfaces.
+//
+// Messages are really serialized to wire bytes (and parsed back), so TLS
+// record sizes, syscall byte counts and bridge transfer costs all derive
+// from genuine message lengths rather than guesses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace shield5g::net {
+
+enum class Method { kGet, kPost, kPut, kDelete, kPatch };
+
+const char* method_name(Method m) noexcept;
+
+struct HttpRequest {
+  Method method = Method::kGet;
+  std::string path;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  Bytes serialize() const;
+  static std::optional<HttpRequest> parse(ByteView wire);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  Bytes serialize() const;
+  static std::optional<HttpResponse> parse(ByteView wire);
+
+  static HttpResponse json(int status, const std::string& body);
+  static HttpResponse error(int status, const std::string& detail);
+};
+
+}  // namespace shield5g::net

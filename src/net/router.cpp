@@ -1,0 +1,59 @@
+#include "net/router.h"
+
+namespace shield5g::net {
+
+void Router::add(Method method, const std::string& path_template,
+                 Handler handler) {
+  routes_.push_back(Route{method, split(path_template), std::move(handler)});
+}
+
+std::vector<std::string> Router::split(const std::string& path) {
+  std::vector<std::string> out;
+  std::string segment;
+  for (char c : path) {
+    if (c == '/') {
+      if (!segment.empty()) out.push_back(std::move(segment));
+      segment.clear();
+    } else {
+      segment.push_back(c);
+    }
+  }
+  if (!segment.empty()) out.push_back(std::move(segment));
+  return out;
+}
+
+bool Router::match(const Route& route, const std::vector<std::string>& path,
+                   PathParams& params) {
+  if (route.segments.size() != path.size()) return false;
+  PathParams found;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    const std::string& tmpl = route.segments[i];
+    if (!tmpl.empty() && tmpl.front() == ':') {
+      found[tmpl.substr(1)] = path[i];
+    } else if (tmpl != path[i]) {
+      return false;
+    }
+  }
+  params = std::move(found);
+  return true;
+}
+
+HttpResponse Router::route(const HttpRequest& req) const {
+  const auto path = split(req.path);
+  bool path_matched = false;
+  for (const auto& route : routes_) {
+    PathParams params;
+    Route probe = route;
+    if (match(probe, path, params)) {
+      if (route.method == req.method) {
+        return route.handler(req, params);
+      }
+      path_matched = true;
+    }
+  }
+  return HttpResponse::error(path_matched ? 405 : 404,
+                             path_matched ? "method not allowed"
+                                          : "no route: " + req.path);
+}
+
+}  // namespace shield5g::net

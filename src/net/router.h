@@ -1,0 +1,49 @@
+// REST router (the Pistache-endpoint analogue).
+//
+// Each P-AKA function / SBI operation is mapped to an endpoint handler,
+// exactly as the paper describes ("the modules expose REST API endpoints
+// where each AKA function is mapped to an endpoint handler"). Path
+// templates support `:param` segments (e.g. "/nudm-ueau/v1/:supi/...").
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/http.h"
+
+namespace shield5g::net {
+
+/// Path parameters extracted from a template match.
+using PathParams = std::map<std::string, std::string>;
+
+using Handler =
+    std::function<HttpResponse(const HttpRequest&, const PathParams&)>;
+
+class Router {
+ public:
+  /// Registers a handler for a method + path template.
+  void add(Method method, const std::string& path_template, Handler handler);
+
+  /// Dispatches; 404 when no route matches, 405 when the path matches
+  /// but the method does not.
+  HttpResponse route(const HttpRequest& req) const;
+
+  std::size_t route_count() const noexcept { return routes_.size(); }
+
+ private:
+  struct Route {
+    Method method;
+    std::vector<std::string> segments;  // ":name" marks a parameter
+    Handler handler;
+  };
+
+  static std::vector<std::string> split(const std::string& path);
+  static bool match(const Route& route, const std::vector<std::string>& path,
+                    PathParams& params);
+
+  std::vector<Route> routes_;
+};
+
+}  // namespace shield5g::net

@@ -1,0 +1,103 @@
+#include "net/tls.h"
+
+#include <stdexcept>
+
+#include "crypto/aes128.h"
+#include "crypto/ecies.h"
+#include "crypto/hmac_sha256.h"
+
+namespace shield5g::net {
+
+namespace {
+
+Bytes direction_icb(const TlsDirection& dir) {
+  Bytes icb = dir.base_iv;
+  for (int i = 0; i < 8; ++i) {
+    icb[15 - i] = static_cast<std::uint8_t>(
+        icb[15 - i] ^ static_cast<std::uint8_t>(dir.seq >> (8 * i)));
+  }
+  return icb;
+}
+
+}  // namespace
+
+TlsIdentity TlsIdentity::generate(Rng& rng) {
+  return TlsIdentity{crypto::x25519_keypair(rng.bytes(32))};
+}
+
+TlsSession::TlsSession(ByteView shared_secret, ByteView salt, bool is_client) {
+  // Key schedule: client->server and server->client keys from the X9.63
+  // KDF over the shared secret, salted with the client ephemeral key.
+  const Bytes material = crypto::x963_kdf(shared_secret, salt, 2 * (16 + 16 + 32));
+  auto cut = [&material](std::size_t pos, std::size_t n) {
+    return slice_bytes(material, pos, n);
+  };
+  TlsDirection c2s{cut(0, 16), cut(16, 16), cut(32, 32), 0};
+  TlsDirection s2c{cut(64, 16), cut(80, 16), cut(96, 32), 0};
+  send_ = is_client ? c2s : s2c;
+  recv_ = is_client ? s2c : c2s;
+}
+
+TlsSession TlsSession::client_connect(ByteView server_public, Rng& rng,
+                                      Bytes& hello_out) {
+  const auto eph = crypto::x25519_keypair(rng.bytes(32));
+  const auto shared = crypto::x25519(eph.private_key, server_public);
+  hello_out = concat({ByteView(eph.public_key)});
+  hello_out.resize(32 + kHelloPadding, 0x5a);  // modeled cert payload
+  return TlsSession(shared, eph.public_key, /*is_client=*/true);
+}
+
+std::optional<TlsSession> TlsSession::server_accept(
+    const crypto::X25519KeyPair& server_key, ByteView client_hello,
+    Bytes& server_hello_out) {
+  if (client_hello.size() < 32) return std::nullopt;
+  const Bytes client_eph = take(client_hello, 32);
+  const auto shared = crypto::x25519(server_key.private_key, client_eph);
+  server_hello_out.assign(kHelloPadding, 0xa5);  // cert + finished payload
+  return TlsSession(shared, client_eph, /*is_client=*/false);
+}
+
+Bytes TlsSession::protect(ByteView plaintext) {
+  const Bytes icb = direction_icb(send_);
+  const Bytes ciphertext = crypto::aes128_ctr(send_.key, icb, plaintext);
+  const Bytes seq = be_bytes(send_.seq, 8);
+  const Bytes mac = crypto::hmac_sha256_trunc(
+      send_.mac_key, concat({ByteView(seq), ByteView(ciphertext)}), 16);
+  ++send_.seq;
+
+  Bytes record;
+  record.push_back(0x17);  // application data
+  record.push_back(0x03);
+  record.push_back(0x03);
+  const std::size_t len = ciphertext.size() + mac.size();
+  record.push_back(static_cast<std::uint8_t>(len >> 8));
+  record.push_back(static_cast<std::uint8_t>(len & 0xff));
+  record.insert(record.end(), ciphertext.begin(), ciphertext.end());
+  record.insert(record.end(), mac.begin(), mac.end());
+  return record;
+}
+
+std::optional<Bytes> TlsSession::unprotect(ByteView record) {
+  if (record.size() < kRecordOverhead) return std::nullopt;
+  // Validate the record header (type + version); these bytes are not
+  // covered by the MAC, so they must be checked explicitly.
+  if (record[0] != 0x17 || record[1] != 0x03 || record[2] != 0x03) {
+    return std::nullopt;
+  }
+  const std::size_t len = (static_cast<std::size_t>(record[3]) << 8) |
+                          record[4];
+  if (record.size() != 5 + len || len < 16) return std::nullopt;
+  const Bytes ciphertext = slice_bytes(record, 5, len - 16);
+  const Bytes mac = slice_bytes(record, 5 + len - 16, 16);
+
+  const Bytes seq = be_bytes(recv_.seq, 8);
+  const Bytes expected = crypto::hmac_sha256_trunc(
+      recv_.mac_key, concat({ByteView(seq), ByteView(ciphertext)}), 16);
+  if (!ct_equal(expected, mac)) return std::nullopt;
+
+  const Bytes icb = direction_icb(recv_);
+  ++recv_.seq;
+  return crypto::aes128_ctr(recv_.key, icb, ciphertext);
+}
+
+}  // namespace shield5g::net

@@ -1,0 +1,70 @@
+// TLS session model for the service-based interfaces.
+//
+// 3GPP requires TLS with mutual authentication between VNFs even on the
+// same host (paper §IV-B, TS 33.210). This implementation performs the
+// cryptography for real — X25519 key agreement, X9.63 key expansion,
+// AES-128-CTR + HMAC record protection — so the enclave-side cost of
+// record processing is driven by actually-executed primitive operations.
+// The handshake is a single-round-trip pinned-key design (certificate
+// chains are modeled as handshake payload bytes, not parsed X.509).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "crypto/x25519.h"
+
+namespace shield5g::net {
+
+/// A server's long-term identity key (the "certificate" key, pinned by
+/// clients the way OAI pins its CA).
+struct TlsIdentity {
+  crypto::X25519KeyPair key;
+
+  static TlsIdentity generate(Rng& rng);
+};
+
+/// One direction's record-protection state.
+struct TlsDirection {
+  Bytes key;      // 16 bytes
+  Bytes base_iv;  // 16 bytes
+  Bytes mac_key;  // 32 bytes
+  std::uint64_t seq = 0;
+};
+
+class TlsSession {
+ public:
+  /// Client side: generates an ephemeral key and derives the session
+  /// immediately from the pinned server public key. `hello_out`
+  /// receives the ClientHello wire bytes (ephemeral key + modeled
+  /// certificate payload).
+  static TlsSession client_connect(ByteView server_public, Rng& rng,
+                                   Bytes& hello_out);
+
+  /// Server side: completes the handshake from the ClientHello.
+  /// Returns nullopt on a malformed hello.
+  static std::optional<TlsSession> server_accept(
+      const crypto::X25519KeyPair& server_key, ByteView client_hello,
+      Bytes& server_hello_out);
+
+  /// Protects one application message into a record
+  /// (5-byte header || ciphertext || 16-byte MAC).
+  Bytes protect(ByteView plaintext);
+
+  /// Verifies and decrypts one record from the peer.
+  std::optional<Bytes> unprotect(ByteView record);
+
+  static constexpr std::size_t kRecordOverhead = 5 + 16;
+  /// Modeled certificate/extension payload in each hello.
+  static constexpr std::size_t kHelloPadding = 220;
+
+ private:
+  TlsSession(ByteView shared_secret, ByteView salt, bool is_client);
+
+  TlsDirection send_;
+  TlsDirection recv_;
+};
+
+}  // namespace shield5g::net

@@ -1,0 +1,152 @@
+#include "nf/ausf.h"
+
+#include "common/log.h"
+#include "nf/aka_core.h"
+#include "nf/sbi.h"
+
+namespace shield5g::nf {
+
+Ausf::Ausf(net::Bus& bus, AusfConfig config)
+    : Vnf(config.name, bus), config_(std::move(config)) {
+  register_routes();
+}
+
+void Ausf::register_routes() {
+  auto& router = server_.router();
+
+  // Nausf_UEAuthentication_Authenticate: phase 1 of 5G-AKA.
+  router.add(
+      net::Method::kPost, "/nausf-auth/v1/ue-authentications",
+      [this](const net::HttpRequest& req, const net::PathParams&) {
+        const auto body = parse_body(req.body);
+        if (!body) return net::HttpResponse::error(400, "bad json");
+        const auto snn = body->get_string("servingNetworkName");
+        if (!snn) return net::HttpResponse::error(400, "missing SNN");
+        // SN authentication-service authorization check (paper §II-A).
+        if (!config_.allowed_snns.empty() &&
+            config_.allowed_snns.count(*snn) == 0) {
+          return net::HttpResponse::error(403, "serving network not allowed");
+        }
+
+        // Forward identity to the UDM for HE AV generation.
+        json::Object fwd;
+        if (const auto suci = body->get_string("suci")) {
+          fwd["suci"] = *suci;
+        } else if (const auto supi = body->get_string("supi")) {
+          fwd["supi"] = *supi;
+        } else {
+          return net::HttpResponse::error(400, "missing identity");
+        }
+        fwd["servingNetworkName"] = *snn;
+        auto gen = call(config_.udm_service,
+                        json_post("/nudm-ueau/v1/generate-auth-data",
+                                  json::Value(std::move(fwd))));
+        if (gen.response.status != 200) {
+          return net::HttpResponse::error(gen.response.status,
+                                          "UDM AV generation failed");
+        }
+        const auto av = parse_body(gen.response.body);
+        if (!av) return net::HttpResponse::error(500, "bad UDM payload");
+        const auto supi = av->get_string("supi");
+        const auto rand = hex_bytes(*av, "rand");
+        const auto autn = hex_bytes(*av, "autn");
+        const auto xres_star = hex_bytes(*av, "xresStar");
+        const auto kausf = hex_bytes(*av, "kausf");
+        if (!supi || !rand || !autn || !xres_star || !kausf) {
+          return net::HttpResponse::error(500, "incomplete HE AV");
+        }
+
+        // Derive the SE AV: HXRES* and K_SEAF.
+        Bytes hxres_star, kseaf;
+        if (config_.deployment == AkaDeployment::kExternal) {
+          json::Object paka;
+          paka["rand"] = hex_field(*rand);
+          paka["xresStar"] = hex_field(*xres_star);
+          paka["snn"] = *snn;
+          paka["kausf"] = hex_field(*kausf);
+          auto der = call(config_.eausf_service,
+                          json_post("/paka/v1/derive-se",
+                                    json::Value(std::move(paka))));
+          if (der.response.status != 200) {
+            return net::HttpResponse::error(500, "eAUSF P-AKA failure");
+          }
+          const auto der_body = parse_body(der.response.body);
+          const auto hx = der_body ? hex_bytes(*der_body, "hxresStar")
+                                   : std::nullopt;
+          const auto ks = der_body ? hex_bytes(*der_body, "kseaf")
+                                   : std::nullopt;
+          if (!hx || !ks) {
+            return net::HttpResponse::error(500, "incomplete P-AKA output");
+          }
+          hxres_star = *hx;
+          kseaf = *ks;
+        } else {
+          const auto se = derive_se(*rand, *xres_star, *kausf, *snn);
+          hxres_star = se.hxres_star;
+          kseaf = se.kseaf;
+        }
+
+        const std::string ctx_id = "authctx-" + std::to_string(next_ctx_id_++);
+        contexts_[ctx_id] =
+            AuthContext{Supi{*supi}, *snn, *rand, *xres_star, kseaf};
+
+        json::Object out;
+        out["authCtxId"] = ctx_id;
+        out["rand"] = hex_field(*rand);
+        out["autn"] = hex_field(*autn);
+        out["hxresStar"] = hex_field(hxres_star);
+        return net::HttpResponse::json(201, json::Value(out).dump());
+      });
+
+  // Phase 2: RES* confirmation.
+  router.add(
+      net::Method::kPut,
+      "/nausf-auth/v1/ue-authentications/:ctxId/5g-aka-confirmation",
+      [this](const net::HttpRequest& req, const net::PathParams& params) {
+        const auto it = contexts_.find(params.at("ctxId"));
+        if (it == contexts_.end()) {
+          return net::HttpResponse::error(404, "unknown auth context");
+        }
+        const auto body = parse_body(req.body);
+        const auto res_star =
+            body ? hex_bytes(*body, "resStar") : std::nullopt;
+        if (!res_star) return net::HttpResponse::error(400, "missing RES*");
+
+        AuthContext ctx = it->second;
+        contexts_.erase(it);  // single-use context
+        if (!ct_equal(*res_star, ctx.xres_star)) {
+          S5G_LOG(LogLevel::kWarn, "ausf")
+              << "RES* mismatch for " << ctx.supi.value;
+          json::Object out;
+          out["result"] = "AUTHENTICATION_FAILURE";
+          return net::HttpResponse::json(200, json::Value(out).dump());
+        }
+
+        // Inform the home network of the successful authentication.
+        json::Object event;
+        event["success"] = true;
+        event["servingNetworkName"] = ctx.snn;
+        call(config_.udm_service,
+             json_post("/nudm-ueau/v1/" + ctx.supi.value + "/auth-events",
+                       json::Value(std::move(event))));
+
+        json::Object out;
+        out["result"] = "AUTHENTICATION_SUCCESS";
+        out["supi"] = ctx.supi.value;
+        out["kseaf"] = hex_field(ctx.kseaf);
+        return net::HttpResponse::json(200, json::Value(out).dump());
+      });
+
+  // Resynchronisation pass-through to the UDM.
+  router.add(net::Method::kPost, "/nausf-auth/v1/resync",
+             [this](const net::HttpRequest& req, const net::PathParams&) {
+               auto fwd = call(config_.udm_service,
+                               json_post("/nudm-ueau/v1/resync",
+                                         parse_body(req.body)
+                                             ? *parse_body(req.body)
+                                             : json::Value(json::Object{})));
+               return fwd.response;
+             });
+}
+
+}  // namespace shield5g::nf

@@ -1,0 +1,147 @@
+#include "nf/nas.h"
+
+#include <stdexcept>
+
+#include <algorithm>
+
+#include "crypto/aes128.h"
+#include "crypto/hmac_sha256.h"
+
+namespace shield5g::nf {
+
+namespace {
+constexpr std::uint8_t kPlainEpd = 0x7e;    // 5GMM, plain
+constexpr std::uint8_t kSecuredEpd = 0x7f;  // integrity protected
+}  // namespace
+
+const Bytes& NasMessage::at(NasIe ie) const {
+  const auto it = ies.find(ie);
+  if (it == ies.end()) {
+    throw std::out_of_range("NasMessage: missing IE " +
+                            std::to_string(static_cast<int>(ie)));
+  }
+  return it->second;
+}
+
+Bytes NasMessage::encode() const {
+  Bytes out;
+  out.push_back(kPlainEpd);
+  out.push_back(static_cast<std::uint8_t>(type));
+  out.push_back(static_cast<std::uint8_t>(ies.size()));
+  for (const auto& [ie, value] : ies) {
+    if (value.size() > 0xffff) {
+      throw std::invalid_argument("NasMessage: IE too long");
+    }
+    out.push_back(static_cast<std::uint8_t>(ie));
+    out.push_back(static_cast<std::uint8_t>(value.size() >> 8));
+    out.push_back(static_cast<std::uint8_t>(value.size() & 0xff));
+    out.insert(out.end(), value.begin(), value.end());
+  }
+  return out;
+}
+
+std::optional<NasMessage> NasMessage::decode(ByteView wire) {
+  if (wire.size() < 3 || wire[0] != kPlainEpd) return std::nullopt;
+  NasMessage msg;
+  msg.type = static_cast<NasType>(wire[1]);
+  const std::size_t count = wire[2];
+  std::size_t pos = 3;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (pos + 3 > wire.size()) return std::nullopt;
+    const auto ie = static_cast<NasIe>(wire[pos]);
+    const std::size_t len =
+        (static_cast<std::size_t>(wire[pos + 1]) << 8) | wire[pos + 2];
+    pos += 3;
+    if (pos + len > wire.size()) return std::nullopt;
+    msg.ies[ie] = slice_bytes(wire, pos, len);
+    pos += len;
+  }
+  if (pos != wire.size()) return std::nullopt;
+  return msg;
+}
+
+Bytes nas_mac(ByteView knas_int, std::uint32_t count, bool downlink,
+              bool ciphered, ByteView payload) {
+  const Bytes header = concat(
+      {ByteView(be_bytes(count, 4)),
+       ByteView(Bytes{static_cast<std::uint8_t>((downlink ? 1 : 0) |
+                                                (ciphered ? 2 : 0))})});
+  return crypto::hmac_sha256_trunc(
+      knas_int, concat({ByteView(header), payload}), 4);
+}
+
+Bytes nas_cipher(ByteView knas_enc, std::uint32_t count, bool downlink,
+                 ByteView data) {
+  Bytes icb(16, 0);
+  const Bytes c = be_bytes(count, 4);
+  std::copy(c.begin(), c.end(), icb.begin());
+  icb[4] = downlink ? 0x04 : 0x00;  // direction bit in the bearer octet
+  return crypto::aes128_ctr(knas_enc, icb, data);
+}
+
+Bytes SecuredNas::encode() const {
+  Bytes out;
+  out.push_back(kSecuredEpd);
+  const Bytes c = be_bytes(count, 4);
+  out.insert(out.end(), c.begin(), c.end());
+  out.push_back(static_cast<std::uint8_t>((downlink ? 1 : 0) |
+                                          (ciphered ? 2 : 0)));
+  out.insert(out.end(), mac.begin(), mac.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::optional<SecuredNas> SecuredNas::decode(ByteView wire) {
+  if (wire.size() < 1 + 4 + 1 + 4 || wire[0] != kSecuredEpd) {
+    return std::nullopt;
+  }
+  SecuredNas sec;
+  sec.count = static_cast<std::uint32_t>(be_value(wire.subspan(1, 4)));
+  if ((wire[5] & ~0x03) != 0) return std::nullopt;  // unknown flag bits
+  sec.downlink = (wire[5] & 1) != 0;
+  sec.ciphered = (wire[5] & 2) != 0;
+  sec.mac = slice_bytes(wire, 6, 4);
+  sec.payload = Bytes(wire.begin() + 10, wire.end());
+  return sec;
+}
+
+SecuredNas SecuredNas::protect(const NasMessage& msg, ByteView knas_int,
+                               std::uint32_t count, bool downlink) {
+  SecuredNas sec;
+  sec.count = count;
+  sec.downlink = downlink;
+  sec.payload = msg.encode();
+  sec.mac = nas_mac(knas_int, count, downlink, false, sec.payload);
+  return sec;
+}
+
+SecuredNas SecuredNas::protect_ciphered(const NasMessage& msg,
+                                        ByteView knas_int,
+                                        ByteView knas_enc,
+                                        std::uint32_t count, bool downlink) {
+  SecuredNas sec;
+  sec.count = count;
+  sec.downlink = downlink;
+  sec.ciphered = true;
+  sec.payload = nas_cipher(knas_enc, count, downlink, msg.encode());
+  sec.mac = nas_mac(knas_int, count, downlink, true, sec.payload);
+  return sec;
+}
+
+std::optional<NasMessage> SecuredNas::verify(ByteView knas_int) const {
+  const Bytes expected = nas_mac(knas_int, count, downlink, ciphered, payload);
+  if (!ct_equal(expected, mac)) return std::nullopt;
+  if (ciphered) return std::nullopt;  // caller must use open()
+  return NasMessage::decode(payload);
+}
+
+std::optional<NasMessage> SecuredNas::open(ByteView knas_int,
+                                           ByteView knas_enc) const {
+  const Bytes expected = nas_mac(knas_int, count, downlink, ciphered, payload);
+  if (!ct_equal(expected, mac)) return std::nullopt;
+  if (!ciphered) return NasMessage::decode(payload);
+  if (knas_enc.size() != 16) return std::nullopt;
+  return NasMessage::decode(nas_cipher(knas_enc, count, downlink, payload));
+}
+
+}  // namespace shield5g::nf

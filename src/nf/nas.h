@@ -1,0 +1,117 @@
+// Non-Access Stratum message codec (TS 24.501, simplified wire format).
+//
+// Messages carry typed information elements in a TLV container with a
+// compact 3-byte header. Security is real: once the NAS security context
+// is established by the Security Mode procedure, messages are integrity
+// protected with a 4-byte HMAC-SHA-256 MAC keyed by K_NASint and bound
+// to the NAS COUNT and direction — both the AMF and the UE verify it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "common/bytes.h"
+
+namespace shield5g::nf {
+
+enum class NasType : std::uint8_t {
+  kRegistrationRequest = 0x41,
+  kRegistrationAccept = 0x42,
+  kRegistrationComplete = 0x43,
+  kRegistrationReject = 0x44,
+  kDeregistrationRequest = 0x45,
+  kDeregistrationAccept = 0x46,
+  kAuthenticationRequest = 0x56,
+  kAuthenticationResponse = 0x57,
+  kAuthenticationReject = 0x58,
+  kAuthenticationFailure = 0x59,
+  kIdentityRequest = 0x5b,
+  kIdentityResponse = 0x5c,
+  kSecurityModeCommand = 0x5d,
+  kSecurityModeComplete = 0x5e,
+  kPduSessionEstablishmentRequest = 0xc1,
+  kPduSessionEstablishmentAccept = 0xc2,
+  kPduSessionEstablishmentReject = 0xc3,
+};
+
+/// Information-element identifiers used by this codec.
+enum class NasIe : std::uint8_t {
+  kSuci = 0x01,
+  kNgKsi = 0x02,
+  kGuti = 0x03,
+  kRand = 0x21,
+  kAutn = 0x20,
+  kResStar = 0x2d,
+  kAuts = 0x30,
+  kCause = 0x58,
+  kAbba = 0x38,
+  kUeSecurityCapability = 0x2e,
+  kSelectedAlgorithms = 0x2f,
+  kPduSessionId = 0x12,
+  kDnn = 0x25,
+  kUeIp = 0x29,
+  kSst = 0x16,
+};
+
+/// 5GMM cause values (subset).
+enum class NasCause : std::uint8_t {
+  kSynchFailure = 21,        // SQN out of range, AUTS attached
+  kMacFailure = 20,
+  kIllegalUe = 3,
+  kPlmnNotAllowed = 11,
+};
+
+struct NasMessage {
+  NasType type = NasType::kRegistrationRequest;
+  std::map<NasIe, Bytes> ies;
+
+  bool has(NasIe ie) const { return ies.count(ie) != 0; }
+  const Bytes& at(NasIe ie) const;
+  void set(NasIe ie, Bytes value) { ies[ie] = std::move(value); }
+
+  /// Plain (unprotected) encoding.
+  Bytes encode() const;
+  static std::optional<NasMessage> decode(ByteView wire);
+};
+
+/// Integrity protection wrapper. `count` is the per-direction NAS COUNT,
+/// `downlink` distinguishes AMF->UE from UE->AMF.
+Bytes nas_mac(ByteView knas_int, std::uint32_t count, bool downlink,
+              bool ciphered, ByteView payload);
+
+/// NEA keystream application (AES-128-CTR with the COUNT/direction in
+/// the initial counter block, TS 33.501 D.2 shape). Encrypt == decrypt.
+Bytes nas_cipher(ByteView knas_enc, std::uint32_t count, bool downlink,
+                 ByteView data);
+
+struct SecuredNas {
+  std::uint32_t count = 0;
+  bool downlink = false;
+  bool ciphered = false;
+  Bytes mac;      // 4 bytes, over the (possibly ciphered) payload
+  Bytes payload;  // encoded inner NasMessage; ciphertext when `ciphered`
+
+  Bytes encode() const;
+  static std::optional<SecuredNas> decode(ByteView wire);
+
+  /// Integrity protection only (the Security Mode Command itself).
+  static SecuredNas protect(const NasMessage& msg, ByteView knas_int,
+                            std::uint32_t count, bool downlink);
+
+  /// Ciphering + integrity (everything after security mode completes):
+  /// encrypt-then-MAC with K_NASenc / K_NASint.
+  static SecuredNas protect_ciphered(const NasMessage& msg,
+                                     ByteView knas_int, ByteView knas_enc,
+                                     std::uint32_t count, bool downlink);
+
+  /// Verifies the MAC and decodes the inner message (plain payloads
+  /// only; returns nullopt for ciphered messages).
+  std::optional<NasMessage> verify(ByteView knas_int) const;
+
+  /// Verifies, deciphers when needed, and decodes the inner message.
+  std::optional<NasMessage> open(ByteView knas_int,
+                                 ByteView knas_enc) const;
+};
+
+}  // namespace shield5g::nf

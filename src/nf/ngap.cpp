@@ -1,0 +1,102 @@
+#include "nf/ngap.h"
+
+namespace shield5g::nf {
+
+namespace {
+constexpr std::uint8_t kNgapMagic = 0x4e;  // 'N'
+
+void append_lv(Bytes& out, ByteView value) {
+  const Bytes len = be_bytes(value.size(), 2);
+  out.insert(out.end(), len.begin(), len.end());
+  out.insert(out.end(), value.begin(), value.end());
+}
+
+std::optional<Bytes> read_lv(ByteView wire, std::size_t& pos) {
+  if (pos + 2 > wire.size()) return std::nullopt;
+  const std::uint64_t len = be_value(wire.subspan(pos, 2));
+  pos += 2;
+  if (pos + len > wire.size()) return std::nullopt;
+  Bytes value = slice_bytes(wire, pos, len);
+  pos += len;
+  return value;
+}
+}  // namespace
+
+Bytes NgapMessage::encode() const {
+  Bytes out;
+  out.push_back(kNgapMagic);
+  out.push_back(static_cast<std::uint8_t>(type));
+  const Bytes ran = be_bytes(ran_ue_id, 8);
+  const Bytes amf = be_bytes(amf_ue_id, 8);
+  out.insert(out.end(), ran.begin(), ran.end());
+  out.insert(out.end(), amf.begin(), amf.end());
+  out.push_back(cause);
+  append_lv(out, to_bytes(plmn.mcc));
+  append_lv(out, to_bytes(plmn.mnc));
+  append_lv(out, to_bytes(gnb_name));
+  append_lv(out, nas_pdu);
+  return out;
+}
+
+std::optional<NgapMessage> NgapMessage::decode(ByteView wire) {
+  if (wire.size() < 19 || wire[0] != kNgapMagic) return std::nullopt;
+  NgapMessage msg;
+  msg.type = static_cast<NgapType>(wire[1]);
+  msg.ran_ue_id = be_value(wire.subspan(2, 8));
+  msg.amf_ue_id = be_value(wire.subspan(10, 8));
+  msg.cause = wire[18];
+  std::size_t pos = 19;
+  const auto mcc = read_lv(wire, pos);
+  const auto mnc = read_lv(wire, pos);
+  const auto name = read_lv(wire, pos);
+  const auto nas = read_lv(wire, pos);
+  if (!mcc || !mnc || !name || !nas || pos != wire.size()) {
+    return std::nullopt;
+  }
+  msg.plmn.mcc = to_string(*mcc);
+  msg.plmn.mnc = to_string(*mnc);
+  msg.gnb_name = to_string(*name);
+  msg.nas_pdu = *nas;
+  return msg;
+}
+
+NgapMessage NgapMessage::ng_setup_request(const Plmn& plmn,
+                                          const std::string& gnb_name) {
+  NgapMessage msg;
+  msg.type = NgapType::kNgSetupRequest;
+  msg.plmn = plmn;
+  msg.gnb_name = gnb_name;
+  return msg;
+}
+
+NgapMessage NgapMessage::initial_ue(std::uint64_t ran_ue_id,
+                                    const Plmn& plmn, Bytes nas) {
+  NgapMessage msg;
+  msg.type = NgapType::kInitialUeMessage;
+  msg.ran_ue_id = ran_ue_id;
+  msg.plmn = plmn;
+  msg.nas_pdu = std::move(nas);
+  return msg;
+}
+
+NgapMessage NgapMessage::uplink_nas(std::uint64_t ran_ue_id,
+                                    std::uint64_t amf_ue_id, Bytes nas) {
+  NgapMessage msg;
+  msg.type = NgapType::kUplinkNasTransport;
+  msg.ran_ue_id = ran_ue_id;
+  msg.amf_ue_id = amf_ue_id;
+  msg.nas_pdu = std::move(nas);
+  return msg;
+}
+
+NgapMessage NgapMessage::downlink_nas(std::uint64_t ran_ue_id,
+                                      std::uint64_t amf_ue_id, Bytes nas) {
+  NgapMessage msg;
+  msg.type = NgapType::kDownlinkNasTransport;
+  msg.ran_ue_id = ran_ue_id;
+  msg.amf_ue_id = amf_ue_id;
+  msg.nas_pdu = std::move(nas);
+  return msg;
+}
+
+}  // namespace shield5g::nf

@@ -1,0 +1,54 @@
+// NGAP (N2) message codec — the gNB <-> AMF control interface
+// (TS 38.413, simplified wire format).
+//
+// The paper's testbed relays all NAS through this interface (Fig. 2);
+// modeling it as real messages gives the UE-association lifecycle
+// (NG Setup with PLMN admission, Initial UE Message, Uplink/Downlink NAS
+// Transport, UE Context Release) an explicit, testable protocol surface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "nf/types.h"
+
+namespace shield5g::nf {
+
+enum class NgapType : std::uint8_t {
+  kNgSetupRequest = 0x01,
+  kNgSetupResponse = 0x02,
+  kNgSetupFailure = 0x03,
+  kInitialUeMessage = 0x10,
+  kUplinkNasTransport = 0x11,
+  kDownlinkNasTransport = 0x12,
+  kUeContextReleaseCommand = 0x20,
+  kUeContextReleaseComplete = 0x21,
+};
+
+/// One NGAP PDU. Field presence depends on the type; absent IDs are 0
+/// and an absent NAS PDU is empty.
+struct NgapMessage {
+  NgapType type = NgapType::kNgSetupRequest;
+  std::uint64_t ran_ue_id = 0;  // RAN UE NGAP ID
+  std::uint64_t amf_ue_id = 0;  // AMF UE NGAP ID
+  Plmn plmn;                    // NG Setup / Initial UE Message
+  std::string gnb_name;         // NG Setup
+  Bytes nas_pdu;                // NAS transport payloads
+  std::uint8_t cause = 0;       // failures / release
+
+  Bytes encode() const;
+  static std::optional<NgapMessage> decode(ByteView wire);
+
+  static NgapMessage ng_setup_request(const Plmn& plmn,
+                                      const std::string& gnb_name);
+  static NgapMessage initial_ue(std::uint64_t ran_ue_id, const Plmn& plmn,
+                                Bytes nas);
+  static NgapMessage uplink_nas(std::uint64_t ran_ue_id,
+                                std::uint64_t amf_ue_id, Bytes nas);
+  static NgapMessage downlink_nas(std::uint64_t ran_ue_id,
+                                  std::uint64_t amf_ue_id, Bytes nas);
+};
+
+}  // namespace shield5g::nf

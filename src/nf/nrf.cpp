@@ -1,0 +1,57 @@
+#include "nf/nrf.h"
+
+#include "nf/sbi.h"
+
+namespace shield5g::nf {
+
+Nrf::Nrf(net::Bus& bus, const std::string& name) : Vnf(name, bus) {
+  register_routes();
+}
+
+void Nrf::register_routes() {
+  auto& router = server_.router();
+
+  router.add(
+      net::Method::kPut, "/nnrf-nfm/v1/nf-instances/:id",
+      [this](const net::HttpRequest& req, const net::PathParams& params) {
+        const auto body = parse_body(req.body);
+        if (!body) return net::HttpResponse::error(400, "bad json");
+        const auto type = body->get_string("nfType");
+        const auto service = body->get_string("serviceName");
+        if (!type || !service) {
+          return net::HttpResponse::error(400, "missing profile fields");
+        }
+        const std::string& id = params.at("id");
+        profiles_[id] = NfProfile{id, *type, *service};
+        return net::HttpResponse::json(201, req.body);
+      });
+
+  router.add(net::Method::kGet, "/nnrf-disc/v1/nf-instances/:targetType",
+             [this](const net::HttpRequest&, const net::PathParams& params) {
+               const std::string& target = params.at("targetType");
+               json::Array instances;
+               for (const auto& [id, profile] : profiles_) {
+                 if (profile.nf_type == target) {
+                   json::Object entry;
+                   entry["instanceId"] = profile.instance_id;
+                   entry["serviceName"] = profile.service_name;
+                   instances.push_back(json::Value(entry));
+                 }
+               }
+               if (instances.empty()) {
+                 return net::HttpResponse::error(404,
+                                                 "no instance of " + target);
+               }
+               json::Object body;
+               body["nfInstances"] = json::Value(instances);
+               return net::HttpResponse::json(200, json::Value(body).dump());
+             });
+
+  router.add(net::Method::kDelete, "/nnrf-nfm/v1/nf-instances/:id",
+             [this](const net::HttpRequest&, const net::PathParams& params) {
+               profiles_.erase(params.at("id"));
+               return net::HttpResponse::json(204, "");
+             });
+}
+
+}  // namespace shield5g::nf

@@ -1,0 +1,66 @@
+// Service-based-interface JSON conventions: byte fields travel as
+// lower-case hex strings, exactly as the Table I parameters would in the
+// paper's REST payloads.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/hex.h"
+#include "json/json.h"
+#include "net/http.h"
+
+namespace shield5g::nf {
+
+inline json::Value hex_field(ByteView bytes) {
+  return json::Value(hex_encode(bytes));
+}
+
+/// Fetches a hex-encoded byte field; nullopt when absent or malformed.
+inline std::optional<Bytes> hex_bytes(const json::Value& obj,
+                                      const std::string& key) {
+  const auto str = obj.get_string(key);
+  if (!str) return std::nullopt;
+  try {
+    return hex_decode(*str);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+/// Builds a JSON POST request.
+inline net::HttpRequest json_post(const std::string& path,
+                                  const json::Value& body) {
+  net::HttpRequest req;
+  req.method = net::Method::kPost;
+  req.path = path;
+  req.headers["content-type"] = "application/json";
+  req.body = body.dump();
+  return req;
+}
+
+inline net::HttpRequest json_put(const std::string& path,
+                                 const json::Value& body) {
+  net::HttpRequest req = json_post(path, body);
+  req.method = net::Method::kPut;
+  return req;
+}
+
+inline net::HttpRequest sbi_get(const std::string& path) {
+  net::HttpRequest req;
+  req.method = net::Method::kGet;
+  req.path = path;
+  return req;
+}
+
+/// Parses a JSON body; nullopt on malformed input.
+inline std::optional<json::Value> parse_body(const std::string& body) {
+  try {
+    return json::parse(body);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace shield5g::nf

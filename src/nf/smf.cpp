@@ -1,0 +1,58 @@
+#include "nf/smf.h"
+
+#include "nf/sbi.h"
+
+namespace shield5g::nf {
+
+Smf::Smf(net::Bus& bus, Upf& upf, const std::string& name)
+    : Vnf(name, bus), upf_(upf) {
+  register_routes();
+}
+
+void Smf::register_routes() {
+  auto& router = server_.router();
+
+  router.add(
+      net::Method::kPost, "/nsmf-pdusession/v1/sm-contexts",
+      [this](const net::HttpRequest& req, const net::PathParams&) {
+        const auto body = parse_body(req.body);
+        if (!body) return net::HttpResponse::error(400, "bad json");
+        const auto supi = body->get_string("supi");
+        const auto session_id = body->get_int("pduSessionId");
+        const auto dnn = body->get_string("dnn");
+        if (!supi || !session_id) {
+          return net::HttpResponse::error(400, "missing sm-context fields");
+        }
+        const std::string key =
+            *supi + "/" + std::to_string(*session_id);
+        if (contexts_.count(key) != 0) {
+          return net::HttpResponse::error(409, "duplicate PDU session");
+        }
+        const UpfSession session = upf_.n4_establish(
+            *supi, static_cast<std::uint8_t>(*session_id),
+            dnn ? *dnn : "internet");
+        contexts_[key] = session.teid;
+        ++created_;
+
+        json::Object out;
+        out["ueIp"] = session.ue_ip;
+        out["teid"] = static_cast<std::int64_t>(session.teid);
+        out["qfi"] = 9;
+        return net::HttpResponse::json(201, json::Value(out).dump());
+      });
+
+  router.add(
+      net::Method::kDelete, "/nsmf-pdusession/v1/sm-contexts/:supi/:id",
+      [this](const net::HttpRequest&, const net::PathParams& params) {
+        const std::string key = params.at("supi") + "/" + params.at("id");
+        const auto it = contexts_.find(key);
+        if (it == contexts_.end()) {
+          return net::HttpResponse::error(404, "unknown sm-context");
+        }
+        upf_.n4_release(it->second);
+        contexts_.erase(it);
+        return net::HttpResponse::json(204, "");
+      });
+}
+
+}  // namespace shield5g::nf

@@ -1,0 +1,28 @@
+// Session Management Function: PDU session establishment against the
+// UPF over N4 (paper §II-A).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "nf/types.h"
+#include "nf/upf.h"
+#include "nf/vnf.h"
+
+namespace shield5g::nf {
+
+class Smf : public Vnf {
+ public:
+  Smf(net::Bus& bus, Upf& upf, const std::string& name = "smf");
+
+  std::uint64_t sessions_created() const noexcept { return created_; }
+
+ private:
+  void register_routes();
+
+  Upf& upf_;
+  std::map<std::string, std::uint32_t> contexts_;  // ctx key -> TEID
+  std::uint64_t created_ = 0;
+};
+
+}  // namespace shield5g::nf

@@ -1,0 +1,15 @@
+#include "nf/types.h"
+
+#include <cstdio>
+
+namespace shield5g::nf {
+
+std::string Guti::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "5g-guti-%s%s-%02x-%03x-%08x",
+                plmn.mcc.c_str(), plmn.mnc.c_str(), amf_region, amf_set,
+                tmsi);
+  return buf;
+}
+
+}  // namespace shield5g::nf

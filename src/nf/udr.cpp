@@ -1,0 +1,105 @@
+#include "nf/udr.h"
+
+#include "nf/sbi.h"
+
+namespace shield5g::nf {
+
+Udr::Udr(net::Bus& bus, const std::string& name) : Vnf(name, bus) {
+  register_routes();
+}
+
+void Udr::provision(SubscriberRecord record) {
+  records_[record.supi] = std::move(record);
+}
+
+const SubscriberRecord* Udr::find(const Supi& supi) const {
+  const auto it = records_.find(supi);
+  return it == records_.end() ? nullptr : &it->second;
+}
+
+void Udr::register_routes() {
+  auto& router = server_.router();
+
+  // Authentication subscription read. The response includes the
+  // permanent key only because the monolithic/container baselines need
+  // it; an SGX deployment provisions K to the eUDM enclave sealed and
+  // the UDM never forwards it (see paka::EudmAkaService).
+  router.add(
+      net::Method::kGet,
+      "/nudr-dr/v1/subscription-data/:supi/authentication-subscription",
+      [this](const net::HttpRequest&, const net::PathParams& params) {
+        const auto it = records_.find(Supi{params.at("supi")});
+        if (it == records_.end()) {
+          return net::HttpResponse::error(404, "unknown SUPI");
+        }
+        const SubscriberRecord& rec = it->second;
+        json::Object body;
+        body["supi"] = rec.supi.value;
+        body["k"] = hex_field(rec.k);
+        body["opc"] = hex_field(rec.opc);
+        body["sqn"] = hex_field(rec.sqn_bytes());
+        body["amfField"] = hex_field(rec.amf_field);
+        return net::HttpResponse::json(200, json::Value(body).dump());
+      });
+
+  // Atomic SQN advance for a fresh authentication vector.
+  router.add(net::Method::kPost,
+             "/nudr-dr/v1/subscription-data/:supi/sqn-advance",
+             [this](const net::HttpRequest&, const net::PathParams& params) {
+               const auto it = records_.find(Supi{params.at("supi")});
+               if (it == records_.end()) {
+                 return net::HttpResponse::error(404, "unknown SUPI");
+               }
+               it->second.sqn += kSqnStep;
+               json::Object body;
+               body["sqn"] = hex_field(it->second.sqn_bytes());
+               return net::HttpResponse::json(200, json::Value(body).dump());
+             });
+
+  // Resynchronisation write-back of the UE's SQNms.
+  router.add(
+      net::Method::kPut, "/nudr-dr/v1/subscription-data/:supi/sqn",
+      [this](const net::HttpRequest& req, const net::PathParams& params) {
+        const auto it = records_.find(Supi{params.at("supi")});
+        if (it == records_.end()) {
+          return net::HttpResponse::error(404, "unknown SUPI");
+        }
+        const auto body = parse_body(req.body);
+        if (!body) return net::HttpResponse::error(400, "bad json");
+        const auto sqn = hex_bytes(*body, "sqn");
+        if (!sqn || sqn->size() != 6) {
+          return net::HttpResponse::error(400, "bad sqn");
+        }
+        // Jump past the UE's value so the next vector is acceptable.
+        it->second.sqn = be_value(*sqn) + kSqnStep;
+        return net::HttpResponse::json(200, "{}");
+      });
+
+  // Provisioning over the SBI (used by examples/tests).
+  router.add(
+      net::Method::kPut, "/nudr-dr/v1/subscription-data/:supi",
+      [this](const net::HttpRequest& req, const net::PathParams& params) {
+        const auto body = parse_body(req.body);
+        if (!body) return net::HttpResponse::error(400, "bad json");
+        const auto k = hex_bytes(*body, "k");
+        const auto opc = hex_bytes(*body, "opc");
+        const auto sqn = hex_bytes(*body, "sqn");
+        if (!k || k->size() != 16 || !opc || opc->size() != 16 || !sqn ||
+            sqn->size() != 6) {
+          return net::HttpResponse::error(400, "bad credential fields");
+        }
+        SubscriberRecord rec;
+        rec.supi = Supi{params.at("supi")};
+        rec.k = *k;
+        rec.opc = *opc;
+        rec.sqn = be_value(*sqn);
+        if (const auto amf_field = hex_bytes(*body, "amfField");
+            amf_field && amf_field->size() == 2) {
+          rec.amf_field = *amf_field;
+        }
+        provision(std::move(rec));
+        return net::HttpResponse::json(201, "{}");
+      });
+}
+
+}  // namespace shield5g::nf

@@ -1,0 +1,39 @@
+// Unified Data Repository: the credential storage unit (paper §II-A).
+//
+// Stores subscriber records and owns SQN management: each authentication
+// vector request atomically increments the subscriber's SQN; a
+// resynchronisation writes the UE-reported SQNms back.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "nf/types.h"
+#include "nf/vnf.h"
+
+namespace shield5g::nf {
+
+class Udr : public Vnf {
+ public:
+  explicit Udr(net::Bus& bus, const std::string& name = "udr");
+
+  /// Provisioning-plane insert/replace (not part of the SBI).
+  void provision(SubscriberRecord record);
+
+  /// Direct read access for the orchestrator (e.g. to seal the K table
+  /// into the eUDM enclave at deployment time).
+  const SubscriberRecord* find(const Supi& supi) const;
+
+  std::size_t subscriber_count() const noexcept { return records_.size(); }
+
+  /// SQN increment step: SEQ advances by one with a 5-bit index field
+  /// (TS 33.102 Annex C.1.1.3 array scheme).
+  static constexpr std::uint64_t kSqnStep = 32;
+
+ private:
+  void register_routes();
+
+  std::map<Supi, SubscriberRecord> records_;
+};
+
+}  // namespace shield5g::nf

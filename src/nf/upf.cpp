@@ -1,0 +1,32 @@
+#include "nf/upf.h"
+
+namespace shield5g::nf {
+
+UpfSession Upf::n4_establish(const std::string& supi,
+                             std::uint8_t pdu_session_id,
+                             const std::string& dnn) {
+  clock_.advance(kPfcpRtt);
+  UpfSession session;
+  session.supi = supi;
+  session.pdu_session_id = pdu_session_id;
+  session.teid = next_teid_++;
+  session.dnn = dnn;
+  session.ue_ip = "10.0." + std::to_string(next_ip_suffix_ / 250) + "." +
+                  std::to_string(next_ip_suffix_ % 250 + 2);
+  ++next_ip_suffix_;
+  sessions_[session.teid] = session;
+  return session;
+}
+
+bool Upf::n4_release(std::uint32_t teid) {
+  clock_.advance(kPfcpRtt);
+  return sessions_.erase(teid) > 0;
+}
+
+std::optional<UpfSession> Upf::find(std::uint32_t teid) const {
+  const auto it = sessions_.find(teid);
+  if (it == sessions_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace shield5g::nf

@@ -1,0 +1,50 @@
+// User Plane Function: N4-controlled session anchor.
+//
+// The control-plane experiments only need the UPF as the PDU-session
+// anchor the SMF programs over N4 (PFCP); the model keeps real session
+// state (TEIDs, UE IPs) and charges the PFCP round-trip latency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "sim/clock.h"
+
+namespace shield5g::nf {
+
+struct UpfSession {
+  std::string supi;
+  std::uint8_t pdu_session_id = 0;
+  std::uint32_t teid = 0;
+  std::string ue_ip;
+  std::string dnn;
+};
+
+class Upf {
+ public:
+  explicit Upf(sim::VirtualClock& clock) : clock_(clock) {}
+
+  /// N4 session establishment; allocates a TEID and a UE IP.
+  UpfSession n4_establish(const std::string& supi,
+                          std::uint8_t pdu_session_id,
+                          const std::string& dnn);
+
+  /// N4 session release. Returns false for an unknown TEID.
+  bool n4_release(std::uint32_t teid);
+
+  std::optional<UpfSession> find(std::uint32_t teid) const;
+  std::size_t session_count() const noexcept { return sessions_.size(); }
+
+  /// Modeled PFCP request/response on the same host.
+  static constexpr sim::Nanos kPfcpRtt = 320 * sim::kMicrosecond;
+
+ private:
+  sim::VirtualClock& clock_;
+  std::map<std::uint32_t, UpfSession> sessions_;
+  std::uint32_t next_teid_ = 0x100;
+  std::uint32_t next_ip_suffix_ = 2;
+};
+
+}  // namespace shield5g::nf

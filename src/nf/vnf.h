@@ -1,0 +1,45 @@
+// Base class for the core-network VNFs.
+//
+// A VNF owns its (container) execution environment and a bus-attachable
+// server, and calls peer VNFs through the bus with its own environment
+// charged for client-side work — the shape of OAI's docker-compose
+// deployment.
+#pragma once
+
+#include <string>
+
+#include "net/bus.h"
+#include "net/env.h"
+
+namespace shield5g::nf {
+
+class Vnf {
+ public:
+  Vnf(std::string name, net::Bus& bus)
+      : env_(bus.clock()),
+        server_(std::move(name), env_, bus.costs()),
+        bus_(bus) {
+    bus_.attach(server_);
+  }
+  virtual ~Vnf() { bus_.detach(server_.name()); }
+
+  Vnf(const Vnf&) = delete;
+  Vnf& operator=(const Vnf&) = delete;
+
+  net::Server& server() noexcept { return server_; }
+  const std::string& name() const noexcept { return server_.name(); }
+  net::ExecutionEnv& env() noexcept { return env_; }
+  net::Bus& bus() noexcept { return bus_; }
+
+ protected:
+  /// Client-side request to a peer service on the bus.
+  net::Bus::Exchange call(const std::string& to, const net::HttpRequest& req) {
+    return bus_.request(server_.name(), to, req, &env_);
+  }
+
+  net::HostEnv env_;
+  net::Server server_;
+  net::Bus& bus_;
+};
+
+}  // namespace shield5g::nf

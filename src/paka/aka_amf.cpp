@@ -1,0 +1,39 @@
+#include "paka/aka_amf.h"
+
+#include "nf/aka_core.h"
+#include "nf/sbi.h"
+
+namespace shield5g::paka {
+
+EamfAkaService::EamfAkaService(sgx::Machine& machine, net::Bus& bus,
+                               PakaOptions options, const std::string& name)
+    : PakaService(name, machine, bus, options) {}
+
+void EamfAkaService::register_routes() {
+  auto& router = server().router();
+
+  // K_AMF derivation (Table I row "eAMF": K_SEAF in, K_AMF out; the
+  // SUPI and ABBA binding parameters ride along as transport fields).
+  router.add(
+      net::Method::kPost, "/paka/v1/derive-kamf",
+      [](const net::HttpRequest& req, const net::PathParams&) {
+        const auto body = nf::parse_body(req.body);
+        if (!body) return net::HttpResponse::error(400, "bad json");
+        const auto kseaf = nf::hex_bytes(*body, "kseaf");
+        const auto supi = body->get_string("supi");
+        if (!kseaf || kseaf->size() != 32 || !supi) {
+          return net::HttpResponse::error(400, "bad K_AMF parameters");
+        }
+        const Bytes kamf = nf::derive_kamf_for(*kseaf, *supi);
+        json::Object out;
+        out["kamf"] = nf::hex_field(kamf);
+        return net::HttpResponse::json(200, json::Value(out).dump());
+      });
+
+  router.add(net::Method::kGet, "/paka/v1/health",
+             [](const net::HttpRequest&, const net::PathParams&) {
+               return net::HttpResponse::json(200, "{\"status\":\"ok\"}");
+             });
+}
+
+}  // namespace shield5g::paka

@@ -1,0 +1,19 @@
+// eAMF P-AKA module (paper Table I): K_AMF derivation from K_SEAF.
+#pragma once
+
+#include "paka/deployment.h"
+
+namespace shield5g::paka {
+
+class EamfAkaService final : public PakaService {
+ public:
+  EamfAkaService(sgx::Machine& machine, net::Bus& bus, PakaOptions options,
+                 const std::string& name = "eamf-aka");
+
+ protected:
+  void register_routes() override;
+  std::uint64_t request_alloc_pages() const override { return 6; }
+  std::uint64_t app_extra_bytes() const override { return 600'000; }
+};
+
+}  // namespace shield5g::paka

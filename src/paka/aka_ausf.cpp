@@ -1,0 +1,45 @@
+#include "paka/aka_ausf.h"
+
+#include "nf/aka_core.h"
+#include "nf/sbi.h"
+
+namespace shield5g::paka {
+
+EausfAkaService::EausfAkaService(sgx::Machine& machine, net::Bus& bus,
+                                 PakaOptions options, const std::string& name)
+    : PakaService(name, machine, bus, options) {}
+
+void EausfAkaService::register_routes() {
+  auto& router = server().router();
+
+  // SE AV derivation: HXRES* from (RAND, XRES*), K_SEAF from K_AUSF
+  // (Table I row "eAUSF").
+  router.add(
+      net::Method::kPost, "/paka/v1/derive-se",
+      [](const net::HttpRequest& req, const net::PathParams&) {
+        const auto body = nf::parse_body(req.body);
+        if (!body) return net::HttpResponse::error(400, "bad json");
+        const auto rand = nf::hex_bytes(*body, "rand");
+        const auto xres_star = nf::hex_bytes(*body, "xresStar");
+        const auto snn = body->get_string("snn");
+        const auto kausf = nf::hex_bytes(*body, "kausf");
+        if (!rand || rand->size() != 16 || !xres_star ||
+            xres_star->size() != 16 || !snn || !kausf ||
+            kausf->size() != 32) {
+          return net::HttpResponse::error(400, "bad SE parameters");
+        }
+        const nf::SeDerivation se =
+            nf::derive_se(*rand, *xres_star, *kausf, *snn);
+        json::Object out;
+        out["hxresStar"] = nf::hex_field(se.hxres_star);
+        out["kseaf"] = nf::hex_field(se.kseaf);
+        return net::HttpResponse::json(200, json::Value(out).dump());
+      });
+
+  router.add(net::Method::kGet, "/paka/v1/health",
+             [](const net::HttpRequest&, const net::PathParams&) {
+               return net::HttpResponse::json(200, "{\"status\":\"ok\"}");
+             });
+}
+
+}  // namespace shield5g::paka

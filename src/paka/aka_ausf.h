@@ -1,0 +1,19 @@
+// eAUSF P-AKA module (paper Table I): HXRES* and K_SEAF derivation.
+#pragma once
+
+#include "paka/deployment.h"
+
+namespace shield5g::paka {
+
+class EausfAkaService final : public PakaService {
+ public:
+  EausfAkaService(sgx::Machine& machine, net::Bus& bus, PakaOptions options,
+                  const std::string& name = "eausf-aka");
+
+ protected:
+  void register_routes() override;
+  std::uint64_t request_alloc_pages() const override { return 4; }
+  std::uint64_t app_extra_bytes() const override { return 1'400'000; }
+};
+
+}  // namespace shield5g::paka

@@ -1,0 +1,51 @@
+#include "ran/cots_ue.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "ran/radio.h"
+
+namespace shield5g::ran {
+
+const char* ota_outcome_name(OtaOutcome outcome) noexcept {
+  switch (outcome) {
+    case OtaOutcome::kNoCellDetected: return "no cell detected";
+    case OtaOutcome::kOsIncompatible: return "OS build incompatible";
+    case OtaOutcome::kRegistrationFailed: return "registration failed";
+    case OtaOutcome::kConnected: return "connected";
+  }
+  return "?";
+}
+
+CotsUe::CotsUe(CotsModel model, UsimConfig usim, std::uint64_t seed)
+    : cots_(std::move(model)), device_(std::move(usim), seed) {}
+
+OtaOutcome CotsUe::connect(const std::vector<CellConfig>& visible_cells,
+                           GnbSim& driver) {
+  const int cell = plmn_search(visible_cells, cots_.allowed_plmns);
+  if (cell < 0) {
+    S5G_LOG(LogLevel::kInfo, "cots-ue")
+        << cots_.model << " found no cell (custom PLMN not detectable)";
+    return OtaOutcome::kNoCellDetected;
+  }
+
+  const bool os_ok =
+      std::find(cots_.compatible_os.begin(), cots_.compatible_os.end(),
+                cots_.os_version) != cots_.compatible_os.end();
+  if (!os_ok) {
+    S5G_LOG(LogLevel::kInfo, "cots-ue")
+        << cots_.model << " OS " << cots_.os_version
+        << " cannot complete the SA bring-up";
+    return OtaOutcome::kOsIncompatible;
+  }
+
+  const RegistrationResult result = driver.register_ue(device_, true);
+  if (!result.registered || !result.session_up) {
+    return OtaOutcome::kRegistrationFailed;
+  }
+  network_name_ =
+      "Test1-1 - OpenAirInterface";  // the paper's Fig. 11c status line
+  return OtaOutcome::kConnected;
+}
+
+}  // namespace shield5g::ran

@@ -1,0 +1,60 @@
+// COTS UE model for the over-the-air feasibility test (paper §V-B6).
+//
+// Reproduces the two device-specific gates the paper reports for the
+// OnePlus 8: (1) the phone only detects the gNB when a known test or
+// commercial PLMN is broadcast — custom codes fail cell selection; and
+// (2) the end-to-end connection only succeeds on a compatible OS build
+// (Oxygen 11.0.11.11.IN21DA in Table IV).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ran/gnbsim.h"
+#include "ran/ue.h"
+
+namespace shield5g::ran {
+
+struct CotsModel {
+  std::string vendor = "OnePlus";
+  std::string model = "OnePlus 8";
+  std::string os_version = "Oxygen 11.0.11.11.IN21DA";
+  /// PLMNs the modem firmware will camp on in lab conditions.
+  std::vector<nf::Plmn> allowed_plmns = {nf::Plmn{"001", "01"}};
+  /// OS builds known to complete the 5G SA data-session bring-up.
+  std::vector<std::string> compatible_os = {"Oxygen 11.0.11.11.IN21DA"};
+};
+
+enum class OtaOutcome {
+  kNoCellDetected,    // PLMN not in the modem's allow list
+  kOsIncompatible,    // attach possible but session bring-up fails
+  kRegistrationFailed,
+  kConnected,         // "Test1-1 - OpenAirInterface" (paper Fig. 11c)
+};
+
+const char* ota_outcome_name(OtaOutcome outcome) noexcept;
+
+class CotsUe {
+ public:
+  CotsUe(CotsModel model, UsimConfig usim, std::uint64_t seed = 0x0ca75ULL);
+
+  const CotsModel& model() const noexcept { return cots_; }
+  UeDevice& device() noexcept { return device_; }
+
+  /// Full OTA attempt: PLMN search over the visible cells, then — if a
+  /// cell is found and the OS is compatible — registration and PDU
+  /// session establishment through the given gNB.
+  OtaOutcome connect(const std::vector<CellConfig>& visible_cells,
+                     GnbSim& driver);
+
+  /// Operator name string shown in the status bar after success.
+  std::string network_name() const { return network_name_; }
+
+ private:
+  CotsModel cots_;
+  UeDevice device_;
+  std::string network_name_;
+};
+
+}  // namespace shield5g::ran

@@ -1,0 +1,61 @@
+#include "ran/gnbsim.h"
+
+namespace shield5g::ran {
+
+RegistrationResult GnbSim::register_ue(UeDevice& ue, bool with_pdu_session) {
+  return drive(ue, ue.start_registration(), with_pdu_session);
+}
+
+RegistrationResult GnbSim::reregister_ue(UeDevice& ue,
+                                         bool with_pdu_session) {
+  return drive(ue, ue.start_reregistration(), with_pdu_session);
+}
+
+RegistrationResult GnbSim::drive(UeDevice& ue, Bytes initial_uplink,
+                                 bool with_pdu_session) {
+  RegistrationResult result;
+  sim::VirtualClock& clock = gnb_.clock();
+  const sim::Nanos start = clock.now();
+
+  const std::uint64_t ran_ue_id = gnb_.attach_ue();
+  std::optional<Bytes> uplink = std::move(initial_uplink);
+  while (uplink && result.message_rounds < 16) {
+    ++result.message_rounds;
+    const auto downlink = gnb_.deliver_uplink(ran_ue_id, *uplink);
+    if (!downlink) break;
+    uplink = ue.handle_downlink(*downlink);
+  }
+  result.registered = ue.state() == UeNasState::kRegistered;
+
+  if (result.registered && with_pdu_session) {
+    uplink = ue.request_pdu_session();
+    while (uplink && result.message_rounds < 24) {
+      ++result.message_rounds;
+      const auto downlink = gnb_.deliver_uplink(ran_ue_id, *uplink);
+      if (!downlink) break;
+      uplink = ue.handle_downlink(*downlink);
+    }
+    result.session_up = ue.state() == UeNasState::kSessionUp;
+    result.ue_ip = ue.ue_ip();
+  }
+
+  result.setup_time = clock.now() - start;
+  result.final_state = ue.state();
+  if (result.registered) {
+    ++successes_;
+    setup_ms_.add(sim::to_ms(result.setup_time));
+  }
+  return result;
+}
+
+std::vector<RegistrationResult> GnbSim::run_mass(std::vector<UeDevice>& ues,
+                                                 bool with_pdu_session) {
+  std::vector<RegistrationResult> results;
+  results.reserve(ues.size());
+  for (auto& ue : ues) {
+    results.push_back(register_ue(ue, with_pdu_session));
+  }
+  return results;
+}
+
+}  // namespace shield5g::ran

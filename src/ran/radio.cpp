@@ -1,0 +1,29 @@
+#include "ran/radio.h"
+
+namespace shield5g::ran {
+
+void RadioLink::traverse(std::size_t bytes) {
+  // Byte count matters little at NAS sizes; scheduling dominates.
+  const double base = static_cast<double>(costs_.air_one_way) +
+                      2.0 * static_cast<double>(bytes);
+  clock_.advance(static_cast<sim::Nanos>(
+      base * rng_.lognormal(1.0, costs_.jitter_sigma)));
+}
+
+void RadioLink::rrc_setup() {
+  clock_.advance(static_cast<sim::Nanos>(
+      static_cast<double>(costs_.rrc_setup) *
+      rng_.lognormal(1.0, costs_.jitter_sigma)));
+}
+
+int plmn_search(const std::vector<CellConfig>& cells,
+                const std::vector<nf::Plmn>& allowed_plmns) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (const auto& plmn : allowed_plmns) {
+      if (cells[i].plmn == plmn) return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace shield5g::ran

@@ -1,0 +1,7 @@
+#include "sgx/cost_model.h"
+
+// All members are defined inline in the header; this translation unit
+// exists so the library has a stable archive member for the module and a
+// home for future out-of-line helpers.
+
+namespace shield5g::sgx {}  // namespace shield5g::sgx

@@ -1,0 +1,106 @@
+// Calibrated cost model for the simulated SGX platform.
+//
+// Every constant that turns a modeled hardware event into virtual time
+// lives here, with its provenance. Two kinds of constants exist:
+//
+//  * STRUCTURAL constants taken from the paper's citations and public
+//    SGX literature (transition cycle counts, clock frequency, page
+//    granularity). These drive the *mechanics*: how many EENTER/EEXIT/
+//    AEX events occur and what each costs.
+//  * CALIBRATION constants chosen so the simulated testbed lands in the
+//    paper's measured ranges (per-page load costs, software-crypto
+//    throughput, per-request enclave allocation pressure). These are
+//    documented as calibrated in EXPERIMENTS.md; the experiment *shapes*
+//    (who wins, crossover behaviour, workload independence of AEX) do
+//    not depend on their exact values.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/cost.h"
+#include "sim/clock.h"
+
+namespace shield5g::sgx {
+
+struct CostModel {
+  // ------------------------------------------------------------------
+  // Structural: platform parameters (paper §V-A: Xeon Silver 4314).
+  // ------------------------------------------------------------------
+  double cpu_ghz = 2.40;
+
+  /// Enclave transitions. The paper cites 10,000-18,000 cycles per
+  /// context switch [19]; we split a mid-range round trip between the
+  /// entry and exit instructions.
+  std::uint64_t eenter_cycles = 6'500;
+  std::uint64_t eexit_cycles = 6'500;
+  std::uint64_t eresume_cycles = 6'500;
+  std::uint64_t aex_cycles = 7'000;
+
+  /// Simulated OS timer interrupt hitting resident enclave threads.
+  /// Drives the workload-independent AEX counts of Table III.
+  sim::Nanos aex_timer_period = 1 * sim::kMillisecond;
+
+  // ------------------------------------------------------------------
+  // Enclave build & load (Fig. 7). EADD copies and EEXTEND measures one
+  // 4 KiB page in 256-byte chunks; Gramine+GSC also hash every trusted
+  // file on first open. Calibrated so a 512 MB preheated GSC image
+  // loads in ~58 s, matching Fig. 7.
+  // ------------------------------------------------------------------
+  std::uint64_t page_size = 4096;
+  sim::Nanos eadd_per_page = 28 * sim::kMicrosecond;
+  sim::Nanos eextend_per_page = 112 * sim::kMicrosecond;
+  sim::Nanos einit_fixed = 40 * sim::kMillisecond;
+  /// Pre-faulting one heap page during preheat (EAUG + EACCEPT path).
+  sim::Nanos preheat_fault_per_page = 300 * sim::kMicrosecond;
+  /// Demand-faulting one page at first touch (when preheat is off or
+  /// for code paths not yet walked: the R_I spike of Fig. 10b).
+  sim::Nanos demand_fault_per_page = 2'500;
+  /// Trusted-file hashing throughput inside the enclave (bytes/ns).
+  double file_hash_bytes_per_ns = 0.45;
+
+  // ------------------------------------------------------------------
+  // EPC behaviour (Fig. 8). Oversized EPC increases paging activity
+  // between EPC and main memory, adding a small mean penalty and extra
+  // variance (the paper's 8 GB interquartile widening).
+  // ------------------------------------------------------------------
+  std::uint64_t epc_total_bytes = 16ULL << 30;  // combined, two sockets
+  std::uint64_t epc_per_socket_bytes = 8ULL << 30;
+  sim::Nanos epc_swap_per_page = 12 * sim::kMicrosecond;
+  /// Fraction of request pages that page-swap per GiB of configured
+  /// EPC above the working set (pure calibration; tiny).
+  double paging_rate_per_gib = 0.035;
+
+  // ------------------------------------------------------------------
+  // In-enclave execution (Fig. 9a). Memory-encryption & EPC-miss
+  // slowdown applied to modeled compute time, plus a per-allocated-page
+  // cost for heap churn in EPC (drives the per-module L_F factors).
+  // ------------------------------------------------------------------
+  double enclave_compute_factor = 1.08;
+  sim::Nanos enclave_alloc_per_page = 2'200;
+
+  // ------------------------------------------------------------------
+  // Software crypto primitive costs on the host (shared definition with
+  // the network substrate; see crypto/cost.h).
+  // ------------------------------------------------------------------
+  crypto::PrimitiveCosts primitives;
+
+  // ------------------------------------------------------------------
+  // Derived helpers.
+  // ------------------------------------------------------------------
+  sim::Nanos cycles_to_ns(std::uint64_t cycles) const noexcept {
+    return static_cast<sim::Nanos>(static_cast<double>(cycles) / cpu_ghz);
+  }
+  sim::Nanos eenter_ns() const noexcept { return cycles_to_ns(eenter_cycles); }
+  sim::Nanos eexit_ns() const noexcept { return cycles_to_ns(eexit_cycles); }
+  sim::Nanos eresume_ns() const noexcept {
+    return cycles_to_ns(eresume_cycles);
+  }
+  sim::Nanos aex_ns() const noexcept { return cycles_to_ns(aex_cycles); }
+
+  /// Virtual time for the crypto work recorded by the op counters.
+  sim::Nanos crypto_ns(const crypto::OpCounts& delta) const noexcept {
+    return primitives.ns_for(delta);
+  }
+};
+
+}  // namespace shield5g::sgx

@@ -1,0 +1,122 @@
+#include "sgx/enclave.h"
+
+#include <stdexcept>
+
+#include "sgx/machine.h"
+
+namespace shield5g::sgx {
+
+Enclave::Enclave(Machine& machine, EnclaveConfig config)
+    : machine_(machine), config_(std::move(config)) {
+  region_ = std::make_unique<EpcRegion>(machine_.epc(), config_.size_bytes);
+  // ECREATE: fold the SECS-like attributes into the measurement.
+  measurement_hash_.update(to_bytes(config_.name));
+  measurement_hash_.update(be_bytes(config_.size_bytes, 8));
+  measurement_hash_.update(be_bytes(config_.max_threads, 4));
+}
+
+Enclave::~Enclave() = default;
+
+void Enclave::require_state(EnclaveState s, const char* op) const {
+  if (state_ != s) {
+    throw std::logic_error(std::string("Enclave ") + config_.name + ": " +
+                           op + " in wrong state");
+  }
+}
+
+void Enclave::add_pages(std::uint64_t bytes, ByteView content_digest) {
+  require_state(EnclaveState::kCreated, "add_pages");
+  const auto& costs = machine_.costs();
+  const std::uint64_t pages = machine_.epc().pages_for(bytes);
+  machine_.clock().advance(pages *
+                           (costs.eadd_per_page + costs.eextend_per_page));
+  region_->fault_in(pages);
+  measurement_hash_.update(content_digest);
+  measurement_hash_.update(be_bytes(bytes, 8));
+}
+
+void Enclave::extend_measurement(ByteView data) {
+  require_state(EnclaveState::kCreated, "extend_measurement");
+  measurement_hash_.update(data);
+}
+
+void Enclave::init() {
+  require_state(EnclaveState::kCreated, "init");
+  machine_.clock().advance(machine_.costs().einit_fixed);
+  const auto digest = measurement_hash_.finalize();
+  measurement_ = Bytes(digest.begin(), digest.end());
+  state_ = EnclaveState::kInitialized;
+}
+
+Bytes Enclave::measurement() const {
+  if (state_ != EnclaveState::kInitialized) {
+    throw std::logic_error("Enclave: measurement before init");
+  }
+  return measurement_;
+}
+
+void Enclave::ecall_begin() {
+  require_state(EnclaveState::kInitialized, "ecall_begin");
+  ++counters_.ecalls;
+  ++counters_.eenter;
+  machine_.clock().advance(machine_.costs().eenter_ns());
+}
+
+void Enclave::ecall_end() {
+  require_state(EnclaveState::kInitialized, "ecall_end");
+  ++counters_.eexit;
+  machine_.clock().advance(machine_.costs().eexit_ns());
+}
+
+void Enclave::ecall_enter_resident() {
+  require_state(EnclaveState::kInitialized, "ecall_enter_resident");
+  ++counters_.ecalls;
+  ++counters_.eenter;
+  machine_.clock().advance(machine_.costs().eenter_ns());
+}
+
+void Enclave::ocall(sim::Nanos host_ns) {
+  require_state(EnclaveState::kInitialized, "ocall");
+  ++counters_.ocalls;
+  ++counters_.eexit;
+  ++counters_.eenter;
+  machine_.clock().advance(machine_.costs().eexit_ns() + host_ns +
+                           machine_.costs().eenter_ns());
+}
+
+void Enclave::execute(sim::Nanos ns) {
+  require_state(EnclaveState::kInitialized, "execute");
+  const double factor = machine_.costs().enclave_compute_factor;
+  machine_.clock().advance(
+      static_cast<sim::Nanos>(static_cast<double>(ns) * factor));
+}
+
+void Enclave::alloc_pages(std::uint64_t pages) {
+  require_state(EnclaveState::kInitialized, "alloc_pages");
+  machine_.clock().advance(pages * machine_.costs().enclave_alloc_per_page);
+}
+
+void Enclave::demand_fault(std::uint64_t pages) {
+  require_state(EnclaveState::kInitialized, "demand_fault");
+  // Cold first-touch cost is paid per page walked even when the page is
+  // already EPC-resident (preheat covers the heap, not the TLB/paging
+  // structures and lazy-bound code paths the first request exercises).
+  region_->fault_in(pages);
+  machine_.clock().advance(pages * machine_.costs().demand_fault_per_page);
+  counters_.aex += pages;  // each #PF exits the enclave asynchronously
+  counters_.eresume += pages;
+}
+
+void Enclave::page_swap(std::uint64_t pages) {
+  require_state(EnclaveState::kInitialized, "page_swap");
+  machine_.clock().advance(pages * machine_.costs().epc_swap_per_page);
+  counters_.aex += pages;
+  counters_.eresume += pages;
+}
+
+void Enclave::accrue_aex(std::uint64_t events) noexcept {
+  counters_.aex += events;
+  counters_.eresume += events;
+}
+
+}  // namespace shield5g::sgx

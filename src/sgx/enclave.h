@@ -1,0 +1,119 @@
+// Enclave lifecycle and transition accounting.
+//
+// Models the SGX user-visible machine: ECREATE/EADD/EEXTEND/EINIT build
+// an enclave with a SHA-256 measurement (MRENCLAVE analogue) while
+// charging per-page costs; at run time ECALLs/OCALLs charge EENTER/EEXIT
+// transition costs and bump the counters the paper reports in Table III;
+// the machine's simulated timer interrupt accrues AEX events against
+// resident enclaves independently of workload.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+#include "sgx/cost_model.h"
+#include "sgx/epc.h"
+#include "sim/clock.h"
+
+namespace shield5g::sgx {
+
+class Machine;
+
+struct EnclaveConfig {
+  std::string name;
+  std::uint64_t size_bytes = 512ULL << 20;  // EPC commitment (paper: 512MB)
+  std::uint32_t max_threads = 4;            // paper: sgx.max_threads=4
+  bool debug = false;
+};
+
+struct TransitionCounters {
+  std::uint64_t eenter = 0;
+  std::uint64_t eexit = 0;
+  std::uint64_t eresume = 0;
+  std::uint64_t aex = 0;
+  std::uint64_t ecalls = 0;
+  std::uint64_t ocalls = 0;
+
+  TransitionCounters operator-(const TransitionCounters& rhs) const noexcept {
+    return {eenter - rhs.eenter,   eexit - rhs.eexit, eresume - rhs.eresume,
+            aex - rhs.aex,         ecalls - rhs.ecalls,
+            ocalls - rhs.ocalls};
+  }
+};
+
+enum class EnclaveState { kCreated, kInitialized, kDestroyed };
+
+class Enclave {
+ public:
+  Enclave(Machine& machine, EnclaveConfig config);
+  ~Enclave();
+
+  Enclave(const Enclave&) = delete;
+  Enclave& operator=(const Enclave&) = delete;
+
+  const EnclaveConfig& config() const noexcept { return config_; }
+  EnclaveState state() const noexcept { return state_; }
+  const TransitionCounters& counters() const noexcept { return counters_; }
+  const EpcRegion& region() const noexcept { return *region_; }
+  Machine& machine() noexcept { return machine_; }
+
+  // ---- Build phase (before init) -------------------------------------
+  /// EADD+EEXTEND: charges per-page load cost and extends the enclave
+  /// measurement with the page content digest.
+  void add_pages(std::uint64_t bytes, ByteView content_digest);
+
+  /// Folds arbitrary configuration data into the measurement (the
+  /// manifest, signer identity, ...).
+  void extend_measurement(ByteView data);
+
+  /// EINIT: freezes the measurement; the enclave becomes runnable.
+  void init();
+
+  /// Final MRENCLAVE value. Only valid after init().
+  Bytes measurement() const;
+
+  // ---- Run phase ------------------------------------------------------
+  /// Synchronous ECALL bracket (EENTER ... EEXIT).
+  void ecall_begin();
+  void ecall_end();
+
+  /// A long-lived ECALL that never returns while the service lives
+  /// (Gramine enters once per process and once per thread).
+  void ecall_enter_resident();
+
+  /// OCALL round trip: EEXIT, host work of `host_ns`, EENTER.
+  void ocall(sim::Nanos host_ns);
+
+  /// In-enclave computation: `ns` of plain compute time, scaled by the
+  /// memory-encryption factor.
+  void execute(sim::Nanos ns);
+
+  /// Heap allocation churn of `pages` EPC pages during a request.
+  void alloc_pages(std::uint64_t pages);
+
+  /// First-touch demand faults (R_I spike when preheat is off or cold
+  /// code paths are walked by the first request).
+  void demand_fault(std::uint64_t pages);
+
+  /// EPC<->DRAM paging of `pages` pages (oversized-EPC model).
+  void page_swap(std::uint64_t pages);
+
+  // Called by the Machine's timer-interrupt observer.
+  void accrue_aex(std::uint64_t events) noexcept;
+
+ private:
+  void require_state(EnclaveState s, const char* op) const;
+
+  Machine& machine_;
+  EnclaveConfig config_;
+  EnclaveState state_ = EnclaveState::kCreated;
+  std::unique_ptr<EpcRegion> region_;
+  crypto::Sha256 measurement_hash_;
+  Bytes measurement_;
+  TransitionCounters counters_;
+};
+
+}  // namespace shield5g::sgx

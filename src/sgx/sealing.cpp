@@ -1,0 +1,89 @@
+#include "sgx/sealing.h"
+
+#include "crypto/aes128.h"
+#include "crypto/hmac_sha256.h"
+#include "sgx/machine.h"
+
+namespace shield5g::sgx {
+
+namespace {
+
+struct SealKeys {
+  Bytes enc_key;  // 16 bytes
+  Bytes mac_key;  // 32 bytes
+};
+
+// EGETKEY analogue: KDF(fuse key, "seal" || MRENCLAVE).
+SealKeys derive_seal_keys(Machine& machine, ByteView measurement) {
+  const Bytes okm = crypto::hmac_sha256(
+      machine.seal_fuse_key(), concat({to_bytes("seal-key"), measurement}));
+  const Bytes okm2 = crypto::hmac_sha256(
+      machine.seal_fuse_key(), concat({to_bytes("seal-mac"), measurement}));
+  return SealKeys{take(okm, 16), okm2};
+}
+
+}  // namespace
+
+Bytes SealedBlob::serialize() const {
+  Bytes out;
+  auto append = [&out](ByteView part) {
+    const Bytes len = be_bytes(part.size(), 4);
+    out.insert(out.end(), len.begin(), len.end());
+    out.insert(out.end(), part.begin(), part.end());
+  };
+  append(measurement);
+  append(iv);
+  append(ciphertext);
+  append(mac);
+  return out;
+}
+
+std::optional<SealedBlob> SealedBlob::deserialize(ByteView data) {
+  SealedBlob blob;
+  std::size_t pos = 0;
+  auto read = [&](Bytes& field) -> bool {
+    if (pos + 4 > data.size()) return false;
+    const std::uint64_t len = be_value(data.subspan(pos, 4));
+    pos += 4;
+    if (pos + len > data.size()) return false;
+    field = slice_bytes(data, pos, len);
+    pos += len;
+    return true;
+  };
+  if (!read(blob.measurement) || !read(blob.iv) || !read(blob.ciphertext) ||
+      !read(blob.mac) || pos != data.size()) {
+    return std::nullopt;
+  }
+  return blob;
+}
+
+SealedBlob seal(Enclave& enclave, ByteView plaintext, ByteView iv_entropy) {
+  if (iv_entropy.size() != 16) {
+    throw std::invalid_argument("seal: iv_entropy must be 16 bytes");
+  }
+  const Bytes measurement = enclave.measurement();
+  const SealKeys keys = derive_seal_keys(enclave.machine(), measurement);
+
+  SealedBlob blob;
+  blob.measurement = measurement;
+  blob.iv = Bytes(iv_entropy.begin(), iv_entropy.end());
+  blob.ciphertext = crypto::aes128_ctr(keys.enc_key, blob.iv, plaintext);
+  blob.mac = crypto::hmac_sha256_trunc(
+      keys.mac_key, concat({ByteView(blob.iv), ByteView(blob.ciphertext)}),
+      16);
+  return blob;
+}
+
+std::optional<Bytes> unseal(Enclave& enclave, const SealedBlob& blob) {
+  const Bytes measurement = enclave.measurement();
+  if (!ct_equal(measurement, blob.measurement)) return std::nullopt;
+
+  const SealKeys keys = derive_seal_keys(enclave.machine(), measurement);
+  const Bytes expected_mac = crypto::hmac_sha256_trunc(
+      keys.mac_key, concat({ByteView(blob.iv), ByteView(blob.ciphertext)}),
+      16);
+  if (!ct_equal(expected_mac, blob.mac)) return std::nullopt;
+  return crypto::aes128_ctr(keys.enc_key, blob.iv, blob.ciphertext);
+}
+
+}  // namespace shield5g::sgx

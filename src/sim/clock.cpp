@@ -1,0 +1,29 @@
+#include "sim/clock.h"
+
+#include <stdexcept>
+
+namespace shield5g::sim {
+
+void VirtualClock::advance(Nanos delta) {
+  const Nanos prev = now_;
+  now_ += delta;
+  for (auto& [id, fn] : observers_) fn(prev, now_);
+}
+
+void VirtualClock::advance_to(Nanos instant) {
+  if (instant < now_) {
+    throw std::logic_error("VirtualClock::advance_to: time went backwards");
+  }
+  advance(instant - now_);
+}
+
+std::size_t VirtualClock::add_observer(Observer fn) {
+  observers_.emplace_back(next_id_, std::move(fn));
+  return next_id_++;
+}
+
+void VirtualClock::remove_observer(std::size_t id) {
+  std::erase_if(observers_, [id](const auto& p) { return p.first == id; });
+}
+
+}  // namespace shield5g::sim

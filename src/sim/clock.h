@@ -1,0 +1,53 @@
+// Virtual clock — the time base for the whole testbed simulation.
+//
+// Every component charges its modeled cost (enclave transitions, TLS
+// record processing, bridge latency, crypto execution, ...) by advancing
+// a shared VirtualClock. The clock never moves on its own, which makes
+// every experiment deterministic and independent of host machine speed.
+//
+// Observers may subscribe to time advancement; the SGX machine model uses
+// this to accrue Asynchronous Enclave Exits (AEX) from the simulated OS
+// timer interrupt while enclave threads are resident.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace shield5g::sim {
+
+/// Virtual nanoseconds since simulation start.
+using Nanos = std::uint64_t;
+
+constexpr Nanos kMicrosecond = 1'000;
+constexpr Nanos kMillisecond = 1'000'000;
+constexpr Nanos kSecond = 1'000'000'000;
+
+inline double to_us(Nanos ns) { return static_cast<double>(ns) / 1e3; }
+inline double to_ms(Nanos ns) { return static_cast<double>(ns) / 1e6; }
+inline double to_s(Nanos ns) { return static_cast<double>(ns) / 1e9; }
+
+class VirtualClock {
+ public:
+  /// Called with (previous_now, new_now) after each advancement.
+  using Observer = std::function<void(Nanos, Nanos)>;
+
+  Nanos now() const noexcept { return now_; }
+
+  /// Moves time forward by `delta` and notifies observers.
+  void advance(Nanos delta);
+
+  /// Moves time forward to an absolute instant (>= now).
+  void advance_to(Nanos instant);
+
+  /// Registers an observer; returns an id usable with remove_observer.
+  std::size_t add_observer(Observer fn);
+  void remove_observer(std::size_t id);
+
+ private:
+  Nanos now_ = 0;
+  std::vector<std::pair<std::size_t, Observer>> observers_;
+  std::size_t next_id_ = 1;
+};
+
+}  // namespace shield5g::sim

@@ -1,0 +1,34 @@
+#include "sim/scheduler.h"
+
+#include <stdexcept>
+
+namespace shield5g::sim {
+
+void Scheduler::at(Nanos when, Task task) {
+  if (when < clock_.now()) {
+    throw std::logic_error("Scheduler::at: instant in the past");
+  }
+  queue_.push(Event{when, next_seq_++, std::move(task)});
+}
+
+void Scheduler::run() {
+  while (!queue_.empty()) {
+    // Copy out: the task may schedule more events.
+    Event ev = queue_.top();
+    queue_.pop();
+    clock_.advance_to(ev.when);
+    ev.task();
+  }
+}
+
+void Scheduler::run_until(Nanos deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    clock_.advance_to(ev.when);
+    ev.task();
+  }
+  clock_.advance_to(deadline);
+}
+
+}  // namespace shield5g::sim

@@ -1,0 +1,62 @@
+// Small discrete-event scheduler layered on the virtual clock.
+//
+// The registration flows themselves run as synchronous call chains (the
+// paper's P-AKA servers are single-threaded and its experiments register
+// one UE at a time), but the scheduler is used for time-driven activity:
+// gNBSIM pacing of mass registrations, periodic SQN refreshes, and idle
+// windows between experiment iterations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace shield5g::sim {
+
+class Scheduler {
+ public:
+  explicit Scheduler(VirtualClock& clock) : clock_(clock) {}
+
+  using Task = std::function<void()>;
+
+  /// Schedules `task` to run at absolute virtual instant `at`.
+  void at(Nanos when, Task task);
+
+  /// Schedules `task` to run `delay` after the current instant.
+  void after(Nanos delay, Task task) { at(clock_.now() + delay, task); }
+
+  /// Runs events in timestamp order until the queue drains.
+  /// The clock is advanced to each event's instant before dispatch.
+  void run();
+
+  /// Runs events with timestamps <= `deadline`, then advances the clock
+  /// to `deadline` (events scheduled later stay queued).
+  void run_until(Nanos deadline);
+
+  bool empty() const noexcept { return queue_.empty(); }
+  std::size_t pending() const noexcept { return queue_.size(); }
+
+  VirtualClock& clock() noexcept { return clock_; }
+
+ private:
+  struct Event {
+    Nanos when;
+    std::uint64_t seq;  // tie-break: FIFO among same-instant events
+    Task task;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  VirtualClock& clock_;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace shield5g::sim

@@ -1,0 +1,227 @@
+#include "slice/slice.h"
+
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+
+#include "common/log.h"
+#include "crypto/sha256.h"
+#include "crypto/key_hierarchy.h"
+#include "nf/sbi.h"
+#include "sgx/attestation.h"
+#include "sgx/sealing.h"
+
+namespace shield5g::slice {
+
+const char* isolation_mode_name(IsolationMode mode) noexcept {
+  switch (mode) {
+    case IsolationMode::kMonolithic: return "monolithic";
+    case IsolationMode::kContainer: return "container";
+    case IsolationMode::kSgx: return "sgx";
+  }
+  return "?";
+}
+
+Slice::Slice(SliceConfig config)
+    : config_(std::move(config)),
+      machine_(clock_, config_.sgx_costs, config_.seed ^ 0x5658ULL),
+      bus_(clock_, config_.net_costs, config_.seed ^ 0xb05ULL),
+      cred_rng_(config_.seed ^ 0xc4edULL) {
+  bus_.set_keep_alive(config_.keep_alive);
+  hn_key_ = crypto::x25519_keypair(cred_rng_.bytes(32));
+
+  const nf::AkaDeployment deployment =
+      config_.mode == IsolationMode::kMonolithic
+          ? nf::AkaDeployment::kMonolithic
+          : nf::AkaDeployment::kExternal;
+
+  upf_ = std::make_unique<nf::Upf>(clock_);
+  udr_ = std::make_unique<nf::Udr>(bus_);
+  nrf_ = std::make_unique<nf::Nrf>(bus_);
+  smf_ = std::make_unique<nf::Smf>(bus_, *upf_);
+
+  nf::UdmConfig udm_cfg;
+  udm_cfg.deployment = deployment;
+  udm_cfg.hn_key = hn_key_;
+  if (config_.eudm_replicas > 1) {
+    udm_cfg.eudm_services.clear();
+    for (std::uint32_t i = 0; i < config_.eudm_replicas; ++i) {
+      udm_cfg.eudm_services.push_back("eudm-aka-" + std::to_string(i));
+    }
+  }
+  udm_ = std::make_unique<nf::Udm>(bus_, udm_cfg);
+
+  nf::AusfConfig ausf_cfg;
+  ausf_cfg.deployment = deployment;
+  ausf_cfg.allowed_snns.insert(
+      crypto::serving_network_name(config_.plmn.mcc, config_.plmn.mnc));
+  ausf_ = std::make_unique<nf::Ausf>(bus_, ausf_cfg);
+
+  nf::AmfConfig amf_cfg;
+  amf_cfg.deployment = deployment;
+  amf_cfg.plmn = config_.plmn;
+  amf_ = std::make_unique<nf::Amf>(bus_, amf_cfg);
+
+  if (config_.mode != IsolationMode::kMonolithic) {
+    paka::PakaOptions paka = config_.paka;
+    paka.isolation = config_.mode == IsolationMode::kSgx
+                         ? paka::Isolation::kSgx
+                         : paka::Isolation::kContainer;
+    if (config_.eudm_replicas > 1) {
+      for (std::uint32_t i = 0; i < config_.eudm_replicas; ++i) {
+        eudm_replicas_.push_back(std::make_unique<paka::EudmAkaService>(
+            machine_, bus_, paka, "eudm-aka-" + std::to_string(i)));
+      }
+    } else {
+      eudm_replicas_.push_back(
+          std::make_unique<paka::EudmAkaService>(machine_, bus_, paka));
+    }
+    eausf_ = std::make_unique<paka::EausfAkaService>(machine_, bus_, paka);
+    eamf_ = std::make_unique<paka::EamfAkaService>(machine_, bus_, paka);
+  }
+
+  gnb_ = std::make_unique<ran::Gnb>(
+      clock_, *amf_, ran::CellConfig{config_.plmn, 3.6192, 106, "oai-gnb"},
+      ran::RadioCosts{}, ran::NgapCosts{}, config_.seed ^ 0x69bULL);
+  gnbsim_ = std::make_unique<ran::GnbSim>(*gnb_);
+}
+
+Slice::~Slice() = default;
+
+void Slice::provision_subscribers() {
+  subscribers_.clear();
+  subscribers_.reserve(config_.subscriber_count);
+  for (std::uint32_t i = 0; i < config_.subscriber_count; ++i) {
+    nf::SubscriberRecord rec;
+    char msin[16];
+    std::snprintf(msin, sizeof(msin), "%010u", 100000000u + i);
+    rec.supi = nf::Supi::from_parts(config_.plmn, msin);
+    rec.k = cred_rng_.bytes(16);
+    rec.opc = cred_rng_.bytes(16);
+    rec.sqn = 0x100 + 0x40ULL * i;
+    udr_->provision(rec);
+    subscribers_.push_back(std::move(rec));
+  }
+}
+
+bool Slice::attest_modules() {
+  // KI 13: verify each module's RA-TLS quote against the platform
+  // attestation service before admitting it into the AKA chain. The
+  // quote binds the enclave measurement to the module's pinned TLS key,
+  // so both "who is this code" and "who am I about to talk to" are
+  // checked in one step.
+  const sgx::AttestationVerifier verifier(
+      Bytes(machine_.attestation_key().begin(),
+            machine_.attestation_key().end()));
+  std::vector<paka::PakaService*> modules;
+  for (const auto& replica : eudm_replicas_) modules.push_back(replica.get());
+  modules.push_back(eausf_.get());
+  modules.push_back(eamf_.get());
+  for (paka::PakaService* module : modules) {
+    const sgx::Quote quote = module->identity_quote();
+    const auto identity = bus_.server_identity(module->name());
+    if (!identity ||
+        !verifier.verify(quote,
+                         module->runtime()->enclave().measurement()) ||
+        !ct_equal(quote.report_data, crypto::Sha256::digest(*identity))) {
+      S5G_LOG(LogLevel::kError, "slice")
+          << "attestation failed for " << module->name();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Slice::provision_sealed_keys() {
+  // KI 27: the subscriber key table reaches each eUDM enclave sealed to
+  // its measurement; a plaintext K never appears in any image or on the
+  // provisioning path.
+  std::map<nf::Supi, Bytes> keys;
+  for (const auto& rec : subscribers_) keys[rec.supi] = rec.k;
+  const Bytes table = paka::EudmAkaService::serialize_key_table(keys);
+  for (const auto& replica : eudm_replicas_) {
+    const sgx::SealedBlob blob =
+        sgx::seal(replica->runtime()->enclave(), table, cred_rng_.bytes(16));
+    if (!replica->provision_sealed(blob)) return false;
+  }
+  return true;
+}
+
+SliceCreation Slice::create() {
+  if (created_) throw std::logic_error("Slice: already created");
+  SliceCreation creation;
+  const sim::Nanos start = clock_.now();
+
+  provision_subscribers();
+
+  // NF profile registration with the NRF (mutual discovery).
+  struct Reg { const char* id; const char* type; const char* service; };
+  for (const Reg& reg :
+       {Reg{"udm-1", "UDM", "udm"}, Reg{"ausf-1", "AUSF", "ausf"},
+        Reg{"amf-1", "AMF", "amf"}, Reg{"smf-1", "SMF", "smf"},
+        Reg{"udr-1", "UDR", "udr"}}) {
+    json::Object profile;
+    profile["nfType"] = reg.type;
+    profile["serviceName"] = reg.service;
+    bus_.request("orchestrator", "nrf",
+                 nf::json_put("/nnrf-nfm/v1/nf-instances/" +
+                                  std::string(reg.id),
+                              json::Value(std::move(profile))));
+  }
+
+  if (config_.mode != IsolationMode::kMonolithic) {
+    for (const auto& replica : eudm_replicas_) {
+      creation.eudm_load = replica->deploy();
+    }
+    creation.eausf_load = eausf_->deploy();
+    creation.eamf_load = eamf_->deploy();
+
+    if (config_.mode == IsolationMode::kSgx) {
+      creation.attestation_ok = attest_modules();
+      creation.sealed_provisioning_ok = provision_sealed_keys();
+      if (!creation.attestation_ok || !creation.sealed_provisioning_ok) {
+        throw std::runtime_error("Slice: P-AKA admission failed");
+      }
+    } else {
+      for (const auto& replica : eudm_replicas_) {
+        for (const auto& rec : subscribers_) {
+          replica->provision_key(rec.supi, rec.k);
+        }
+      }
+      creation.attestation_ok = false;
+      creation.sealed_provisioning_ok = false;
+    }
+  }
+
+  created_ = true;
+  creation.total = clock_.now() - start;
+  S5G_LOG(LogLevel::kInfo, "slice")
+      << "slice created (" << isolation_mode_name(config_.mode) << ") in "
+      << sim::to_s(creation.total) << " s";
+  return creation;
+}
+
+ran::UsimConfig Slice::subscriber(std::uint32_t i) const {
+  if (i >= subscribers_.size()) {
+    throw std::out_of_range("Slice: subscriber index");
+  }
+  const nf::SubscriberRecord& rec = subscribers_[i];
+  ran::UsimConfig usim;
+  usim.plmn = config_.plmn;
+  usim.msin = rec.supi.value.substr(config_.plmn.id().size());
+  usim.k = rec.k;
+  usim.opc = rec.opc;
+  // The USIM's SQNms trails the network's by one step at provisioning.
+  usim.sqn_ms = rec.sqn > 0 ? rec.sqn - 1 : 0;
+  usim.hn_public = Bytes(hn_key_.public_key.begin(),
+                         hn_key_.public_key.end());
+  return usim;
+}
+
+ran::RegistrationResult Slice::register_subscriber(std::uint32_t i,
+                                                   bool with_pdu) {
+  ran::UeDevice ue(subscriber(i), config_.seed ^ (0x0eULL + i));
+  return gnbsim_->register_ue(ue, with_pdu);
+}
+
+}  // namespace shield5g::slice

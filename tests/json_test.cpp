@@ -1,0 +1,135 @@
+// JSON value / parser / serializer tests.
+#include <gtest/gtest.h>
+
+#include "json/json.h"
+
+namespace shield5g::json {
+namespace {
+
+TEST(JsonValue, TypePredicates) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(1.5).is_number());
+  EXPECT_TRUE(Value(7).is_number());
+  EXPECT_TRUE(Value("x").is_string());
+  EXPECT_TRUE(Value(Array{}).is_array());
+  EXPECT_TRUE(Value(Object{}).is_object());
+}
+
+TEST(JsonValue, AccessorsThrowOnMismatch) {
+  const Value v("text");
+  EXPECT_EQ(v.as_string(), "text");
+  EXPECT_THROW(v.as_number(), std::runtime_error);
+  EXPECT_THROW(v.as_array(), std::runtime_error);
+  EXPECT_THROW(v.at("k"), std::runtime_error);
+}
+
+TEST(JsonValue, ObjectHelpers) {
+  Value v;
+  v["name"] = Value("eudm");
+  v["count"] = Value(3);
+  EXPECT_TRUE(v.has("name"));
+  EXPECT_FALSE(v.has("missing"));
+  EXPECT_EQ(*v.get_string("name"), "eudm");
+  EXPECT_EQ(*v.get_int("count"), 3);
+  EXPECT_FALSE(v.get_string("count").has_value());  // wrong type
+  EXPECT_FALSE(v.get_string("missing").has_value());
+  EXPECT_THROW(v.at("missing"), std::runtime_error);
+}
+
+TEST(JsonDump, ScalarsAndEscapes) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(-1.5).dump(), "-1.5");
+  EXPECT_EQ(Value("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(JsonDump, SortedObjectKeys) {
+  Object obj;
+  obj["zeta"] = Value(1);
+  obj["alpha"] = Value(2);
+  EXPECT_EQ(Value(obj).dump(), "{\"alpha\":2,\"zeta\":1}");
+}
+
+TEST(JsonDump, NestedStructures) {
+  Object inner;
+  inner["k"] = Value("v");
+  Array arr;
+  arr.push_back(Value(1));
+  arr.push_back(Value(inner));
+  arr.push_back(Value(nullptr));
+  EXPECT_EQ(Value(arr).dump(), "[1,{\"k\":\"v\"},null]");
+}
+
+TEST(JsonParse, RoundTrip) {
+  const std::string text =
+      "{\"a\":[1,2.5,true,false,null],\"b\":{\"c\":\"d\"},\"e\":-3}";
+  const Value v = parse(text);
+  EXPECT_EQ(v.dump(), text);
+}
+
+TEST(JsonParse, WhitespaceTolerated) {
+  const Value v = parse("  {\n \"a\" :\t1 , \"b\" : [ ] }  ");
+  EXPECT_EQ(*v.get_int("a"), 1);
+  EXPECT_TRUE(v.at("b").as_array().empty());
+}
+
+TEST(JsonParse, StringEscapes) {
+  const Value v = parse(R"("line\nbreak\ttabA")");
+  EXPECT_EQ(v.as_string(), "line\nbreak\ttabA");
+}
+
+TEST(JsonParse, UnicodeEscapeToUtf8) {
+  EXPECT_EQ(parse(R"("é")").as_string(), "\xc3\xa9");
+  EXPECT_EQ(parse(R"("€")").as_string(), "\xe2\x82\xac");
+  EXPECT_EQ(parse(R"("A")").as_string(), "A");
+  EXPECT_THROW(parse(R"("\u00zz")"), std::runtime_error);
+}
+
+TEST(JsonParse, Numbers) {
+  EXPECT_DOUBLE_EQ(parse("0").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(parse("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse("2.5E-2").as_number(), 0.025);
+}
+
+TEST(JsonParse, MalformedInputsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "nul", "01a",
+        "\"unterminated", "[1 2]", "{\"a\":1,}", "[],[]", "{}{}"}) {
+    EXPECT_THROW(parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(JsonParse, DeepNesting) {
+  std::string text;
+  for (int i = 0; i < 40; ++i) text += "[";
+  text += "1";
+  for (int i = 0; i < 40; ++i) text += "]";
+  const Value v = parse(text);
+  const Value* cur = &v;
+  for (int i = 0; i < 40; ++i) cur = &cur->as_array().at(0);
+  EXPECT_DOUBLE_EQ(cur->as_number(), 1.0);
+}
+
+TEST(JsonParse, HexPayloadTypicalSbiBody) {
+  // The shape the P-AKA modules actually exchange.
+  const std::string body =
+      "{\"amfId\":\"8000\",\"opc\":\"cd63cb71954a9f4e48a5994e37a02baf\","
+      "\"rand\":\"23553cbe9637a89d218ae64dae47bf35\",\"snn\":"
+      "\"5G:mnc001.mcc001.3gppnetwork.org\",\"sqn\":\"ff9bb4d0b607\","
+      "\"supi\":\"001010000000001\"}";
+  const Value v = parse(body);
+  EXPECT_EQ(*v.get_string("opc"), "cd63cb71954a9f4e48a5994e37a02baf");
+  EXPECT_EQ(v.dump(), body);  // sorted keys -> byte-stable round trip
+}
+
+TEST(JsonValue, Equality) {
+  EXPECT_EQ(parse("{\"a\":[1,2]}"), parse("{ \"a\" : [ 1 , 2 ] }"));
+  EXPECT_NE(parse("{\"a\":[1,2]}"), parse("{\"a\":[1,3]}"));
+}
+
+}  // namespace
+}  // namespace shield5g::json

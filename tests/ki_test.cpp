@@ -1,0 +1,84 @@
+// Key-issue catalogue tests (Table V).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ki/key_issues.h"
+
+namespace shield5g::ki {
+namespace {
+
+TEST(KeyIssues, CatalogueCoversTableV) {
+  const auto& issues = catalogue();
+  EXPECT_EQ(issues.size(), 13u);
+  std::set<int> numbers;
+  for (const auto& issue : issues) numbers.insert(issue.number);
+  EXPECT_EQ(numbers,
+            (std::set<int>{2, 5, 6, 7, 11, 12, 13, 15, 20, 21, 25, 26, 27}));
+}
+
+TEST(KeyIssues, ThreeGppMarksExactlyFour) {
+  // TR 33.848 lists HMEE as a solution for KIs 6, 7, 15 and 25.
+  std::set<int> marked;
+  for (const auto& issue : catalogue()) {
+    if (issue.threegpp_marks_hmee) marked.insert(issue.number);
+  }
+  EXPECT_EQ(marked, (std::set<int>{6, 7, 15, 25}));
+}
+
+TEST(KeyIssues, VerdictsMatchPaperTable) {
+  // Paper Table V: full (+) for 2, 13, 27; partial for 5, 11, 12, 20,
+  // 21, 26; the four 3GPP-marked ones resolve fully via HMEE.
+  for (const auto& row : generate_table()) {
+    SCOPED_TRACE(row.ki);
+    switch (row.ki) {
+      case 2: case 13: case 27:
+        EXPECT_EQ(row.verdict, Verdict::kFull);
+        EXPECT_FALSE(row.threegpp_hmee);
+        break;
+      case 6: case 7: case 15: case 25:
+        EXPECT_EQ(row.verdict, Verdict::kFull);
+        EXPECT_TRUE(row.threegpp_hmee);
+        break;
+      default:
+        EXPECT_EQ(row.verdict, Verdict::kPartial);
+        EXPECT_FALSE(row.threegpp_hmee);
+    }
+  }
+}
+
+TEST(KeyIssues, SummaryMatchesPaperHeadline) {
+  const auto summary = summarize(generate_table());
+  EXPECT_EQ(summary.threegpp_marked, 4);
+  // "we identified nine additional KIs that can be either fully or
+  // partially mitigated with HMEE".
+  EXPECT_EQ(summary.additional_beyond_3gpp, 9);
+  EXPECT_EQ(summary.full + summary.partial, 13);
+  EXPECT_EQ(summary.partial, 6);
+}
+
+TEST(KeyIssues, EveryIssueCitesProperties) {
+  for (const auto& issue : catalogue()) {
+    EXPECT_FALSE(issue.relevant.empty()) << "KI " << issue.number;
+    EXPECT_FALSE(issue.description.empty());
+  }
+}
+
+TEST(KeyIssues, EvaluateLogic) {
+  KeyIssue fake{99, "x", false, {HmeeProperty::kSecretSealing}, false};
+  EXPECT_EQ(evaluate(fake), Verdict::kFull);
+  fake.residual_requirements = true;
+  EXPECT_EQ(evaluate(fake), Verdict::kPartial);
+  fake.relevant.clear();
+  EXPECT_EQ(evaluate(fake), Verdict::kNone);
+}
+
+TEST(KeyIssues, NamesRender) {
+  EXPECT_STREQ(verdict_symbol(Verdict::kFull), "full");
+  EXPECT_STREQ(verdict_symbol(Verdict::kPartial), "partial");
+  EXPECT_STREQ(property_name(HmeeProperty::kRemoteAttestation),
+               "remote-attestation");
+}
+
+}  // namespace
+}  // namespace shield5g::ki

@@ -1,0 +1,339 @@
+// Network substrate tests: HTTP framing, routing, TLS record protection,
+// the bus request pipeline and its latency accounting.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "net/bus.h"
+#include "net/env.h"
+#include "net/http.h"
+#include "net/router.h"
+#include "net/tls.h"
+#include "sim/clock.h"
+
+namespace shield5g::net {
+namespace {
+
+// ---------------------------------------------------------------------
+// HTTP
+// ---------------------------------------------------------------------
+
+TEST(Http, RequestRoundTrip) {
+  HttpRequest req;
+  req.method = Method::kPost;
+  req.path = "/paka/v1/generate-av";
+  req.headers["content-type"] = "application/json";
+  req.body = "{\"rand\":\"00\"}";
+  const auto parsed = HttpRequest::parse(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->method, Method::kPost);
+  EXPECT_EQ(parsed->path, req.path);
+  EXPECT_EQ(parsed->headers.at("content-type"), "application/json");
+  EXPECT_EQ(parsed->body, req.body);
+}
+
+TEST(Http, ResponseRoundTrip) {
+  HttpResponse resp = HttpResponse::json(201, "{\"ok\":true}");
+  const auto parsed = HttpResponse::parse(resp.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->status, 201);
+  EXPECT_EQ(parsed->body, "{\"ok\":true}");
+}
+
+TEST(Http, AllMethodsSerialize) {
+  for (Method m : {Method::kGet, Method::kPost, Method::kPut,
+                   Method::kDelete, Method::kPatch}) {
+    HttpRequest req;
+    req.method = m;
+    req.path = "/x";
+    const auto parsed = HttpRequest::parse(req.serialize());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->method, m);
+  }
+}
+
+TEST(Http, MalformedInputsRejected) {
+  EXPECT_FALSE(HttpRequest::parse(to_bytes("garbage")).has_value());
+  EXPECT_FALSE(HttpRequest::parse(to_bytes("GET /x HTTP/1.1\r\n"))
+                   .has_value());  // missing blank line
+  EXPECT_FALSE(
+      HttpRequest::parse(
+          to_bytes("GET /x HTTP/1.1\r\ncontent-length: 5\r\n\r\nab"))
+          .has_value());  // body shorter than declared
+  EXPECT_FALSE(HttpResponse::parse(to_bytes("\r\n\r\n")).has_value());
+}
+
+TEST(Http, EmptyBodyAllowed) {
+  HttpRequest req;
+  req.method = Method::kGet;
+  req.path = "/paka/v1/health";
+  const auto parsed = HttpRequest::parse(req.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->body.empty());
+}
+
+// ---------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------
+
+TEST(RouterTest, ExactAndParameterisedRoutes) {
+  Router router;
+  router.add(Method::kGet, "/health",
+             [](const HttpRequest&, const PathParams&) {
+               return HttpResponse::json(200, "{}");
+             });
+  router.add(Method::kGet, "/subscribers/:supi/data",
+             [](const HttpRequest&, const PathParams& params) {
+               return HttpResponse::json(200,
+                                         "{\"supi\":\"" + params.at("supi") +
+                                             "\"}");
+             });
+
+  HttpRequest req;
+  req.method = Method::kGet;
+  req.path = "/health";
+  EXPECT_EQ(router.route(req).status, 200);
+
+  req.path = "/subscribers/001010000000001/data";
+  const HttpResponse resp = router.route(req);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("001010000000001"), std::string::npos);
+}
+
+TEST(RouterTest, NotFoundAndMethodNotAllowed) {
+  Router router;
+  router.add(Method::kGet, "/only-get",
+             [](const HttpRequest&, const PathParams&) {
+               return HttpResponse::json(200, "{}");
+             });
+  HttpRequest req;
+  req.method = Method::kGet;
+  req.path = "/missing";
+  EXPECT_EQ(router.route(req).status, 404);
+  req.path = "/only-get";
+  req.method = Method::kPost;
+  EXPECT_EQ(router.route(req).status, 405);
+}
+
+TEST(RouterTest, SegmentCountMustMatch) {
+  Router router;
+  router.add(Method::kGet, "/a/:x",
+             [](const HttpRequest&, const PathParams&) {
+               return HttpResponse::json(200, "{}");
+             });
+  HttpRequest req;
+  req.method = Method::kGet;
+  req.path = "/a";
+  EXPECT_EQ(router.route(req).status, 404);
+  req.path = "/a/b/c";
+  EXPECT_EQ(router.route(req).status, 404);
+  req.path = "/a/b";
+  EXPECT_EQ(router.route(req).status, 200);
+}
+
+// ---------------------------------------------------------------------
+// TLS
+// ---------------------------------------------------------------------
+
+class TlsFixture : public ::testing::Test {
+ protected:
+  Rng rng_{77};
+  TlsIdentity server_id_ = TlsIdentity::generate(rng_);
+
+  std::pair<TlsSession, TlsSession> handshake() {
+    Bytes hello;
+    TlsSession client = TlsSession::client_connect(
+        server_id_.key.public_key, rng_, hello);
+    Bytes server_hello;
+    auto server =
+        TlsSession::server_accept(server_id_.key, hello, server_hello);
+    EXPECT_TRUE(server.has_value());
+    return {std::move(client), std::move(*server)};
+  }
+};
+
+TEST_F(TlsFixture, RecordRoundTripBothDirections) {
+  auto [client, server] = handshake();
+  const Bytes msg = to_bytes("POST /paka/v1/generate-av ...");
+  const Bytes record = client.protect(msg);
+  EXPECT_GT(record.size(), msg.size());  // header + MAC overhead
+  const auto plain = server.unprotect(record);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(*plain, msg);
+
+  const Bytes reply = server.protect(to_bytes("200 OK"));
+  const auto back = client.unprotect(reply);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(to_string(*back), "200 OK");
+}
+
+TEST_F(TlsFixture, SequenceNumbersPreventReplay) {
+  auto [client, server] = handshake();
+  const Bytes record = client.protect(to_bytes("msg-1"));
+  ASSERT_TRUE(server.unprotect(record).has_value());
+  // Replaying the same record fails: the receive sequence moved on.
+  EXPECT_FALSE(server.unprotect(record).has_value());
+}
+
+TEST_F(TlsFixture, TamperedRecordRejected) {
+  auto [client, server] = handshake();
+  Bytes record = client.protect(to_bytes("sensitive"));
+  record[7] ^= 0x01;
+  EXPECT_FALSE(server.unprotect(record).has_value());
+}
+
+TEST_F(TlsFixture, CiphertextHidesPlaintext) {
+  auto [client, server] = handshake();
+  const Bytes msg = to_bytes("kausf=deadbeefdeadbeefdeadbeef");
+  const Bytes record = client.protect(msg);
+  EXPECT_EQ(to_string(ByteView(record)).find("kausf"), std::string::npos);
+}
+
+TEST_F(TlsFixture, WrongServerKeyBreaksSession) {
+  Bytes hello;
+  TlsSession client =
+      TlsSession::client_connect(server_id_.key.public_key, rng_, hello);
+  const TlsIdentity rogue = TlsIdentity::generate(rng_);
+  Bytes server_hello;
+  auto mitm = TlsSession::server_accept(rogue.key, hello, server_hello);
+  ASSERT_TRUE(mitm.has_value());
+  // The rogue server derives different keys: records do not verify.
+  const Bytes record = client.protect(to_bytes("secret"));
+  EXPECT_FALSE(mitm->unprotect(record).has_value());
+}
+
+TEST_F(TlsFixture, MalformedHelloRejected) {
+  Bytes server_hello;
+  EXPECT_FALSE(TlsSession::server_accept(server_id_.key, Bytes(8, 1),
+                                         server_hello)
+                   .has_value());
+}
+
+// ---------------------------------------------------------------------
+// Bus + server pipeline
+// ---------------------------------------------------------------------
+
+class BusFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<Server>("echo", env_, bus_.costs());
+    server_->router().add(
+        Method::kPost, "/echo",
+        [](const HttpRequest& req, const PathParams&) {
+          return HttpResponse::json(200, req.body);
+        });
+    bus_.attach(*server_);
+  }
+
+  sim::VirtualClock clock_;
+  Bus bus_{clock_};
+  HostEnv env_{clock_};
+  std::unique_ptr<Server> server_;
+
+  HttpRequest echo_request() {
+    HttpRequest req;
+    req.method = Method::kPost;
+    req.path = "/echo";
+    req.body = "{\"x\":1}";
+    return req;
+  }
+};
+
+TEST_F(BusFixture, RequestResponseCarriesPayload) {
+  const auto exchange = bus_.request("client", "echo", echo_request());
+  EXPECT_TRUE(exchange.transport_ok);
+  EXPECT_EQ(exchange.response.status, 200);
+  EXPECT_EQ(exchange.response.body, "{\"x\":1}");
+}
+
+TEST_F(BusFixture, TimingsAreOrderedAndPositive) {
+  const auto exchange = bus_.request("client", "echo", echo_request());
+  EXPECT_GT(exchange.l_f, 0u);
+  EXPECT_GT(exchange.l_t, exchange.l_f);      // L_T = L_F + L_N
+  EXPECT_GT(exchange.response_ns, exchange.l_t);  // R includes bridge etc.
+  // Sanity band for a container deployment (paper Fig. 9/10).
+  EXPECT_GT(sim::to_us(exchange.l_f), 5.0);
+  EXPECT_LT(sim::to_us(exchange.l_f), 200.0);
+  EXPECT_LT(sim::to_us(exchange.response_ns), 3'000.0);
+}
+
+TEST_F(BusFixture, VirtualTimeAdvances) {
+  const sim::Nanos t0 = clock_.now();
+  bus_.request("client", "echo", echo_request());
+  EXPECT_GT(clock_.now(), t0);
+}
+
+TEST_F(BusFixture, UnknownServerThrows) {
+  EXPECT_THROW(bus_.request("client", "nope", echo_request()),
+               std::runtime_error);
+}
+
+TEST_F(BusFixture, DuplicateAttachRejected) {
+  Server dup("echo", env_, bus_.costs());
+  EXPECT_THROW(bus_.attach(dup), std::logic_error);
+}
+
+TEST_F(BusFixture, KeepAliveSkipsHandshakeCosts) {
+  // Without keep-alive every request pays connect + TLS handshake.
+  const auto first = bus_.request("client", "echo", echo_request());
+  const auto second = bus_.request("client", "echo", echo_request());
+
+  bus_.set_keep_alive(true);
+  const auto third = bus_.request("client", "echo", echo_request());
+  const auto fourth = bus_.request("client", "echo", echo_request());
+  // Fourth reuses the connection: visibly cheaper than a cold request.
+  EXPECT_LT(fourth.response_ns + 50 * sim::kMicrosecond, second.response_ns);
+  EXPECT_TRUE(first.transport_ok && third.transport_ok);
+}
+
+TEST_F(BusFixture, ServerStatsAccumulate) {
+  for (int i = 0; i < 5; ++i) {
+    bus_.request("client", "echo", echo_request());
+  }
+  EXPECT_EQ(server_->requests_served(), 5u);
+  EXPECT_EQ(server_->lf_us().count(), 5u);
+  EXPECT_EQ(server_->lt_us().count(), 5u);
+  server_->reset_stats();
+  EXPECT_EQ(server_->lf_us().count(), 0u);
+}
+
+TEST_F(BusFixture, RoutingErrorsSurfaceAsHttpStatus) {
+  HttpRequest req;
+  req.method = Method::kGet;
+  req.path = "/missing";
+  const auto exchange = bus_.request("client", "echo", req);
+  EXPECT_TRUE(exchange.transport_ok);
+  EXPECT_EQ(exchange.response.status, 404);
+}
+
+TEST_F(BusFixture, DetachThenRequestThrows) {
+  bus_.detach("echo");
+  EXPECT_THROW(bus_.request("client", "echo", echo_request()),
+               std::runtime_error);
+}
+
+TEST_F(BusFixture, LargerPayloadCostsMore) {
+  bus_.set_keep_alive(true);
+  HttpRequest small = echo_request();
+  bus_.request("client", "echo", small);  // warm the connection
+  const sim::Nanos t0 = clock_.now();
+  bus_.request("client", "echo", small);
+  const sim::Nanos small_cost = clock_.now() - t0;
+
+  HttpRequest big = echo_request();
+  big.body = "{\"blob\":\"" + std::string(8'000, 'a') + "\"}";
+  const sim::Nanos t1 = clock_.now();
+  bus_.request("client", "echo", big);
+  const sim::Nanos big_cost = clock_.now() - t1;
+  EXPECT_GT(big_cost, small_cost);
+}
+
+TEST(RequestProfileTest, DefaultPreWindowSizesRequestTransitions) {
+  const RequestProfile profile;
+  // pre(78) + recv(3) + send(3) + 4 connection-path calls ~= the
+  // paper's ~90 EENTER/EEXIT pairs per registration request.
+  EXPECT_EQ(profile.pre_window.size(), 78u);
+  EXPECT_EQ(profile.recv_chunks + profile.send_chunks, 6u);
+}
+
+}  // namespace
+}  // namespace shield5g::net

@@ -1,0 +1,355 @@
+// P-AKA module tests: functional correctness of the three services under
+// both isolations, deployment lifecycle, sealed provisioning, quotes and
+// SGX transition accounting per request.
+#include <gtest/gtest.h>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "crypto/key_hierarchy.h"
+#include "crypto/milenage.h"
+#include "json/json.h"
+#include "nf/aka_core.h"
+#include "nf/sbi.h"
+#include "paka/aka_amf.h"
+#include "paka/aka_ausf.h"
+#include "paka/aka_udm.h"
+#include "sgx/sealing.h"
+
+namespace shield5g::paka {
+namespace {
+
+class PakaFixture : public ::testing::TestWithParam<Isolation> {
+ protected:
+  void SetUp() override {
+    options_.isolation = GetParam();
+    k_ = rng_.bytes(16);
+    opc_ = rng_.bytes(16);
+  }
+
+  PakaOptions options_;
+  sim::VirtualClock clock_;
+  sgx::Machine machine_{clock_};
+  net::Bus bus_{clock_};
+  Rng rng_{88};
+  Bytes k_, opc_;
+  const std::string supi_ = "001010000000001";
+  const std::string snn_ = crypto::serving_network_name("001", "01");
+
+  void provision(EudmAkaService& eudm) {
+    if (eudm.isolation() == Isolation::kSgx) {
+      std::map<nf::Supi, Bytes> keys{{nf::Supi{supi_}, k_}};
+      const auto blob = sgx::seal(eudm.runtime()->enclave(),
+                                  EudmAkaService::serialize_key_table(keys),
+                                  rng_.bytes(16));
+      ASSERT_TRUE(eudm.provision_sealed(blob));
+    } else {
+      eudm.provision_key(nf::Supi{supi_}, k_);
+    }
+  }
+
+  json::Value body_of(const net::HttpResponse& resp) {
+    return json::parse(resp.body);
+  }
+};
+
+TEST_P(PakaFixture, EudmGeneratesCorrectAv) {
+  EudmAkaService eudm(machine_, bus_, options_);
+  eudm.deploy();
+  provision(eudm);
+
+  const Bytes rand = rng_.bytes(16);
+  const Bytes sqn = {0, 0, 0, 0, 0x10, 0};
+  json::Object body;
+  body["supi"] = supi_;
+  body["opc"] = nf::hex_field(opc_);
+  body["rand"] = nf::hex_field(rand);
+  body["sqn"] = nf::hex_field(sqn);
+  body["amfId"] = nf::hex_field(Bytes{0x80, 0x00});
+  body["snn"] = snn_;
+  const auto resp = bus_.request(
+      "udm", "eudm-aka",
+      nf::json_post("/paka/v1/generate-av", json::Value(std::move(body))));
+  ASSERT_EQ(resp.response.status, 200);
+  const auto out = body_of(resp.response);
+
+  // The module's output must equal a direct computation with the same
+  // inputs (bit-exactness across isolation modes).
+  const nf::HeAv expected = nf::generate_he_av(
+      k_, opc_, rand, sqn, Bytes{0x80, 0x00}, snn_);
+  EXPECT_EQ(*nf::hex_bytes(out, "autn"), expected.autn);
+  EXPECT_EQ(*nf::hex_bytes(out, "xresStar"), expected.xres_star);
+  EXPECT_EQ(*nf::hex_bytes(out, "kausf"), expected.kausf);
+}
+
+TEST_P(PakaFixture, EudmRejectsUnknownSupiAndBadParams) {
+  EudmAkaService eudm(machine_, bus_, options_);
+  eudm.deploy();
+  provision(eudm);
+
+  json::Object body;
+  body["supi"] = "001019999999999";
+  body["opc"] = nf::hex_field(opc_);
+  body["rand"] = nf::hex_field(rng_.bytes(16));
+  body["sqn"] = nf::hex_field(Bytes(6, 0));
+  body["amfId"] = nf::hex_field(Bytes(2, 0));
+  body["snn"] = snn_;
+  EXPECT_EQ(bus_.request("udm", "eudm-aka",
+                         nf::json_post("/paka/v1/generate-av",
+                                       json::Value(body)))
+                .response.status,
+            404);
+  body["supi"] = supi_;
+  body["rand"] = nf::hex_field(Bytes(8, 0));  // wrong size
+  EXPECT_EQ(bus_.request("udm", "eudm-aka",
+                         nf::json_post("/paka/v1/generate-av",
+                                       json::Value(body)))
+                .response.status,
+            400);
+}
+
+TEST_P(PakaFixture, EudmResyncEndpoint) {
+  EudmAkaService eudm(machine_, bus_, options_);
+  eudm.deploy();
+  provision(eudm);
+
+  const Bytes rand = rng_.bytes(16);
+  const Bytes sqn_ms = {0, 0, 0, 0, 0x42, 0};
+  const Bytes auts = nf::build_auts(k_, opc_, rand, sqn_ms);
+  json::Object body;
+  body["supi"] = supi_;
+  body["opc"] = nf::hex_field(opc_);
+  body["rand"] = nf::hex_field(rand);
+  body["auts"] = nf::hex_field(auts);
+  const auto resp = bus_.request(
+      "udm", "eudm-aka",
+      nf::json_post("/paka/v1/resync", json::Value(std::move(body))));
+  ASSERT_EQ(resp.response.status, 200);
+  EXPECT_EQ(*nf::hex_bytes(body_of(resp.response), "sqnMs"), sqn_ms);
+}
+
+TEST_P(PakaFixture, EausfDerivesSeVector) {
+  EausfAkaService eausf(machine_, bus_, options_);
+  eausf.deploy();
+
+  const Bytes rand = rng_.bytes(16);
+  const Bytes xres = rng_.bytes(16);
+  const Bytes kausf = rng_.bytes(32);
+  json::Object body;
+  body["rand"] = nf::hex_field(rand);
+  body["xresStar"] = nf::hex_field(xres);
+  body["snn"] = snn_;
+  body["kausf"] = nf::hex_field(kausf);
+  const auto resp = bus_.request(
+      "ausf", "eausf-aka",
+      nf::json_post("/paka/v1/derive-se", json::Value(std::move(body))));
+  ASSERT_EQ(resp.response.status, 200);
+  const auto out = body_of(resp.response);
+  const nf::SeDerivation expected = nf::derive_se(rand, xres, kausf, snn_);
+  EXPECT_EQ(*nf::hex_bytes(out, "hxresStar"), expected.hxres_star);
+  EXPECT_EQ(*nf::hex_bytes(out, "kseaf"), expected.kseaf);
+  EXPECT_EQ(nf::hex_bytes(out, "hxresStar")->size(), 8u);  // Table I
+}
+
+TEST_P(PakaFixture, EamfDerivesKamf) {
+  EamfAkaService eamf(machine_, bus_, options_);
+  eamf.deploy();
+
+  const Bytes kseaf = rng_.bytes(32);
+  json::Object body;
+  body["kseaf"] = nf::hex_field(kseaf);
+  body["supi"] = supi_;
+  const auto resp = bus_.request(
+      "amf", "eamf-aka",
+      nf::json_post("/paka/v1/derive-kamf", json::Value(std::move(body))));
+  ASSERT_EQ(resp.response.status, 200);
+  EXPECT_EQ(*nf::hex_bytes(body_of(resp.response), "kamf"),
+            nf::derive_kamf_for(kseaf, supi_));
+}
+
+TEST_P(PakaFixture, HealthEndpoint) {
+  EamfAkaService eamf(machine_, bus_, options_);
+  eamf.deploy();
+  const auto resp =
+      bus_.request("amf", "eamf-aka", nf::sbi_get("/paka/v1/health"));
+  EXPECT_EQ(resp.response.status, 200);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothIsolations, PakaFixture,
+    ::testing::Values(Isolation::kContainer, Isolation::kSgx),
+    [](const ::testing::TestParamInfo<Isolation>& info) {
+      return info.param == Isolation::kSgx ? "Sgx" : "Container";
+    });
+
+// ---------------------------------------------------------------------
+// Deployment specifics
+// ---------------------------------------------------------------------
+
+class DeployFixture : public ::testing::Test {
+ protected:
+  sim::VirtualClock clock_;
+  sgx::Machine machine_{clock_};
+  net::Bus bus_{clock_};
+  Rng rng_{99};
+};
+
+TEST_F(DeployFixture, SgxDeployTakesAboutAMinuteContainerDoesNot) {
+  PakaOptions sgx_opts;
+  sgx_opts.isolation = Isolation::kSgx;
+  EudmAkaService eudm(machine_, bus_, sgx_opts);
+  const sim::Nanos sgx_load = eudm.deploy();
+  EXPECT_GT(sim::to_s(sgx_load), 50.0);
+  EXPECT_LT(sim::to_s(sgx_load), 65.0);
+
+  PakaOptions cont_opts;
+  cont_opts.isolation = Isolation::kContainer;
+  EausfAkaService eausf(machine_, bus_, cont_opts);
+  const sim::Nanos container_load = eausf.deploy();
+  EXPECT_LT(sim::to_s(container_load), 2.0);
+}
+
+TEST_F(DeployFixture, LifecycleGuards) {
+  PakaOptions opts;
+  opts.isolation = Isolation::kContainer;
+  EamfAkaService eamf(machine_, bus_, opts);
+  EXPECT_FALSE(eamf.deployed());
+  eamf.deploy();
+  EXPECT_TRUE(eamf.deployed());
+  EXPECT_THROW(eamf.deploy(), std::logic_error);
+  EXPECT_THROW(eamf.quote(Bytes{}), std::logic_error);  // nothing to attest
+  eamf.undeploy();
+  EXPECT_FALSE(eamf.deployed());
+  eamf.deploy();  // redeploy works
+  EXPECT_TRUE(eamf.deployed());
+}
+
+TEST_F(DeployFixture, UndeployReleasesEpc) {
+  PakaOptions opts;
+  opts.isolation = Isolation::kSgx;
+  const std::uint64_t free0 = machine_.epc().free_bytes();
+  EudmAkaService eudm(machine_, bus_, opts);
+  eudm.deploy();
+  EXPECT_LT(machine_.epc().free_bytes(), free0);
+  eudm.undeploy();
+  EXPECT_EQ(machine_.epc().free_bytes(), free0);
+}
+
+TEST_F(DeployFixture, SealedProvisioningRejectsWrongEnclave) {
+  PakaOptions opts;
+  opts.isolation = Isolation::kSgx;
+  EudmAkaService eudm(machine_, bus_, opts);
+  eudm.deploy();
+  EausfAkaService other(machine_, bus_, opts);
+  other.deploy();
+
+  std::map<nf::Supi, Bytes> keys{{nf::Supi{"001010000000001"},
+                                  Bytes(16, 1)}};
+  // Sealed to the *wrong* enclave: eUDM must reject it.
+  const auto blob = sgx::seal(other.runtime()->enclave(),
+                              EudmAkaService::serialize_key_table(keys),
+                              rng_.bytes(16));
+  EXPECT_FALSE(eudm.provision_sealed(blob));
+  EXPECT_EQ(eudm.key_count(), 0u);
+}
+
+TEST_F(DeployFixture, SealedProvisioningRejectsTamperedBlob) {
+  PakaOptions opts;
+  opts.isolation = Isolation::kSgx;
+  EudmAkaService eudm(machine_, bus_, opts);
+  eudm.deploy();
+  std::map<nf::Supi, Bytes> keys{{nf::Supi{"001010000000001"},
+                                  Bytes(16, 1)}};
+  auto blob = sgx::seal(eudm.runtime()->enclave(),
+                        EudmAkaService::serialize_key_table(keys),
+                        rng_.bytes(16));
+  blob.ciphertext[2] ^= 0x01;
+  EXPECT_FALSE(eudm.provision_sealed(blob));
+}
+
+TEST_F(DeployFixture, QuoteBindsModuleMeasurement) {
+  PakaOptions opts;
+  opts.isolation = Isolation::kSgx;
+  EudmAkaService eudm(machine_, bus_, opts);
+  eudm.deploy();
+  const auto quote = eudm.quote(to_bytes("nonce"));
+  EXPECT_EQ(quote.measurement, eudm.runtime()->enclave().measurement());
+  const sgx::AttestationVerifier verifier(
+      Bytes(machine_.attestation_key().begin(),
+            machine_.attestation_key().end()));
+  EXPECT_TRUE(verifier.verify(quote, quote.measurement));
+}
+
+TEST_F(DeployFixture, PerRequestTransitionsNearPaperValue) {
+  PakaOptions opts;
+  opts.isolation = Isolation::kSgx;
+  EamfAkaService eamf(machine_, bus_, opts);
+  eamf.deploy();
+
+  json::Object body;
+  body["kseaf"] = nf::hex_field(Bytes(32, 7));
+  body["supi"] = "001010000000001";
+  const auto req =
+      nf::json_post("/paka/v1/derive-kamf", json::Value(std::move(body)));
+
+  bus_.request("amf", "eamf-aka", req);  // first request walks cold paths
+  const auto c1 = *eamf.sgx_counters();
+  bus_.request("amf", "eamf-aka", req);
+  const auto c2 = *eamf.sgx_counters();
+  const auto delta = c2 - c1;
+  // Paper §V-B5: ~90 EENTERs/EEXITs per UE registration per module.
+  EXPECT_GT(delta.eenter, 60u);
+  EXPECT_LT(delta.eenter, 130u);
+  EXPECT_EQ(delta.eenter, delta.eexit);  // steady state is balanced
+}
+
+TEST_F(DeployFixture, FirstRequestIsMuchSlower) {
+  PakaOptions opts;
+  opts.isolation = Isolation::kSgx;
+  EamfAkaService eamf(machine_, bus_, opts);
+  eamf.deploy();
+
+  json::Object body;
+  body["kseaf"] = nf::hex_field(Bytes(32, 7));
+  body["supi"] = "001010000000001";
+  const auto req =
+      nf::json_post("/paka/v1/derive-kamf", json::Value(std::move(body)));
+
+  const auto first = bus_.request("amf", "eamf-aka", req);
+  const auto second = bus_.request("amf", "eamf-aka", req);
+  // Paper Fig. 10: R_I ~ 20x R_S.
+  const double ratio = static_cast<double>(first.response_ns) /
+                       static_cast<double>(second.response_ns);
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 40.0);
+}
+
+TEST_F(DeployFixture, ExitlessReducesTransitions) {
+  PakaOptions normal;
+  normal.isolation = Isolation::kSgx;
+  EamfAkaService a(machine_, bus_, normal, "eamf-a");
+  a.deploy();
+
+  PakaOptions exitless = normal;
+  exitless.exitless = true;
+  EamfAkaService b(machine_, bus_, exitless, "eamf-b");
+  b.deploy();
+
+  json::Object body;
+  body["kseaf"] = nf::hex_field(Bytes(32, 7));
+  body["supi"] = "001010000000001";
+  const auto req =
+      nf::json_post("/paka/v1/derive-kamf", json::Value(std::move(body)));
+  bus_.request("amf", "eamf-a", req);
+  bus_.request("amf", "eamf-b", req);
+  const auto a1 = *a.sgx_counters();
+  const auto b1 = *b.sgx_counters();
+  bus_.request("amf", "eamf-a", req);
+  bus_.request("amf", "eamf-b", req);
+  const auto da = *a.sgx_counters() - a1;
+  const auto db = *b.sgx_counters() - b1;
+  EXPECT_EQ(db.eenter, 0u);      // switchless: no transitions
+  EXPECT_GT(da.eenter, 50u);
+}
+
+}  // namespace
+}  // namespace shield5g::paka

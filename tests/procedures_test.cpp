@@ -1,0 +1,261 @@
+// Tests for the extended NAS procedures and operational features:
+// NAS ciphering, GUTI re-registration, Identity Request fallback,
+// deregistration, bridge fault injection and RA-TLS identity binding.
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+#include "nf/nas.h"
+#include "ran/ue.h"
+#include "sgx/attestation.h"
+#include "slice/slice.h"
+
+namespace shield5g {
+namespace {
+
+using slice::IsolationMode;
+using slice::Slice;
+using slice::SliceConfig;
+
+// ---------------------------------------------------------------------
+// NAS ciphering
+// ---------------------------------------------------------------------
+
+class NasCipherTest : public ::testing::Test {
+ protected:
+  Bytes kint_ = Bytes(16, 0x11);
+  Bytes kenc_ = Bytes(16, 0x22);
+
+  nf::NasMessage sample() {
+    nf::NasMessage msg;
+    msg.type = nf::NasType::kRegistrationAccept;
+    msg.set(nf::NasIe::kGuti, to_bytes("5g-guti-00101-01-001-00001000"));
+    return msg;
+  }
+};
+
+TEST_F(NasCipherTest, CipheredRoundTrip) {
+  const auto sec =
+      nf::SecuredNas::protect_ciphered(sample(), kint_, kenc_, 5, true);
+  EXPECT_TRUE(sec.ciphered);
+  const auto decoded = nf::SecuredNas::decode(sec.encode());
+  ASSERT_TRUE(decoded.has_value());
+  const auto inner = decoded->open(kint_, kenc_);
+  ASSERT_TRUE(inner.has_value());
+  EXPECT_EQ(inner->type, nf::NasType::kRegistrationAccept);
+  EXPECT_EQ(to_string(inner->at(nf::NasIe::kGuti)),
+            "5g-guti-00101-01-001-00001000");
+}
+
+TEST_F(NasCipherTest, CiphertextHidesContent) {
+  const auto sec =
+      nf::SecuredNas::protect_ciphered(sample(), kint_, kenc_, 5, true);
+  const std::string wire = to_string(ByteView(sec.encode()));
+  EXPECT_EQ(wire.find("5g-guti"), std::string::npos);
+  // The integrity-only form, by contrast, carries the plaintext.
+  const auto plain = nf::SecuredNas::protect(sample(), kint_, 5, true);
+  EXPECT_NE(to_string(ByteView(plain.encode())).find("5g-guti"),
+            std::string::npos);
+}
+
+TEST_F(NasCipherTest, WrongEncKeyYieldsGarbage) {
+  const auto sec =
+      nf::SecuredNas::protect_ciphered(sample(), kint_, kenc_, 5, true);
+  // MAC verifies (integrity key right) but the deciphered bytes do not
+  // decode as a NAS message.
+  EXPECT_FALSE(sec.open(kint_, Bytes(16, 0x99)).has_value());
+}
+
+TEST_F(NasCipherTest, VerifyRefusesCipheredPayloads) {
+  const auto sec =
+      nf::SecuredNas::protect_ciphered(sample(), kint_, kenc_, 5, true);
+  EXPECT_FALSE(sec.verify(kint_).has_value());  // must use open()
+  EXPECT_TRUE(sec.open(kint_, kenc_).has_value());
+}
+
+TEST_F(NasCipherTest, KeystreamBoundToCountAndDirection) {
+  const Bytes data = to_bytes("same plaintext");
+  const Bytes a = nf::nas_cipher(kenc_, 1, true, data);
+  const Bytes b = nf::nas_cipher(kenc_, 2, true, data);
+  const Bytes c = nf::nas_cipher(kenc_, 1, false, data);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(nf::nas_cipher(kenc_, 1, true, a), data);  // involution
+}
+
+// ---------------------------------------------------------------------
+// GUTI re-registration / identity request / deregistration
+// ---------------------------------------------------------------------
+
+class ProcedureFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SliceConfig cfg;
+    cfg.mode = IsolationMode::kContainer;
+    cfg.subscriber_count = 2;
+    slice_ = std::make_unique<Slice>(cfg);
+    slice_->create();
+  }
+
+  std::unique_ptr<Slice> slice_;
+};
+
+TEST_F(ProcedureFixture, GutiReregistrationSkipsAka) {
+  ran::UeDevice ue(slice_->subscriber(0), 1);
+  ASSERT_TRUE(slice_->gnbsim().register_ue(ue, true).session_up);
+  const std::string first_guti = ue.guti();
+  const auto av_count = slice_->udm().av_generated_count();
+
+  const auto again = slice_->gnbsim().reregister_ue(ue, true);
+  EXPECT_TRUE(again.session_up);
+  EXPECT_EQ(slice_->amf().guti_reregistrations(), 1u);
+  // No fresh authentication vector was generated.
+  EXPECT_EQ(slice_->udm().av_generated_count(), av_count);
+  // A fresh GUTI is issued.
+  EXPECT_NE(ue.guti(), first_guti);
+  // Re-registration is faster: no AKA chain, fewer NAS rounds.
+  EXPECT_LT(again.message_rounds, 5);
+}
+
+TEST_F(ProcedureFixture, UnknownGutiFallsBackToIdentityRequest) {
+  ran::UeDevice ue(slice_->subscriber(0), 2);
+  ASSERT_TRUE(slice_->gnbsim().register_ue(ue, true).session_up);
+
+  // AMF restart: all contexts lost, the UE's GUTI is now stale.
+  slice_->amf().flush_contexts();
+  const auto again = slice_->gnbsim().reregister_ue(ue, true);
+  EXPECT_TRUE(again.session_up);
+  EXPECT_EQ(slice_->amf().identity_requests(), 1u);
+  EXPECT_EQ(slice_->amf().guti_reregistrations(), 0u);
+  // The fallback ran a full AKA.
+  EXPECT_GE(slice_->udm().av_generated_count(), 2u);
+}
+
+TEST_F(ProcedureFixture, DeregistrationReleasesEverything) {
+  ran::UeDevice ue(slice_->subscriber(0), 3);
+  const auto ran_ue_id = slice_->gnb().attach_ue();
+  std::optional<Bytes> uplink = ue.start_registration();
+  while (uplink) {
+    const auto down = slice_->gnb().deliver_uplink(ran_ue_id, *uplink);
+    if (!down) break;
+    uplink = ue.handle_downlink(*down);
+  }
+  uplink = ue.request_pdu_session();
+  while (uplink) {
+    const auto down = slice_->gnb().deliver_uplink(ran_ue_id, *uplink);
+    if (!down) break;
+    uplink = ue.handle_downlink(*down);
+  }
+  ASSERT_EQ(ue.state(), ran::UeNasState::kSessionUp);
+  ASSERT_EQ(slice_->upf().session_count(), 1u);
+
+  const auto dereg = ue.request_deregistration();
+  const auto accept = slice_->gnb().deliver_uplink(ran_ue_id, dereg);
+  ASSERT_TRUE(accept.has_value());
+  EXPECT_EQ(ue.handle_downlink(*accept), std::nullopt);
+  EXPECT_EQ(ue.state(), ran::UeNasState::kIdle);
+  EXPECT_TRUE(ue.guti().empty());
+  EXPECT_EQ(slice_->amf().deregistrations(), 1u);
+  EXPECT_EQ(slice_->upf().session_count(), 0u);  // PDU session released
+  EXPECT_EQ(slice_->amf().ue_state(ran_ue_id),
+            nf::UeState::kDeregistered);
+}
+
+TEST_F(ProcedureFixture, ReregistrationWithoutPriorSessionIsFreshAka) {
+  ran::UeDevice ue(slice_->subscriber(1), 4);
+  // Never registered: start_reregistration degrades to registration.
+  const auto result = slice_->gnbsim().reregister_ue(ue, true);
+  EXPECT_TRUE(result.session_up);
+  EXPECT_EQ(slice_->amf().guti_reregistrations(), 0u);
+}
+
+TEST_F(ProcedureFixture, GutiReregistrationWorksUnderSgx) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kSgx;
+  cfg.subscriber_count = 1;
+  Slice sgx_slice(cfg);
+  sgx_slice.create();
+  ran::UeDevice ue(sgx_slice.subscriber(0), 5);
+  ASSERT_TRUE(sgx_slice.gnbsim().register_ue(ue, true).session_up);
+  EXPECT_TRUE(sgx_slice.gnbsim().reregister_ue(ue, true).session_up);
+  EXPECT_EQ(sgx_slice.amf().guti_reregistrations(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------
+
+TEST_F(ProcedureFixture, CorruptedRecordsFailCleanly) {
+  net::Bus::FaultPlan faults;
+  faults.corrupt_record_prob = 1.0;
+  slice_->bus().set_fault_plan(faults);
+  const auto result = slice_->register_subscriber(0, true);
+  EXPECT_FALSE(result.registered);
+  EXPECT_GT(slice_->bus().faults_injected(), 0u);
+  // Recovery: clear the faults and the same subscriber registers.
+  slice_->bus().set_fault_plan({});
+  EXPECT_TRUE(slice_->register_subscriber(0, true).session_up);
+}
+
+TEST_F(ProcedureFixture, DroppedResponsesSurfaceAsTimeouts) {
+  net::Bus::FaultPlan faults;
+  faults.drop_response_prob = 1.0;
+  slice_->bus().set_fault_plan(faults);
+  const sim::Nanos t0 = slice_->clock().now();
+  const auto result = slice_->register_subscriber(0, true);
+  EXPECT_FALSE(result.registered);
+  // The retransmission timeout was charged.
+  EXPECT_GT(slice_->clock().now() - t0, 150 * sim::kMillisecond);
+}
+
+TEST_F(ProcedureFixture, OccasionalCorruptionDegradesGracefully) {
+  net::Bus::FaultPlan faults;
+  faults.corrupt_record_prob = 0.02;
+  slice_->bus().set_fault_plan(faults);
+  // Some registrations may fail; none may crash or wedge the slice.
+  int ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    ok += slice_->register_subscriber(i % 2, true).session_up ? 1 : 0;
+  }
+  EXPECT_GT(ok, 0);
+}
+
+// ---------------------------------------------------------------------
+// RA-TLS identity binding
+// ---------------------------------------------------------------------
+
+TEST(RaTls, IdentityQuoteBindsTlsKey) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kSgx;
+  cfg.subscriber_count = 1;
+  Slice s(cfg);
+  s.create();
+
+  const auto quote = s.eudm()->identity_quote();
+  const auto identity = s.bus().server_identity("eudm-aka");
+  ASSERT_TRUE(identity.has_value());
+  EXPECT_EQ(quote.report_data, crypto::Sha256::digest(*identity));
+
+  const sgx::AttestationVerifier verifier(
+      Bytes(s.machine().attestation_key().begin(),
+            s.machine().attestation_key().end()));
+  EXPECT_TRUE(verifier.verify(
+      quote, s.eudm()->runtime()->enclave().measurement()));
+
+  // A swapped TLS key (MITM trying to front the module) breaks the
+  // binding even though the quote itself is genuine.
+  Rng rng(9);
+  const auto other = crypto::x25519_keypair(rng.bytes(32));
+  EXPECT_NE(quote.report_data, crypto::Sha256::digest(other.public_key));
+}
+
+TEST(RaTls, SliceCreationUsesIdentityQuotes) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kSgx;
+  cfg.subscriber_count = 1;
+  Slice s(cfg);
+  const auto creation = s.create();
+  EXPECT_TRUE(creation.attestation_ok);
+}
+
+}  // namespace
+}  // namespace shield5g

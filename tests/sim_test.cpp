@@ -1,0 +1,129 @@
+// Virtual clock and discrete-event scheduler tests.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/scheduler.h"
+
+namespace shield5g::sim {
+namespace {
+
+TEST(VirtualClock, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), 100u);
+  clock.advance(0);
+  EXPECT_EQ(clock.now(), 100u);
+}
+
+TEST(VirtualClock, AdvanceToAbsolute) {
+  VirtualClock clock;
+  clock.advance_to(1'000);
+  EXPECT_EQ(clock.now(), 1'000u);
+  clock.advance_to(1'000);  // same instant is allowed
+  EXPECT_THROW(clock.advance_to(999), std::logic_error);
+}
+
+TEST(VirtualClock, ObserversSeeEveryAdvance) {
+  VirtualClock clock;
+  std::vector<std::pair<Nanos, Nanos>> seen;
+  clock.add_observer([&seen](Nanos prev, Nanos now) {
+    seen.emplace_back(prev, now);
+  });
+  clock.advance(10);
+  clock.advance(5);
+  ASSERT_EQ(seen.size(), 2u);
+  const auto first = std::make_pair<Nanos, Nanos>(0, 10);
+  const auto second = std::make_pair<Nanos, Nanos>(10, 15);
+  EXPECT_EQ(seen[0], first);
+  EXPECT_EQ(seen[1], second);
+}
+
+TEST(VirtualClock, ObserverRemoval) {
+  VirtualClock clock;
+  int calls = 0;
+  const std::size_t id =
+      clock.add_observer([&calls](Nanos, Nanos) { ++calls; });
+  clock.advance(1);
+  clock.remove_observer(id);
+  clock.advance(1);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(VirtualClock, UnitHelpers) {
+  EXPECT_DOUBLE_EQ(to_us(1'500), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(2'500'000), 2.5);
+  EXPECT_DOUBLE_EQ(to_s(3 * kSecond), 3.0);
+}
+
+TEST(Scheduler, RunsInTimestampOrder) {
+  VirtualClock clock;
+  Scheduler sched(clock);
+  std::vector<int> order;
+  sched.at(30, [&order] { order.push_back(3); });
+  sched.at(10, [&order] { order.push_back(1); });
+  sched.at(20, [&order] { order.push_back(2); });
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clock.now(), 30u);
+}
+
+TEST(Scheduler, FifoAmongSameInstant) {
+  VirtualClock clock;
+  Scheduler sched(clock);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.at(100, [&order, i] { order.push_back(i); });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, TasksMayScheduleMoreTasks) {
+  VirtualClock clock;
+  Scheduler sched(clock);
+  int fired = 0;
+  sched.at(10, [&] {
+    ++fired;
+    sched.after(5, [&] { ++fired; });
+  });
+  sched.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(clock.now(), 15u);
+}
+
+TEST(Scheduler, RunUntilLeavesLaterEventsQueued) {
+  VirtualClock clock;
+  Scheduler sched(clock);
+  int fired = 0;
+  sched.at(10, [&fired] { ++fired; });
+  sched.at(100, [&fired] { ++fired; });
+  sched.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(clock.now(), 50u);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Scheduler, PastInstantRejected) {
+  VirtualClock clock;
+  Scheduler sched(clock);
+  clock.advance(100);
+  EXPECT_THROW(sched.at(50, [] {}), std::logic_error);
+}
+
+TEST(Scheduler, AfterIsRelative) {
+  VirtualClock clock;
+  Scheduler sched(clock);
+  clock.advance(1'000);
+  Nanos fired_at = 0;
+  sched.after(250, [&] { fired_at = clock.now(); });
+  sched.run();
+  EXPECT_EQ(fired_at, 1'250u);
+}
+
+}  // namespace
+}  // namespace shield5g::sim

@@ -1,0 +1,174 @@
+// Slice orchestrator tests: creation under each isolation mode,
+// attestation/sealing admission, deployment policies, creation timing.
+#include <gtest/gtest.h>
+
+#include "slice/slice.h"
+
+namespace shield5g::slice {
+namespace {
+
+TEST(SliceTest, ModeNames) {
+  EXPECT_STREQ(isolation_mode_name(IsolationMode::kMonolithic),
+               "monolithic");
+  EXPECT_STREQ(isolation_mode_name(IsolationMode::kContainer), "container");
+  EXPECT_STREQ(isolation_mode_name(IsolationMode::kSgx), "sgx");
+}
+
+TEST(SliceTest, MonolithicHasNoPakaModules) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kMonolithic;
+  Slice s(cfg);
+  const SliceCreation creation = s.create();
+  EXPECT_EQ(s.eudm(), nullptr);
+  EXPECT_EQ(s.eausf(), nullptr);
+  EXPECT_EQ(s.eamf(), nullptr);
+  EXPECT_EQ(creation.eudm_load, 0u);
+  EXPECT_LT(sim::to_s(creation.total), 1.0);
+}
+
+TEST(SliceTest, ContainerModeDeploysPlainModules) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kContainer;
+  Slice s(cfg);
+  const SliceCreation creation = s.create();
+  ASSERT_NE(s.eudm(), nullptr);
+  EXPECT_FALSE(creation.attestation_ok);  // nothing to attest
+  EXPECT_EQ(s.eudm()->runtime(), nullptr);
+  EXPECT_GT(s.eudm()->key_count(), 0u);  // plain provisioning
+  EXPECT_LT(sim::to_s(creation.total), 10.0);
+}
+
+TEST(SliceTest, SgxModeAttestsAndSealsBeforeAdmission) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kSgx;
+  cfg.subscriber_count = 4;
+  Slice s(cfg);
+  const SliceCreation creation = s.create();
+  EXPECT_TRUE(creation.attestation_ok);
+  EXPECT_TRUE(creation.sealed_provisioning_ok);
+  EXPECT_EQ(s.eudm()->key_count(), 4u);
+  // Slice creation is dominated by three ~1-minute enclave loads
+  // (Fig. 7: this is the slice creation / migration cost).
+  EXPECT_GT(sim::to_s(creation.total), 150.0);
+  EXPECT_LT(sim::to_s(creation.total), 220.0);
+  for (const sim::Nanos load :
+       {creation.eudm_load, creation.eausf_load, creation.eamf_load}) {
+    EXPECT_GT(sim::to_s(load), 50.0);
+    EXPECT_LT(sim::to_s(load), 65.0);
+  }
+}
+
+TEST(SliceTest, DoubleCreateThrows) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kMonolithic;
+  Slice s(cfg);
+  s.create();
+  EXPECT_THROW(s.create(), std::logic_error);
+}
+
+TEST(SliceTest, SubscriberAccessors) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kMonolithic;
+  cfg.subscriber_count = 3;
+  Slice s(cfg);
+  s.create();
+  const auto usim = s.subscriber(2);
+  EXPECT_EQ(usim.plmn.id(), "00101");
+  EXPECT_EQ(usim.k.size(), 16u);
+  EXPECT_EQ(usim.msin.size(), 10u);
+  EXPECT_THROW(s.subscriber(3), std::out_of_range);
+  // Distinct subscribers get distinct keys.
+  EXPECT_NE(s.subscriber(0).k, s.subscriber(1).k);
+}
+
+TEST(SliceTest, PakaOptionsPropagate) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kSgx;
+  cfg.paka.epc_size = 1ULL << 30;
+  cfg.paka.max_threads = 10;
+  Slice s(cfg);
+  s.create();
+  const auto& manifest = s.eudm()->runtime()->image().manifest;
+  EXPECT_EQ(manifest.enclave_size, 1ULL << 30);
+  EXPECT_EQ(manifest.max_threads, 10u);
+}
+
+TEST(SliceTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    SliceConfig cfg;
+    cfg.mode = IsolationMode::kContainer;
+    cfg.subscriber_count = 1;
+    Slice s(cfg);
+    s.create();
+    return s.register_subscriber(0, true).setup_time;
+  };
+  EXPECT_EQ(run(), run());  // same seed -> identical virtual timing
+}
+
+TEST(SliceTest, SeedChangesJitterNotOutcome) {
+  SliceConfig a;
+  a.mode = IsolationMode::kContainer;
+  a.subscriber_count = 1;
+  a.seed = 1;
+  Slice sa(a);
+  sa.create();
+  const auto ra = sa.register_subscriber(0, true);
+
+  SliceConfig b = a;
+  b.seed = 2;
+  Slice sb(b);
+  sb.create();
+  const auto rb = sb.register_subscriber(0, true);
+
+  EXPECT_TRUE(ra.session_up);
+  EXPECT_TRUE(rb.session_up);
+  EXPECT_NE(ra.setup_time, rb.setup_time);
+}
+
+TEST(SliceTest, EudmReplicaPool) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kSgx;
+  cfg.eudm_replicas = 3;
+  cfg.subscriber_count = 6;
+  Slice s(cfg);
+  const auto creation = s.create();
+  EXPECT_EQ(s.eudm_replicas().size(), 3u);
+  EXPECT_TRUE(creation.attestation_ok);       // every replica attested
+  EXPECT_TRUE(creation.sealed_provisioning_ok);  // every replica keyed
+  EXPECT_EQ(s.machine().enclave_count(), 5u);    // 3x eUDM + eAUSF + eAMF
+
+  // Registrations round-robin across the replicas.
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_TRUE(s.register_subscriber(i, false).registered) << i;
+  }
+  for (const auto& replica : s.eudm_replicas()) {
+    EXPECT_EQ(replica->server().requests_served(), 2u)
+        << replica->name();
+  }
+}
+
+TEST(SliceTest, ReplicasInContainerMode) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kContainer;
+  cfg.eudm_replicas = 2;
+  cfg.subscriber_count = 2;
+  Slice s(cfg);
+  s.create();
+  EXPECT_EQ(s.eudm_replicas().size(), 2u);
+  EXPECT_GT(s.eudm()->key_count(), 0u);  // plain provisioning reached all
+  EXPECT_TRUE(s.register_subscriber(0, true).session_up);
+  EXPECT_TRUE(s.register_subscriber(1, true).session_up);
+}
+
+TEST(SliceTest, ThreeModulesShareTheEpcPool) {
+  SliceConfig cfg;
+  cfg.mode = IsolationMode::kSgx;
+  Slice s(cfg);
+  s.create();
+  // 3 x 512 MB committed out of the 16 GB combined EPC.
+  EXPECT_EQ(s.machine().epc().used_bytes(), 3 * (512ULL << 20));
+  EXPECT_EQ(s.machine().enclave_count(), 3u);
+}
+
+}  // namespace
+}  // namespace shield5g::slice
