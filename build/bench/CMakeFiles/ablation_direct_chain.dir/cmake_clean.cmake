@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_direct_chain.dir/ablation_direct_chain.cpp.o"
+  "CMakeFiles/ablation_direct_chain.dir/ablation_direct_chain.cpp.o.d"
+  "ablation_direct_chain"
+  "ablation_direct_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_direct_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_exitless.dir/ablation_exitless.cpp.o"
+  "CMakeFiles/ablation_exitless.dir/ablation_exitless.cpp.o.d"
+  "ablation_exitless"
+  "ablation_exitless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_exitless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

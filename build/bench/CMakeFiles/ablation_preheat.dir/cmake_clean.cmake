@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preheat.dir/ablation_preheat.cpp.o"
+  "CMakeFiles/ablation_preheat.dir/ablation_preheat.cpp.o.d"
+  "ablation_preheat"
+  "ablation_preheat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preheat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/e2e_session_setup.dir/e2e_session_setup.cpp.o"
+  "CMakeFiles/e2e_session_setup.dir/e2e_session_setup.cpp.o.d"
+  "e2e_session_setup"
+  "e2e_session_setup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/e2e_session_setup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_threads_epc.dir/fig8_threads_epc.cpp.o"
+  "CMakeFiles/fig8_threads_epc.dir/fig8_threads_epc.cpp.o.d"
+  "fig8_threads_epc"
+  "fig8_threads_epc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_threads_epc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

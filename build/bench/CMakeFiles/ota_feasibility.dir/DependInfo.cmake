@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ota_feasibility.cpp" "bench/CMakeFiles/ota_feasibility.dir/ota_feasibility.cpp.o" "gcc" "bench/CMakeFiles/ota_feasibility.dir/ota_feasibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s5g_slice.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_paka.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_libos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_ki.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

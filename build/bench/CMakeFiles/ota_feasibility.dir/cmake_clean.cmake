@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ota_feasibility.dir/ota_feasibility.cpp.o"
+  "CMakeFiles/ota_feasibility.dir/ota_feasibility.cpp.o.d"
+  "ota_feasibility"
+  "ota_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ota_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_key_issues.dir/table5_key_issues.cpp.o"
+  "CMakeFiles/table5_key_issues.dir/table5_key_issues.cpp.o.d"
+  "table5_key_issues"
+  "table5_key_issues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_key_issues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

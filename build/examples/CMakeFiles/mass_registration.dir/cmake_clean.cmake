@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mass_registration.dir/mass_registration.cpp.o"
+  "CMakeFiles/mass_registration.dir/mass_registration.cpp.o.d"
+  "mass_registration"
+  "mass_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mass_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ota_registration.dir/ota_registration.cpp.o"
+  "CMakeFiles/ota_registration.dir/ota_registration.cpp.o.d"
+  "ota_registration"
+  "ota_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ota_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ota_registration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice_lifecycle.dir/slice_lifecycle.cpp.o"
+  "CMakeFiles/slice_lifecycle.dir/slice_lifecycle.cpp.o.d"
+  "slice_lifecycle"
+  "slice_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_common.dir/common/bytes.cpp.o"
+  "CMakeFiles/s5g_common.dir/common/bytes.cpp.o.d"
+  "CMakeFiles/s5g_common.dir/common/hex.cpp.o"
+  "CMakeFiles/s5g_common.dir/common/hex.cpp.o.d"
+  "CMakeFiles/s5g_common.dir/common/log.cpp.o"
+  "CMakeFiles/s5g_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/s5g_common.dir/common/rng.cpp.o"
+  "CMakeFiles/s5g_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/s5g_common.dir/common/stats.cpp.o"
+  "CMakeFiles/s5g_common.dir/common/stats.cpp.o.d"
+  "libs5g_common.a"
+  "libs5g_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes128.cpp" "src/CMakeFiles/s5g_crypto.dir/crypto/aes128.cpp.o" "gcc" "src/CMakeFiles/s5g_crypto.dir/crypto/aes128.cpp.o.d"
+  "/root/repo/src/crypto/ecies.cpp" "src/CMakeFiles/s5g_crypto.dir/crypto/ecies.cpp.o" "gcc" "src/CMakeFiles/s5g_crypto.dir/crypto/ecies.cpp.o.d"
+  "/root/repo/src/crypto/hmac_sha256.cpp" "src/CMakeFiles/s5g_crypto.dir/crypto/hmac_sha256.cpp.o" "gcc" "src/CMakeFiles/s5g_crypto.dir/crypto/hmac_sha256.cpp.o.d"
+  "/root/repo/src/crypto/kdf.cpp" "src/CMakeFiles/s5g_crypto.dir/crypto/kdf.cpp.o" "gcc" "src/CMakeFiles/s5g_crypto.dir/crypto/kdf.cpp.o.d"
+  "/root/repo/src/crypto/key_hierarchy.cpp" "src/CMakeFiles/s5g_crypto.dir/crypto/key_hierarchy.cpp.o" "gcc" "src/CMakeFiles/s5g_crypto.dir/crypto/key_hierarchy.cpp.o.d"
+  "/root/repo/src/crypto/milenage.cpp" "src/CMakeFiles/s5g_crypto.dir/crypto/milenage.cpp.o" "gcc" "src/CMakeFiles/s5g_crypto.dir/crypto/milenage.cpp.o.d"
+  "/root/repo/src/crypto/op_count.cpp" "src/CMakeFiles/s5g_crypto.dir/crypto/op_count.cpp.o" "gcc" "src/CMakeFiles/s5g_crypto.dir/crypto/op_count.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/s5g_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/s5g_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/suci.cpp" "src/CMakeFiles/s5g_crypto.dir/crypto/suci.cpp.o" "gcc" "src/CMakeFiles/s5g_crypto.dir/crypto/suci.cpp.o.d"
+  "/root/repo/src/crypto/x25519.cpp" "src/CMakeFiles/s5g_crypto.dir/crypto/x25519.cpp.o" "gcc" "src/CMakeFiles/s5g_crypto.dir/crypto/x25519.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

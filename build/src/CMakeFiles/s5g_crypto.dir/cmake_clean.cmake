@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_crypto.dir/crypto/aes128.cpp.o"
+  "CMakeFiles/s5g_crypto.dir/crypto/aes128.cpp.o.d"
+  "CMakeFiles/s5g_crypto.dir/crypto/ecies.cpp.o"
+  "CMakeFiles/s5g_crypto.dir/crypto/ecies.cpp.o.d"
+  "CMakeFiles/s5g_crypto.dir/crypto/hmac_sha256.cpp.o"
+  "CMakeFiles/s5g_crypto.dir/crypto/hmac_sha256.cpp.o.d"
+  "CMakeFiles/s5g_crypto.dir/crypto/kdf.cpp.o"
+  "CMakeFiles/s5g_crypto.dir/crypto/kdf.cpp.o.d"
+  "CMakeFiles/s5g_crypto.dir/crypto/key_hierarchy.cpp.o"
+  "CMakeFiles/s5g_crypto.dir/crypto/key_hierarchy.cpp.o.d"
+  "CMakeFiles/s5g_crypto.dir/crypto/milenage.cpp.o"
+  "CMakeFiles/s5g_crypto.dir/crypto/milenage.cpp.o.d"
+  "CMakeFiles/s5g_crypto.dir/crypto/op_count.cpp.o"
+  "CMakeFiles/s5g_crypto.dir/crypto/op_count.cpp.o.d"
+  "CMakeFiles/s5g_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/s5g_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/s5g_crypto.dir/crypto/suci.cpp.o"
+  "CMakeFiles/s5g_crypto.dir/crypto/suci.cpp.o.d"
+  "CMakeFiles/s5g_crypto.dir/crypto/x25519.cpp.o"
+  "CMakeFiles/s5g_crypto.dir/crypto/x25519.cpp.o.d"
+  "libs5g_crypto.a"
+  "libs5g_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

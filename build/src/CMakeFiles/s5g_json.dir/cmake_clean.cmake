@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_json.dir/json/json.cpp.o"
+  "CMakeFiles/s5g_json.dir/json/json.cpp.o.d"
+  "libs5g_json.a"
+  "libs5g_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_ki.dir/ki/key_issues.cpp.o"
+  "CMakeFiles/s5g_ki.dir/ki/key_issues.cpp.o.d"
+  "libs5g_ki.a"
+  "libs5g_ki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_ki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

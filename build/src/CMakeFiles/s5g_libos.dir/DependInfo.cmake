@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/libos/gsc.cpp" "src/CMakeFiles/s5g_libos.dir/libos/gsc.cpp.o" "gcc" "src/CMakeFiles/s5g_libos.dir/libos/gsc.cpp.o.d"
+  "/root/repo/src/libos/manifest.cpp" "src/CMakeFiles/s5g_libos.dir/libos/manifest.cpp.o" "gcc" "src/CMakeFiles/s5g_libos.dir/libos/manifest.cpp.o.d"
+  "/root/repo/src/libos/runtime.cpp" "src/CMakeFiles/s5g_libos.dir/libos/runtime.cpp.o" "gcc" "src/CMakeFiles/s5g_libos.dir/libos/runtime.cpp.o.d"
+  "/root/repo/src/libos/trusted_files.cpp" "src/CMakeFiles/s5g_libos.dir/libos/trusted_files.cpp.o" "gcc" "src/CMakeFiles/s5g_libos.dir/libos/trusted_files.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s5g_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

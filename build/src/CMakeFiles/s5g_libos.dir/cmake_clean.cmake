@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_libos.dir/libos/gsc.cpp.o"
+  "CMakeFiles/s5g_libos.dir/libos/gsc.cpp.o.d"
+  "CMakeFiles/s5g_libos.dir/libos/manifest.cpp.o"
+  "CMakeFiles/s5g_libos.dir/libos/manifest.cpp.o.d"
+  "CMakeFiles/s5g_libos.dir/libos/runtime.cpp.o"
+  "CMakeFiles/s5g_libos.dir/libos/runtime.cpp.o.d"
+  "CMakeFiles/s5g_libos.dir/libos/trusted_files.cpp.o"
+  "CMakeFiles/s5g_libos.dir/libos/trusted_files.cpp.o.d"
+  "libs5g_libos.a"
+  "libs5g_libos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_libos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bus.cpp" "src/CMakeFiles/s5g_net.dir/net/bus.cpp.o" "gcc" "src/CMakeFiles/s5g_net.dir/net/bus.cpp.o.d"
+  "/root/repo/src/net/http.cpp" "src/CMakeFiles/s5g_net.dir/net/http.cpp.o" "gcc" "src/CMakeFiles/s5g_net.dir/net/http.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/CMakeFiles/s5g_net.dir/net/router.cpp.o" "gcc" "src/CMakeFiles/s5g_net.dir/net/router.cpp.o.d"
+  "/root/repo/src/net/tls.cpp" "src/CMakeFiles/s5g_net.dir/net/tls.cpp.o" "gcc" "src/CMakeFiles/s5g_net.dir/net/tls.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s5g_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

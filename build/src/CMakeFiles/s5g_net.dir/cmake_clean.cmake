@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_net.dir/net/bus.cpp.o"
+  "CMakeFiles/s5g_net.dir/net/bus.cpp.o.d"
+  "CMakeFiles/s5g_net.dir/net/http.cpp.o"
+  "CMakeFiles/s5g_net.dir/net/http.cpp.o.d"
+  "CMakeFiles/s5g_net.dir/net/router.cpp.o"
+  "CMakeFiles/s5g_net.dir/net/router.cpp.o.d"
+  "CMakeFiles/s5g_net.dir/net/tls.cpp.o"
+  "CMakeFiles/s5g_net.dir/net/tls.cpp.o.d"
+  "libs5g_net.a"
+  "libs5g_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

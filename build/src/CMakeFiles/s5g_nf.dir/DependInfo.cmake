@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nf/aka_core.cpp" "src/CMakeFiles/s5g_nf.dir/nf/aka_core.cpp.o" "gcc" "src/CMakeFiles/s5g_nf.dir/nf/aka_core.cpp.o.d"
+  "/root/repo/src/nf/amf.cpp" "src/CMakeFiles/s5g_nf.dir/nf/amf.cpp.o" "gcc" "src/CMakeFiles/s5g_nf.dir/nf/amf.cpp.o.d"
+  "/root/repo/src/nf/ausf.cpp" "src/CMakeFiles/s5g_nf.dir/nf/ausf.cpp.o" "gcc" "src/CMakeFiles/s5g_nf.dir/nf/ausf.cpp.o.d"
+  "/root/repo/src/nf/nas.cpp" "src/CMakeFiles/s5g_nf.dir/nf/nas.cpp.o" "gcc" "src/CMakeFiles/s5g_nf.dir/nf/nas.cpp.o.d"
+  "/root/repo/src/nf/ngap.cpp" "src/CMakeFiles/s5g_nf.dir/nf/ngap.cpp.o" "gcc" "src/CMakeFiles/s5g_nf.dir/nf/ngap.cpp.o.d"
+  "/root/repo/src/nf/nrf.cpp" "src/CMakeFiles/s5g_nf.dir/nf/nrf.cpp.o" "gcc" "src/CMakeFiles/s5g_nf.dir/nf/nrf.cpp.o.d"
+  "/root/repo/src/nf/smf.cpp" "src/CMakeFiles/s5g_nf.dir/nf/smf.cpp.o" "gcc" "src/CMakeFiles/s5g_nf.dir/nf/smf.cpp.o.d"
+  "/root/repo/src/nf/types.cpp" "src/CMakeFiles/s5g_nf.dir/nf/types.cpp.o" "gcc" "src/CMakeFiles/s5g_nf.dir/nf/types.cpp.o.d"
+  "/root/repo/src/nf/udm.cpp" "src/CMakeFiles/s5g_nf.dir/nf/udm.cpp.o" "gcc" "src/CMakeFiles/s5g_nf.dir/nf/udm.cpp.o.d"
+  "/root/repo/src/nf/udr.cpp" "src/CMakeFiles/s5g_nf.dir/nf/udr.cpp.o" "gcc" "src/CMakeFiles/s5g_nf.dir/nf/udr.cpp.o.d"
+  "/root/repo/src/nf/upf.cpp" "src/CMakeFiles/s5g_nf.dir/nf/upf.cpp.o" "gcc" "src/CMakeFiles/s5g_nf.dir/nf/upf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s5g_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_nf.dir/nf/aka_core.cpp.o"
+  "CMakeFiles/s5g_nf.dir/nf/aka_core.cpp.o.d"
+  "CMakeFiles/s5g_nf.dir/nf/amf.cpp.o"
+  "CMakeFiles/s5g_nf.dir/nf/amf.cpp.o.d"
+  "CMakeFiles/s5g_nf.dir/nf/ausf.cpp.o"
+  "CMakeFiles/s5g_nf.dir/nf/ausf.cpp.o.d"
+  "CMakeFiles/s5g_nf.dir/nf/nas.cpp.o"
+  "CMakeFiles/s5g_nf.dir/nf/nas.cpp.o.d"
+  "CMakeFiles/s5g_nf.dir/nf/ngap.cpp.o"
+  "CMakeFiles/s5g_nf.dir/nf/ngap.cpp.o.d"
+  "CMakeFiles/s5g_nf.dir/nf/nrf.cpp.o"
+  "CMakeFiles/s5g_nf.dir/nf/nrf.cpp.o.d"
+  "CMakeFiles/s5g_nf.dir/nf/smf.cpp.o"
+  "CMakeFiles/s5g_nf.dir/nf/smf.cpp.o.d"
+  "CMakeFiles/s5g_nf.dir/nf/types.cpp.o"
+  "CMakeFiles/s5g_nf.dir/nf/types.cpp.o.d"
+  "CMakeFiles/s5g_nf.dir/nf/udm.cpp.o"
+  "CMakeFiles/s5g_nf.dir/nf/udm.cpp.o.d"
+  "CMakeFiles/s5g_nf.dir/nf/udr.cpp.o"
+  "CMakeFiles/s5g_nf.dir/nf/udr.cpp.o.d"
+  "CMakeFiles/s5g_nf.dir/nf/upf.cpp.o"
+  "CMakeFiles/s5g_nf.dir/nf/upf.cpp.o.d"
+  "libs5g_nf.a"
+  "libs5g_nf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_nf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

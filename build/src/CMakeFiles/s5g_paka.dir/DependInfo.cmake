@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paka/aka_amf.cpp" "src/CMakeFiles/s5g_paka.dir/paka/aka_amf.cpp.o" "gcc" "src/CMakeFiles/s5g_paka.dir/paka/aka_amf.cpp.o.d"
+  "/root/repo/src/paka/aka_ausf.cpp" "src/CMakeFiles/s5g_paka.dir/paka/aka_ausf.cpp.o" "gcc" "src/CMakeFiles/s5g_paka.dir/paka/aka_ausf.cpp.o.d"
+  "/root/repo/src/paka/aka_udm.cpp" "src/CMakeFiles/s5g_paka.dir/paka/aka_udm.cpp.o" "gcc" "src/CMakeFiles/s5g_paka.dir/paka/aka_udm.cpp.o.d"
+  "/root/repo/src/paka/deployment.cpp" "src/CMakeFiles/s5g_paka.dir/paka/deployment.cpp.o" "gcc" "src/CMakeFiles/s5g_paka.dir/paka/deployment.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s5g_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_libos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_sgx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

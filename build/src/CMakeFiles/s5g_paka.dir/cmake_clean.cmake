@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_paka.dir/paka/aka_amf.cpp.o"
+  "CMakeFiles/s5g_paka.dir/paka/aka_amf.cpp.o.d"
+  "CMakeFiles/s5g_paka.dir/paka/aka_ausf.cpp.o"
+  "CMakeFiles/s5g_paka.dir/paka/aka_ausf.cpp.o.d"
+  "CMakeFiles/s5g_paka.dir/paka/aka_udm.cpp.o"
+  "CMakeFiles/s5g_paka.dir/paka/aka_udm.cpp.o.d"
+  "CMakeFiles/s5g_paka.dir/paka/deployment.cpp.o"
+  "CMakeFiles/s5g_paka.dir/paka/deployment.cpp.o.d"
+  "libs5g_paka.a"
+  "libs5g_paka.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_paka.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

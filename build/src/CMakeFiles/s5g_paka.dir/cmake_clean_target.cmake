@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libs5g_paka.a"
+)

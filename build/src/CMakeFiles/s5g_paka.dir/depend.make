@@ -1,0 +1,2 @@
+# Empty dependencies file for s5g_paka.
+# This may be replaced when dependencies are built.

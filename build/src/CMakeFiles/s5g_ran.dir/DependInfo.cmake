@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ran/cots_ue.cpp" "src/CMakeFiles/s5g_ran.dir/ran/cots_ue.cpp.o" "gcc" "src/CMakeFiles/s5g_ran.dir/ran/cots_ue.cpp.o.d"
+  "/root/repo/src/ran/gnb.cpp" "src/CMakeFiles/s5g_ran.dir/ran/gnb.cpp.o" "gcc" "src/CMakeFiles/s5g_ran.dir/ran/gnb.cpp.o.d"
+  "/root/repo/src/ran/gnbsim.cpp" "src/CMakeFiles/s5g_ran.dir/ran/gnbsim.cpp.o" "gcc" "src/CMakeFiles/s5g_ran.dir/ran/gnbsim.cpp.o.d"
+  "/root/repo/src/ran/radio.cpp" "src/CMakeFiles/s5g_ran.dir/ran/radio.cpp.o" "gcc" "src/CMakeFiles/s5g_ran.dir/ran/radio.cpp.o.d"
+  "/root/repo/src/ran/ue.cpp" "src/CMakeFiles/s5g_ran.dir/ran/ue.cpp.o" "gcc" "src/CMakeFiles/s5g_ran.dir/ran/ue.cpp.o.d"
+  "/root/repo/src/ran/usim.cpp" "src/CMakeFiles/s5g_ran.dir/ran/usim.cpp.o" "gcc" "src/CMakeFiles/s5g_ran.dir/ran/usim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s5g_nf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_ran.dir/ran/cots_ue.cpp.o"
+  "CMakeFiles/s5g_ran.dir/ran/cots_ue.cpp.o.d"
+  "CMakeFiles/s5g_ran.dir/ran/gnb.cpp.o"
+  "CMakeFiles/s5g_ran.dir/ran/gnb.cpp.o.d"
+  "CMakeFiles/s5g_ran.dir/ran/gnbsim.cpp.o"
+  "CMakeFiles/s5g_ran.dir/ran/gnbsim.cpp.o.d"
+  "CMakeFiles/s5g_ran.dir/ran/radio.cpp.o"
+  "CMakeFiles/s5g_ran.dir/ran/radio.cpp.o.d"
+  "CMakeFiles/s5g_ran.dir/ran/ue.cpp.o"
+  "CMakeFiles/s5g_ran.dir/ran/ue.cpp.o.d"
+  "CMakeFiles/s5g_ran.dir/ran/usim.cpp.o"
+  "CMakeFiles/s5g_ran.dir/ran/usim.cpp.o.d"
+  "libs5g_ran.a"
+  "libs5g_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sgx/attestation.cpp" "src/CMakeFiles/s5g_sgx.dir/sgx/attestation.cpp.o" "gcc" "src/CMakeFiles/s5g_sgx.dir/sgx/attestation.cpp.o.d"
+  "/root/repo/src/sgx/cost_model.cpp" "src/CMakeFiles/s5g_sgx.dir/sgx/cost_model.cpp.o" "gcc" "src/CMakeFiles/s5g_sgx.dir/sgx/cost_model.cpp.o.d"
+  "/root/repo/src/sgx/enclave.cpp" "src/CMakeFiles/s5g_sgx.dir/sgx/enclave.cpp.o" "gcc" "src/CMakeFiles/s5g_sgx.dir/sgx/enclave.cpp.o.d"
+  "/root/repo/src/sgx/epc.cpp" "src/CMakeFiles/s5g_sgx.dir/sgx/epc.cpp.o" "gcc" "src/CMakeFiles/s5g_sgx.dir/sgx/epc.cpp.o.d"
+  "/root/repo/src/sgx/machine.cpp" "src/CMakeFiles/s5g_sgx.dir/sgx/machine.cpp.o" "gcc" "src/CMakeFiles/s5g_sgx.dir/sgx/machine.cpp.o.d"
+  "/root/repo/src/sgx/sealing.cpp" "src/CMakeFiles/s5g_sgx.dir/sgx/sealing.cpp.o" "gcc" "src/CMakeFiles/s5g_sgx.dir/sgx/sealing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/s5g_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/s5g_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_sgx.dir/sgx/attestation.cpp.o"
+  "CMakeFiles/s5g_sgx.dir/sgx/attestation.cpp.o.d"
+  "CMakeFiles/s5g_sgx.dir/sgx/cost_model.cpp.o"
+  "CMakeFiles/s5g_sgx.dir/sgx/cost_model.cpp.o.d"
+  "CMakeFiles/s5g_sgx.dir/sgx/enclave.cpp.o"
+  "CMakeFiles/s5g_sgx.dir/sgx/enclave.cpp.o.d"
+  "CMakeFiles/s5g_sgx.dir/sgx/epc.cpp.o"
+  "CMakeFiles/s5g_sgx.dir/sgx/epc.cpp.o.d"
+  "CMakeFiles/s5g_sgx.dir/sgx/machine.cpp.o"
+  "CMakeFiles/s5g_sgx.dir/sgx/machine.cpp.o.d"
+  "CMakeFiles/s5g_sgx.dir/sgx/sealing.cpp.o"
+  "CMakeFiles/s5g_sgx.dir/sgx/sealing.cpp.o.d"
+  "libs5g_sgx.a"
+  "libs5g_sgx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_sgx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for s5g_sgx.
+# This may be replaced when dependencies are built.

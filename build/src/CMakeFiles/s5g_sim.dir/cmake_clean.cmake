@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_sim.dir/sim/clock.cpp.o"
+  "CMakeFiles/s5g_sim.dir/sim/clock.cpp.o.d"
+  "CMakeFiles/s5g_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/s5g_sim.dir/sim/scheduler.cpp.o.d"
+  "libs5g_sim.a"
+  "libs5g_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s5g_slice.dir/slice/slice.cpp.o"
+  "CMakeFiles/s5g_slice.dir/slice/slice.cpp.o.d"
+  "libs5g_slice.a"
+  "libs5g_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s5g_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ki_test.dir/ki_test.cpp.o"
+  "CMakeFiles/ki_test.dir/ki_test.cpp.o.d"
+  "ki_test"
+  "ki_test.pdb"
+  "ki_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ki_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/negative_paths_test.dir/negative_paths_test.cpp.o"
+  "CMakeFiles/negative_paths_test.dir/negative_paths_test.cpp.o.d"
+  "negative_paths_test"
+  "negative_paths_test.pdb"
+  "negative_paths_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/negative_paths_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paka_test.dir/paka_test.cpp.o"
+  "CMakeFiles/paka_test.dir/paka_test.cpp.o.d"
+  "paka_test"
+  "paka_test.pdb"
+  "paka_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paka_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
