@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, and run the full test suite.
+#
+#   scripts/ci.sh             # everything
+#   scripts/ci.sh -L unit     # extra args are passed to ctest, e.g. one
+#                             # label tier (unit | integration | slow)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}"
+cmake --build "$build" -j "$jobs"
+ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"

@@ -1,0 +1,254 @@
+#include "load/generator.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "ran/ue.h"
+#include "sim/scheduler.h"
+
+namespace shield5g::load {
+
+namespace {
+
+// Round caps shared with GnbSim::drive — a wedged UE terminates.
+constexpr int kMaxRegistrationRounds = 16;
+constexpr int kMaxTotalRounds = 24;
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+class Engine;
+
+/// One UE's registration as a chain of scheduled exchanges. Each step
+/// runs one synchronous NAS exchange inside a clock span; the UE then
+/// "sleeps" until the exchange's completion instant.
+class UeSession {
+ public:
+  UeSession(Engine& engine, std::uint32_t index, ran::UeDevice ue,
+            bool with_pdu)
+      : engine_(engine), index_(index), ue_(std::move(ue)),
+        with_pdu_(with_pdu) {}
+
+  void start();
+
+ private:
+  enum class Phase { kRegistering, kPdu };
+
+  void step();
+  void resume();
+  void finish();
+
+  Engine& engine_;
+  std::uint32_t index_;
+  ran::UeDevice ue_;
+  bool with_pdu_;
+  Phase phase_ = Phase::kRegistering;
+  bool attached_ = false;
+  std::uint64_t ran_ue_id_ = 0;
+  std::optional<Bytes> uplink_;
+  int rounds_ = 0;
+  sim::Nanos arrival_ = 0;
+};
+
+class Engine {
+ public:
+  Engine(slice::Slice& slice, const LoadConfig& config)
+      : slice_(slice), config_(config), scheduler_(slice.clock()) {}
+
+  LoadReport run();
+
+  slice::Slice& slice() noexcept { return slice_; }
+  sim::VirtualClock& clock() noexcept { return slice_.clock(); }
+  sim::Scheduler& scheduler() noexcept { return scheduler_; }
+  ran::Gnb& gnb() noexcept { return slice_.gnb(); }
+  LoadReport& report() noexcept { return report_; }
+  sim::Nanos run_start() const noexcept { return run_start_; }
+
+  void trace(std::uint32_t ue, const char* what) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "t=%" PRIu64 " ue=%u %s",
+                  clock().now() - run_start_, ue, what);
+    for (const char* p = line; *p != '\0'; ++p) {
+      trace_hash_ = (trace_hash_ ^ static_cast<std::uint8_t>(*p)) * kFnvPrime;
+    }
+    trace_hash_ *= kFnvPrime;  // line separator
+    if (config_.record_trace) report_.trace.emplace_back(line);
+  }
+
+ private:
+  slice::Slice& slice_;
+  const LoadConfig& config_;
+  sim::Scheduler scheduler_;
+  LoadReport report_;
+  std::vector<std::unique_ptr<UeSession>> sessions_;
+  sim::Nanos run_start_ = 0;
+  std::uint64_t trace_hash_ = kFnvOffset;
+
+ public:
+  LoadReport take_report() {
+    report_.trace_hash = trace_hash_;
+    return std::move(report_);
+  }
+
+  void build_and_schedule() {
+    if (!slice_.created()) {
+      throw std::logic_error("LoadGenerator: slice must be created first");
+    }
+    if (config_.ue_count > slice_.config().subscriber_count) {
+      throw std::invalid_argument(
+          "LoadGenerator: ue_count exceeds provisioned subscribers");
+    }
+    run_start_ = clock().now();
+    Rng arrivals_rng(config_.seed ^ 0xa221ULL);
+    const std::vector<sim::Nanos> schedule =
+        arrival_schedule(config_.arrivals, config_.ue_count, arrivals_rng);
+    sessions_.reserve(config_.ue_count);
+    for (std::uint32_t i = 0; i < config_.ue_count; ++i) {
+      // Same per-UE device seeding as Slice::register_subscriber, so a
+      // 1-UE open-loop run replays the closed-loop byte flow.
+      sessions_.push_back(std::make_unique<UeSession>(
+          *this, i,
+          ran::UeDevice(slice_.subscriber(i),
+                        slice_.config().seed ^ (0x0eULL + i)),
+          config_.with_pdu));
+      UeSession* session = sessions_.back().get();
+      scheduler_.at(run_start_ + schedule[i], [session] { session->start(); });
+    }
+  }
+
+  void drain() { scheduler_.run(); }
+};
+
+void UeSession::start() {
+  arrival_ = engine_.clock().now();
+  engine_.report().arrival_ms.add(sim::to_ms(arrival_ - engine_.run_start()));
+  engine_.trace(index_, "arrive");
+  step();
+}
+
+void UeSession::step() {
+  sim::ClockSpan span(engine_.clock());
+  if (!attached_) {
+    ran_ue_id_ = engine_.gnb().attach_ue();
+    uplink_ = ue_.start_registration();
+    attached_ = true;
+  }
+  const auto downlink = engine_.gnb().deliver_uplink(ran_ue_id_, *uplink_);
+  std::optional<Bytes> next;
+  if (downlink) next = ue_.handle_downlink(*downlink);
+  ++rounds_;
+  uplink_ = std::move(next);
+  const sim::Nanos done_at = span.start() + span.close();
+  engine_.scheduler().at(done_at, [this] { resume(); });
+}
+
+void UeSession::resume() {
+  engine_.trace(index_, phase_ == Phase::kRegistering ? "reg-round"
+                                                      : "pdu-round");
+  if (phase_ == Phase::kRegistering) {
+    if (uplink_ && rounds_ < kMaxRegistrationRounds) {
+      step();
+      return;
+    }
+    if (ue_.state() == ran::UeNasState::kRegistered && with_pdu_) {
+      phase_ = Phase::kPdu;
+      uplink_ = ue_.request_pdu_session();
+      step();
+      return;
+    }
+    finish();
+    return;
+  }
+  if (uplink_ && rounds_ < kMaxTotalRounds) {
+    step();
+    return;
+  }
+  finish();
+}
+
+void UeSession::finish() {
+  LoadReport& report = engine_.report();
+  ++report.completed;
+  const bool registered = ue_.state() == ran::UeNasState::kRegistered ||
+                          ue_.state() == ran::UeNasState::kSessionUp;
+  const bool session_up = ue_.state() == ran::UeNasState::kSessionUp;
+  if (registered) {
+    ++report.registered;
+    report.setup_ms.add(sim::to_ms(engine_.clock().now() - arrival_));
+  } else {
+    ++report.failed;
+  }
+  if (session_up) ++report.sessions_up;
+  engine_.trace(index_, registered ? (session_up ? "done session-up"
+                                                 : "done registered")
+                                   : "done failed");
+}
+
+}  // namespace
+
+LoadReport LoadGenerator::run(slice::Slice& slice, const LoadConfig& config) {
+  Engine engine(slice, config);
+  engine.build_and_schedule();
+  engine.drain();
+  LoadReport report = engine.take_report();
+  report.offered_rate_per_s = config.arrivals.rate_per_s;
+  report.makespan = slice.clock().now() - engine.run_start();
+  if (report.makespan > 0) {
+    report.achieved_rate_per_s =
+        static_cast<double>(report.registered) / sim::to_s(report.makespan);
+  }
+  return report;
+}
+
+std::string LoadReport::summary() const {
+  char buf[256];
+  // An empty run (no UE registered) has no setup distribution to quote.
+  const double p50 = setup_ms.empty() ? 0.0 : setup_ms.median();
+  const double p95 = setup_ms.empty() ? 0.0 : setup_ms.percentile(95.0);
+  std::snprintf(buf, sizeof(buf),
+                "%u/%u registered (%u sessions, %u failed), offered %.0f/s, "
+                "achieved %.0f/s, setup p50 %.2f ms p95 %.2f ms",
+                registered, completed, sessions_up, failed, offered_rate_per_s,
+                achieved_rate_per_s, p50, p95);
+  return buf;
+}
+
+std::vector<QueueSnapshot> queue_snapshots(slice::Slice& slice) {
+  std::vector<QueueSnapshot> snapshots;
+  auto add = [&snapshots](const std::string& name, net::Server* server) {
+    if (server == nullptr) return;
+    const net::ServiceQueue& queue = server->queue();
+    QueueSnapshot snap;
+    snap.server = name;
+    snap.workers = queue.config().workers;
+    snap.admitted = queue.admitted();
+    snap.queued = queue.queued();
+    snap.rejected = queue.rejected();
+    if (!queue.wait_us().empty()) {
+      snap.wait_p50_us = queue.wait_us().median();
+      snap.wait_max_us = queue.wait_us().max();
+    }
+    snap.total_wait = queue.total_wait();
+    snapshots.push_back(std::move(snap));
+  };
+  add("amf", &slice.amf().server());
+  add("ausf", &slice.ausf().server());
+  add("udm", &slice.udm().server());
+  add("udr", &slice.udr().server());
+  add("smf", &slice.smf().server());
+  add("nrf", &slice.nrf().server());
+  for (const auto& replica : slice.eudm_replicas()) {
+    add(replica->name(), &replica->server());
+  }
+  if (slice.eausf() != nullptr) add(slice.eausf()->name(),
+                                    &slice.eausf()->server());
+  if (slice.eamf() != nullptr) add(slice.eamf()->name(),
+                                   &slice.eamf()->server());
+  return snapshots;
+}
+
+}  // namespace shield5g::load

@@ -1,0 +1,51 @@
+// Multi-threaded Monte Carlo runner for seed sweeps.
+//
+// Each job builds its own fully independent simulation (slice, clock,
+// RNGs) and stays single-threaded and deterministic; real host threads
+// only fan the *independent* jobs out across cores. Results land in an
+// index-addressed vector, so the aggregate is byte-identical regardless
+// of thread count or completion order.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace shield5g::load {
+
+/// Runs `fn(i)` for i in [0, jobs) on up to `threads` host threads
+/// (0 = hardware concurrency) and returns the results in job order.
+template <typename Fn>
+auto monte_carlo(std::size_t jobs, Fn fn, unsigned threads = 0)
+    -> std::vector<decltype(fn(std::size_t{}))> {
+  using Result = decltype(fn(std::size_t{}));
+  std::vector<Result> results(jobs);
+  if (jobs == 0) return results;
+
+  unsigned workers = threads != 0 ? threads : std::thread::hardware_concurrency();
+  if (workers == 0) workers = 1;
+  if (workers > jobs) workers = static_cast<unsigned>(jobs);
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < jobs; ++i) results[i] = fn(i);
+    return results;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&results, &next, &fn, jobs] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= jobs) return;
+        results[i] = fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace shield5g::load

@@ -206,8 +206,28 @@ Bus::Exchange Bus::request(const std::string& from, const std::string& to,
   }
   clock_.advance(bridge_ns(record.size()));
 
+  // Admission: the request waits in the server's bounded FIFO until a
+  // worker frees up. The wait is real virtual time — it is what turns
+  // offered load into queueing delay under the concurrent engine.
+  const sim::Nanos arrival = clock_.now();
+  const ServiceQueue::Admission adm = server.queue().admit(arrival);
+  if (!adm.accepted) {
+    if (!keep_alive_) {
+      client.syscall(Sys::kClose);
+      server.env().syscall(Sys::kClose);
+      connections_.erase(conn_key);
+    }
+    exchange.response = HttpResponse::error(503, "server saturated: queue full");
+    exchange.transport_ok = true;  // clean HTTP-level rejection
+    exchange.response_ns = clock_.now() - start;
+    return exchange;
+  }
+  exchange.queue_ns = adm.start - arrival;
+  if (exchange.queue_ns > 0) clock_.advance(exchange.queue_ns);
+
   // Server pipeline.
   auto served = server.serve_record(record, *conn->server, clock_, rng_);
+  server.queue().complete(adm.worker, clock_.now());
   exchange.l_f = served.l_f;
   exchange.l_t = served.l_t;
   if (!served.ok) {

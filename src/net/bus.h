@@ -24,6 +24,7 @@
 #include "net/env.h"
 #include "net/http.h"
 #include "net/router.h"
+#include "net/service_queue.h"
 #include "net/tls.h"
 #include "sim/clock.h"
 
@@ -103,6 +104,13 @@ class Server {
   ExecutionEnv& env() noexcept { return *env_; }
   RequestProfile& profile() noexcept { return profile_; }
 
+  /// Admission queue + worker-pool occupancy: every request through the
+  /// bus passes it before the service window opens. With a single
+  /// in-flight caller every wait is zero; under the open-loop engine it
+  /// charges real queueing delay.
+  ServiceQueue& queue() noexcept { return queue_; }
+  const ServiceQueue& queue() const noexcept { return queue_; }
+
   /// Swaps the execution environment (used when re-deploying the same
   /// module from container to enclave).
   void rebind_env(ExecutionEnv& env) noexcept { env_ = &env; }
@@ -132,6 +140,7 @@ class Server {
   const NetCosts* costs_;
   Router router_;
   RequestProfile profile_;
+  ServiceQueue queue_;
   Samples lf_us_;
   Samples lt_us_;
   std::uint64_t served_ = 0;
@@ -177,6 +186,7 @@ class Bus {
     HttpResponse response;
     sim::Nanos l_f = 0;        // server handler window
     sim::Nanos l_t = 0;        // server request window
+    sim::Nanos queue_ns = 0;   // time spent in the server's FIFO queue
     sim::Nanos response_ns = 0;  // client-observed response time
     bool transport_ok = false;
   };

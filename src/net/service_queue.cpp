@@ -1,0 +1,74 @@
+#include "net/service_queue.h"
+
+#include <algorithm>
+
+namespace shield5g::net {
+
+void ServiceQueue::configure(Config config) {
+  config_ = config;
+  busy_until_.assign(config_.workers, 0);
+  pending_starts_.clear();
+  reset_stats();
+}
+
+void ServiceQueue::reset_stats() {
+  wait_us_.clear();
+  admitted_ = 0;
+  rejected_ = 0;
+  queued_ = 0;
+  total_wait_ = 0;
+  max_depth_ = 0;
+}
+
+std::size_t ServiceQueue::depth(sim::Nanos at) const {
+  return static_cast<std::size_t>(std::count_if(
+      pending_starts_.begin(), pending_starts_.end(),
+      [at](sim::Nanos start) { return start > at; }));
+}
+
+ServiceQueue::Admission ServiceQueue::admit(sim::Nanos arrival) {
+  Admission adm;
+  if (config_.workers == 0) {  // unlimited: no queueing model
+    adm.accepted = true;
+    adm.start = arrival;
+    ++admitted_;
+    return adm;
+  }
+
+  // Earliest-free worker, lowest index on ties (deterministic replay).
+  std::uint32_t best = 0;
+  for (std::uint32_t w = 1; w < config_.workers; ++w) {
+    if (busy_until_[w] < busy_until_[best]) best = w;
+  }
+  const sim::Nanos start = std::max(arrival, busy_until_[best]);
+  const sim::Nanos wait = start - arrival;
+
+  std::erase_if(pending_starts_,
+                [arrival](sim::Nanos s) { return s <= arrival; });
+  if (wait > 0) {
+    if (config_.capacity > 0 && pending_starts_.size() >= config_.capacity) {
+      ++rejected_;
+      return adm;  // shed: bounded FIFO is full
+    }
+    pending_starts_.push_back(start);
+    max_depth_ = std::max(max_depth_, pending_starts_.size());
+    ++queued_;
+  }
+
+  adm.accepted = true;
+  adm.worker = best;
+  adm.start = start;
+  ++admitted_;
+  total_wait_ += wait;
+  wait_us_.add(sim::to_us(wait));
+  // Reserve until service start; complete() extends to the real end.
+  busy_until_[best] = start;
+  return adm;
+}
+
+void ServiceQueue::complete(std::uint32_t worker, sim::Nanos end) {
+  if (worker >= busy_until_.size()) return;  // unlimited mode no-op
+  busy_until_[worker] = std::max(busy_until_[worker], end);
+}
+
+}  // namespace shield5g::net

@@ -1,0 +1,91 @@
+// Per-service admission queue: a bounded FIFO in front of a fixed pool
+// of worker threads, tracked in virtual time.
+//
+// Every server attached to the bus owns one. A request arriving while
+// all workers are busy is queued and charged real queueing delay before
+// its service window opens; a request arriving with the queue at
+// capacity is shed (503 on the SBI, silent drop at the NGAP ingress).
+// Under container isolation the worker count models the HTTP server's
+// thread pool; under SGX it is derived from the enclave TCS budget
+// (`sgx.max_threads` minus the Gramine helper threads — the Fig. 8
+// knob), which is what makes the enclave saturate earlier than the
+// container under open-loop load.
+//
+// The model is intentionally state-light: workers are a vector of
+// busy-until instants. admit() picks the earliest-free worker (ties
+// broken by lowest index, so replay is deterministic) and returns the
+// start instant; complete() stamps the worker busy until the request's
+// end. With a single in-flight caller every wait is zero and the queue
+// is invisible — the seed's paper-shape numbers are unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "sim/clock.h"
+
+namespace shield5g::net {
+
+class ServiceQueue {
+ public:
+  struct Config {
+    /// Concurrent request slots. 0 = unlimited (queue disabled).
+    std::uint32_t workers = 4;
+    /// Max requests waiting (excludes the ones being served); 0 =
+    /// unbounded.
+    std::uint32_t capacity = 256;
+  };
+
+  struct Admission {
+    bool accepted = false;
+    std::uint32_t worker = 0;
+    sim::Nanos start = 0;  // service start; start - arrival = queue wait
+  };
+
+  ServiceQueue() { configure(Config{}); }
+  explicit ServiceQueue(Config config) { configure(config); }
+
+  /// Replaces the configuration and resets occupancy and statistics
+  /// (a redeploy starts with an empty queue).
+  void configure(Config config);
+  const Config& config() const noexcept { return config_; }
+
+  /// Admits (or sheds) a request arriving at `arrival`. On acceptance
+  /// the chosen worker is reserved from the returned start instant; the
+  /// caller must pair it with complete() once service finishes.
+  Admission admit(sim::Nanos arrival);
+
+  /// Marks `worker` busy until `end` (the request's completion).
+  void complete(std::uint32_t worker, sim::Nanos end);
+
+  /// Requests queued (admitted but not yet started) at instant `at`.
+  std::size_t depth(sim::Nanos at) const;
+
+  // ---- Statistics ------------------------------------------------------
+  Samples& wait_us() noexcept { return wait_us_; }
+  const Samples& wait_us() const noexcept { return wait_us_; }
+  std::uint64_t admitted() const noexcept { return admitted_; }
+  std::uint64_t rejected() const noexcept { return rejected_; }
+  std::uint64_t queued() const noexcept { return queued_; }
+  sim::Nanos total_wait() const noexcept { return total_wait_; }
+  std::size_t max_depth() const noexcept { return max_depth_; }
+  void reset_stats();
+
+ private:
+  Config config_;
+  std::vector<sim::Nanos> busy_until_;
+  /// Service-start instants of waiting requests (pruned lazily). Not
+  /// sorted: the load engine's lookahead admits chains in event order,
+  /// which need not be arrival order.
+  std::vector<sim::Nanos> pending_starts_;
+
+  Samples wait_us_;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t queued_ = 0;
+  sim::Nanos total_wait_ = 0;
+  std::size_t max_depth_ = 0;
+};
+
+}  // namespace shield5g::net

@@ -144,6 +144,15 @@ sim::Nanos PakaService::deploy() {
     run_env.syscall(i % 2 == 0 ? Sys::kStat : Sys::kMmap);
   }
 
+  // Concurrency limit of the module's request pipeline: the container
+  // worker pool, or the enclave TCS budget net of Gramine helpers.
+  net::ServiceQueue::Config queue;
+  queue.workers = options_.isolation == Isolation::kSgx
+                      ? options_.sgx_workers()
+                      : options_.container_workers;
+  queue.capacity = options_.queue_capacity;
+  server_.queue().configure(queue);
+
   server_.reset_served();
   bus_.attach(server_);
   deployed_ = true;

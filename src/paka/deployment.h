@@ -56,6 +56,20 @@ struct PakaOptions {
   std::uint32_t max_threads = 4;          // paper default: 4
   bool preheat = true;
   bool exitless = false;  // paper §V-B7 future-work feature
+  /// Request workers of the module's HTTP server under container
+  /// isolation. Under SGX the worker count is instead derived from the
+  /// TCS budget: max_threads minus the Gramine helper threads (IPC,
+  /// async events, pipe-TLS), floor 1 — the paper's "3 helpers + 1
+  /// worker" layout at the default max_threads = 4.
+  std::uint32_t container_workers = 4;
+  /// Bounded FIFO depth in front of the worker pool (0 = unbounded).
+  std::uint32_t queue_capacity = 128;
+
+  /// Enclave worker threads left after the Gramine helpers.
+  std::uint32_t sgx_workers() const noexcept {
+    constexpr std::uint32_t kGramineHelpers = 3;
+    return max_threads > kGramineHelpers ? max_threads - kGramineHelpers : 1;
+  }
 };
 
 class PakaService {

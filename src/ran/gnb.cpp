@@ -29,7 +29,15 @@ Gnb::Gnb(sim::VirtualClock& clock, nf::Amf& amf, CellConfig cell,
 
 std::optional<Bytes> Gnb::exchange_ngap(const nf::NgapMessage& msg) {
   clock_.advance(ngap_.one_way);  // gNB -> AMF (N2)
+  // NGAP ingress shares the AMF's worker pool: under open-loop load a
+  // NAS transport waits for a free worker like any SBI request, and is
+  // silently dropped (no NGAP-level 503) when the queue is full.
+  net::ServiceQueue& queue = amf_.server().queue();
+  const net::ServiceQueue::Admission adm = queue.admit(clock_.now());
+  if (!adm.accepted) return std::nullopt;
+  if (adm.start > clock_.now()) clock_.advance_to(adm.start);
   const auto response = amf_.handle_ngap(msg.encode());
+  queue.complete(adm.worker, clock_.now());
   if (response) clock_.advance(ngap_.one_way);  // AMF -> gNB
   return response;
 }

@@ -17,6 +17,13 @@ void VirtualClock::advance_to(Nanos instant) {
   advance(instant - now_);
 }
 
+void VirtualClock::rewind(Nanos instant) {
+  if (instant > now_) {
+    throw std::logic_error("VirtualClock::rewind: instant in the future");
+  }
+  now_ = instant;
+}
+
 std::size_t VirtualClock::add_observer(Observer fn) {
   observers_.emplace_back(next_id_, std::move(fn));
   return next_id_++;

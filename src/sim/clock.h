@@ -40,6 +40,13 @@ class VirtualClock {
   /// Moves time forward to an absolute instant (>= now).
   void advance_to(Nanos instant);
 
+  /// Engine-internal: moves time *backwards* to `instant` (<= now).
+  /// Observers are NOT notified — the rewound interval was a lookahead
+  /// (a concurrent request chain computed atomically into the future by
+  /// the load engine), not wall time that un-happens. Use ClockSpan
+  /// rather than calling this directly.
+  void rewind(Nanos instant);
+
   /// Registers an observer; returns an id usable with remove_observer.
   std::size_t add_observer(Observer fn);
   void remove_observer(std::size_t id);
@@ -48,6 +55,42 @@ class VirtualClock {
   Nanos now_ = 0;
   std::vector<std::pair<std::size_t, Observer>> observers_;
   std::size_t next_id_ = 1;
+};
+
+/// Lookahead window for the concurrent load engine: a synchronous call
+/// chain runs inline (advancing the clock through queueing and service
+/// charges), then `close()` rewinds to the start instant and reports the
+/// elapsed virtual time so the caller can schedule the chain's completion
+/// as a discrete event. Other chains dispatched in between observe the
+/// first chain's server occupancy through per-server queue state, not
+/// through the clock — that is what turns the synchronous pipeline into a
+/// concurrent one without giving up determinism.
+class ClockSpan {
+ public:
+  explicit ClockSpan(VirtualClock& clock)
+      : clock_(clock), start_(clock.now()) {}
+  ~ClockSpan() {
+    if (!closed_) clock_.rewind(start_);
+  }
+
+  ClockSpan(const ClockSpan&) = delete;
+  ClockSpan& operator=(const ClockSpan&) = delete;
+
+  Nanos start() const noexcept { return start_; }
+  Nanos elapsed() const noexcept { return clock_.now() - start_; }
+
+  /// Rewinds the clock to the span's start; returns the elapsed time.
+  Nanos close() {
+    const Nanos e = elapsed();
+    clock_.rewind(start_);
+    closed_ = true;
+    return e;
+  }
+
+ private:
+  VirtualClock& clock_;
+  Nanos start_;
+  bool closed_ = false;
 };
 
 }  // namespace shield5g::sim

@@ -1,6 +1,7 @@
 #include "slice/slice.h"
 
 #include <cstdio>
+#include <initializer_list>
 #include <map>
 #include <stdexcept>
 
@@ -78,6 +79,14 @@ Slice::Slice(SliceConfig config)
     }
     eausf_ = std::make_unique<paka::EausfAkaService>(machine_, bus_, paka);
     eamf_ = std::make_unique<paka::EamfAkaService>(machine_, bus_, paka);
+  }
+
+  const net::ServiceQueue::Config vnf_queue{config_.vnf_workers,
+                                            config_.vnf_queue_capacity};
+  for (nf::Vnf* vnf : std::initializer_list<nf::Vnf*>{
+           udr_.get(), nrf_.get(), smf_.get(), udm_.get(), ausf_.get(),
+           amf_.get()}) {
+    vnf->server().queue().configure(vnf_queue);
   }
 
   gnb_ = std::make_unique<ran::Gnb>(

@@ -45,6 +45,11 @@ struct SliceConfig {
   /// round-robins AV generation across this many eUDM replicas.
   std::uint32_t eudm_replicas = 1;
   bool keep_alive = false;             // SBI connection reuse
+  /// Request workers per core VNF (UDR/UDM/AUSF/AMF/SMF/NRF) and the
+  /// bounded FIFO depth in front of them. P-AKA module concurrency is
+  /// configured separately via `paka` (TCS-derived under SGX).
+  std::uint32_t vnf_workers = 4;
+  std::uint32_t vnf_queue_capacity = 256;
   std::uint64_t seed = 0x51C3ULL;
   net::NetCosts net_costs;
   sgx::CostModel sgx_costs;

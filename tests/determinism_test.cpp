@@ -1,0 +1,107 @@
+// Deterministic replay under the concurrent-registration engine: the
+// same slice seed + workload config must produce bit-identical event
+// traces and summary statistics across independent runs. This is the
+// property every experiment in EXPERIMENTS.md leans on — without it the
+// load benches would not be reproducible.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "load/generator.h"
+#include "slice/slice.h"
+
+namespace shield5g {
+namespace {
+
+load::LoadReport run_once(slice::IsolationMode mode, std::uint64_t slice_seed,
+                          const load::LoadConfig& load_cfg) {
+  slice::SliceConfig config;
+  config.mode = mode;
+  config.subscriber_count = load_cfg.ue_count;
+  config.seed = slice_seed;
+  slice::Slice slice(config);
+  slice.create();
+  load::LoadGenerator generator;
+  return generator.run(slice, load_cfg);
+}
+
+void expect_identical(const load::LoadReport& a, const load::LoadReport& b) {
+  // Trace first: a mismatch here names the first diverging event.
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    ASSERT_EQ(a.trace[i], b.trace[i]) << "first divergence at event " << i;
+  }
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.registered, b.registered);
+  EXPECT_EQ(a.sessions_up, b.sessions_up);
+  EXPECT_EQ(a.failed, b.failed);
+  EXPECT_EQ(a.makespan, b.makespan);
+  // Bit-identical, not approximately equal: the virtual-time engine has
+  // no tolerance to hide behind.
+  EXPECT_EQ(a.setup_ms.values(), b.setup_ms.values());
+  EXPECT_EQ(a.arrival_ms.values(), b.arrival_ms.values());
+  EXPECT_EQ(a.offered_rate_per_s, b.offered_rate_per_s);
+  EXPECT_EQ(a.achieved_rate_per_s, b.achieved_rate_per_s);
+}
+
+load::LoadConfig contended_config() {
+  load::LoadConfig cfg;
+  cfg.ue_count = 60;
+  cfg.arrivals.kind = load::ArrivalKind::kPoisson;
+  cfg.arrivals.rate_per_s = 2000.0;  // well past the knee: queues engage
+  cfg.record_trace = true;
+  return cfg;
+}
+
+TEST(Determinism, ContainerReplayIsBitIdentical) {
+  const load::LoadConfig cfg = contended_config();
+  const auto a = run_once(slice::IsolationMode::kContainer, 0xd5ee1ULL, cfg);
+  const auto b = run_once(slice::IsolationMode::kContainer, 0xd5ee1ULL, cfg);
+  expect_identical(a, b);
+  EXPECT_GT(a.registered, 0u);
+  EXPECT_FALSE(a.trace.empty());
+}
+
+TEST(Determinism, SgxReplayIsBitIdentical) {
+  // SGX single-worker modules queue hardest — the strongest replay test.
+  const load::LoadConfig cfg = contended_config();
+  const auto a = run_once(slice::IsolationMode::kSgx, 0xd5ee2ULL, cfg);
+  const auto b = run_once(slice::IsolationMode::kSgx, 0xd5ee2ULL, cfg);
+  expect_identical(a, b);
+  EXPECT_GT(a.registered, 0u);
+}
+
+TEST(Determinism, BurstArrivalsReplayIsBitIdentical) {
+  load::LoadConfig cfg = contended_config();
+  cfg.arrivals.kind = load::ArrivalKind::kBurst;
+  cfg.arrivals.burst_size = 12;
+  const auto a = run_once(slice::IsolationMode::kContainer, 0xd5ee3ULL, cfg);
+  const auto b = run_once(slice::IsolationMode::kContainer, 0xd5ee3ULL, cfg);
+  expect_identical(a, b);
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  // Sanity check that the hash actually discriminates: a different
+  // workload seed must move at least the arrival instants.
+  load::LoadConfig cfg = contended_config();
+  const auto a = run_once(slice::IsolationMode::kContainer, 0xd5ee4ULL, cfg);
+  cfg.seed ^= 1;
+  const auto b = run_once(slice::IsolationMode::kContainer, 0xd5ee4ULL, cfg);
+  EXPECT_NE(a.trace_hash, b.trace_hash);
+}
+
+TEST(Determinism, TraceHashIndependentOfRecording) {
+  // record_trace only keeps the lines; it must not change the hash.
+  load::LoadConfig cfg = contended_config();
+  const auto a = run_once(slice::IsolationMode::kContainer, 0xd5ee5ULL, cfg);
+  cfg.record_trace = false;
+  const auto b = run_once(slice::IsolationMode::kContainer, 0xd5ee5ULL, cfg);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_TRUE(b.trace.empty());
+}
+
+}  // namespace
+}  // namespace shield5g

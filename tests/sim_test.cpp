@@ -125,5 +125,107 @@ TEST(Scheduler, AfterIsRelative) {
   EXPECT_EQ(fired_at, 1'250u);
 }
 
+// ---- run_until edge cases (the concurrent engine leans on these) -------
+
+TEST(Scheduler, RunUntilFifoAmongEventsAtTheDeadline) {
+  // Events AT the deadline run, in submission order.
+  VirtualClock clock;
+  Scheduler sched(clock);
+  std::vector<int> order;
+  sched.at(50, [&order] { order.push_back(0); });
+  sched.at(50, [&order] { order.push_back(1); });
+  sched.at(50, [&order] { order.push_back(2); });
+  sched.run_until(50);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(clock.now(), 50u);
+  EXPECT_TRUE(sched.empty());
+}
+
+TEST(Scheduler, RunUntilRunsEventsScheduledByEventsAtTheDeadline) {
+  // A deadline-instant event that schedules another deadline-instant
+  // event must see it run in the same call; one scheduled a nanosecond
+  // later must stay queued.
+  VirtualClock clock;
+  Scheduler sched(clock);
+  std::vector<int> order;
+  sched.at(100, [&] {
+    order.push_back(0);
+    sched.at(100, [&order] { order.push_back(1); });
+    sched.at(101, [&order] { order.push_back(2); });
+  });
+  sched.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(clock.now(), 100u);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(clock.now(), 101u);
+}
+
+TEST(Scheduler, RunUntilAdvancesToDeadlineWithEmptyQueue) {
+  VirtualClock clock;
+  Scheduler sched(clock);
+  sched.run_until(777);
+  EXPECT_EQ(clock.now(), 777u);
+  // A second call to the same instant is a no-op, not a rewind.
+  sched.run_until(777);
+  EXPECT_EQ(clock.now(), 777u);
+}
+
+TEST(Scheduler, RunUntilInterleavesCascadesAcrossInstants) {
+  // An event before the deadline schedules work at and past the
+  // deadline; only the "past" part may remain queued.
+  VirtualClock clock;
+  Scheduler sched(clock);
+  std::vector<Nanos> fired;
+  sched.at(10, [&] {
+    fired.push_back(clock.now());
+    sched.after(10, [&] { fired.push_back(clock.now()); });   // t=20
+    sched.after(90, [&] { fired.push_back(clock.now()); });   // t=100
+    sched.after(91, [&] { fired.push_back(clock.now()); });   // t=101
+  });
+  sched.run_until(100);
+  EXPECT_EQ(fired, (std::vector<Nanos>{10, 20, 100}));
+  EXPECT_EQ(clock.now(), 100u);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+// ---- rewind / ClockSpan (the concurrent engine's lookahead) ------------
+
+TEST(VirtualClock, RewindMovesBackwardsSilently) {
+  VirtualClock clock;
+  int notifications = 0;
+  clock.add_observer([&notifications](Nanos, Nanos) { ++notifications; });
+  clock.advance(100);
+  clock.rewind(40);
+  EXPECT_EQ(clock.now(), 40u);
+  EXPECT_EQ(notifications, 1);  // only the advance was observed
+  EXPECT_THROW(clock.rewind(41), std::logic_error);  // forward = error
+  clock.rewind(40);  // same instant is allowed
+  EXPECT_EQ(clock.now(), 40u);
+}
+
+TEST(ClockSpan, MeasuresElapsedAndRewinds) {
+  VirtualClock clock;
+  clock.advance(1'000);
+  ClockSpan span(clock);
+  clock.advance(250);
+  EXPECT_EQ(span.start(), 1'000u);
+  EXPECT_EQ(span.elapsed(), 250u);
+  EXPECT_EQ(span.close(), 250u);
+  EXPECT_EQ(clock.now(), 1'000u);
+}
+
+TEST(ClockSpan, DestructorRewindsWhenNotClosed) {
+  VirtualClock clock;
+  clock.advance(500);
+  {
+    ClockSpan span(clock);
+    clock.advance(123);
+    EXPECT_EQ(clock.now(), 623u);
+  }
+  EXPECT_EQ(clock.now(), 500u);
+}
+
 }  // namespace
 }  // namespace shield5g::sim
