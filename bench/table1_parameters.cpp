@@ -47,7 +47,7 @@ int main(int, char**) {
   const nf::HeAv av = nf::generate_he_av(k, opc, rand, sqn, amf_id, snn);
   const nf::SeDerivation se = nf::derive_se(rand, av.xres_star, av.kausf,
                                             snn);
-  const Bytes kamf = nf::derive_kamf_for(se.kseaf, "001010000000001");
+  const SecretBytes kamf = nf::derive_kamf_for(se.kseaf, "001010000000001");
 
   bench::subheading("eUDM P-AKA (derive/execute: f1, f2345, KAUSF, AUTN)");
   const Param udm_in[] = {{"OPc", opc.size(), 16},

@@ -38,7 +38,8 @@ int main() {
   rogue.add_pages(64ULL << 20, Bytes{0xde, 0xad});
   rogue.init();
   {
-    std::map<nf::Supi, Bytes> keys{{nf::Supi{"victim"}, Bytes(16, 7)}};
+    std::map<nf::Supi, SecretBytes> keys;
+    keys[nf::Supi{"victim"}] = SecretBytes(Bytes(16, 7));
     const auto blob = sgx::seal(
         slice.eudm()->runtime()->enclave(),
         paka::EudmAkaService::serialize_key_table(keys),

@@ -46,7 +46,7 @@ int main() {
   // Key material must be re-provisioned: the new enclave instance has
   // the same measurement, so the old sealed blob still opens... but only
   // on the same physical host. Re-seal for the destination.
-  std::map<nf::Supi, Bytes> keys;
+  std::map<nf::Supi, SecretBytes> keys;
   for (std::uint32_t i = 0; i < config.subscriber_count; ++i) {
     const auto usim = slice.subscriber(i);
     keys[nf::Supi{usim.plmn.id() + usim.msin}] = usim.k;

@@ -1,15 +1,51 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, and run the full test suite.
 #
-#   scripts/ci.sh             # everything
+#   scripts/ci.sh             # everything (tier-1, unchanged invocation)
 #   scripts/ci.sh -L unit     # extra args are passed to ctest, e.g. one
 #                             # label tier (unit | integration | slow)
+#
+# Additional stages, each in its own build directory so sanitizer and
+# lint artifacts never contaminate the tier-1 build:
+#
+#   scripts/ci.sh lint        # shield_lint over src/ + fixture self-test
+#   scripts/ci.sh asan        # AddressSanitizer over the unit suite
+#   scripts/ci.sh ubsan       # UBSanitizer over the unit suite
+#   scripts/ci.sh tsan        # ThreadSanitizer over the Monte Carlo
+#                             # host-thread driver (src/load/montecarlo.h)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${BUILD_DIR:-$repo/build}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}"
-cmake --build "$build" -j "$jobs"
-ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"
+stage="${1:-}"
+case "$stage" in
+  lint)
+    build="${BUILD_DIR:-$repo/build-lint}"
+    cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$build" --target shield_lint lint_test -j "$jobs"
+    ctest --test-dir "$build" --output-on-failure -L lint
+    ;;
+  asan|ubsan)
+    san=address
+    [ "$stage" = ubsan ] && san=undefined
+    build="${BUILD_DIR:-$repo/build-$stage}"
+    cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DSHIELD5G_SANITIZE="$san"
+    cmake --build "$build" -j "$jobs"
+    ctest --test-dir "$build" --output-on-failure -j "$jobs" -L unit
+    ;;
+  tsan)
+    build="${BUILD_DIR:-$repo/build-tsan}"
+    cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+          -DSHIELD5G_SANITIZE=thread
+    cmake --build "$build" --target montecarlo_test -j "$jobs"
+    ctest --test-dir "$build" --output-on-failure -R '^MonteCarlo'
+    ;;
+  *)
+    build="${BUILD_DIR:-$repo/build}"
+    cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE="${BUILD_TYPE:-Release}"
+    cmake --build "$build" -j "$jobs"
+    ctest --test-dir "$build" --output-on-failure -j "$jobs" "$@"
+    ;;
+esac

@@ -1,15 +1,41 @@
 // Hexadecimal encoding/decoding for keys, identifiers and test vectors.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <string_view>
+#include <type_traits>
 
 #include "common/bytes.h"
 
 namespace shield5g {
 
+class SecretBytes;
+class SecretView;
+template <std::size_t N>
+class Secret;
+
+namespace detail {
+template <typename T>
+struct is_secret_type : std::false_type {};
+template <>
+struct is_secret_type<SecretBytes> : std::true_type {};
+template <>
+struct is_secret_type<SecretView> : std::true_type {};
+template <std::size_t N>
+struct is_secret_type<Secret<N>> : std::true_type {};
+}  // namespace detail
+
 /// Lower-case hex encoding of a byte range.
 std::string hex_encode(ByteView b);
+
+/// Tainted key material never hex-encodes directly: route through
+/// SecretBytes::declassify(DeclassifyReason, ...) instead. (Constrained
+/// so plain Bytes still picks the ByteView overload above.)
+template <typename T,
+          std::enable_if_t<detail::is_secret_type<std::decay_t<T>>::value,
+                           int> = 0>
+std::string hex_encode(const T&) = delete;
 
 /// Decodes a hex string (whitespace tolerated, case-insensitive).
 /// Throws std::invalid_argument on malformed input.

@@ -2,10 +2,16 @@
 // level; benches keep the default (warn) so experiment output stays clean.
 #pragma once
 
+#include <cstddef>
 #include <sstream>
 #include <string>
 
 namespace shield5g {
+
+class SecretBytes;
+class SecretView;
+template <std::size_t N>
+class Secret;
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
@@ -28,6 +34,13 @@ class LogStream {
     ss_ << v;
     return *this;
   }
+
+  /// Key material never reaches a log line (paper Table V). Declassify
+  /// explicitly if a redacted form is genuinely needed.
+  LogStream& operator<<(const SecretBytes&) = delete;
+  LogStream& operator<<(const SecretView&) = delete;
+  template <std::size_t N>
+  LogStream& operator<<(const Secret<N>&) = delete;
 
  private:
   LogLevel level_;

@@ -3,9 +3,47 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <stdexcept>
 
 namespace shield5g {
+
+namespace {
+std::mutex& counter_mutex() {
+  static std::mutex m;
+  return m;
+}
+std::map<std::string, std::uint64_t>& counter_map() {
+  static std::map<std::string, std::uint64_t> counters;
+  return counters;
+}
+}  // namespace
+
+void counter_add(const std::string& name, std::uint64_t delta) noexcept {
+  try {
+    const std::lock_guard<std::mutex> lock(counter_mutex());
+    counter_map()[name] += delta;
+  } catch (...) {
+    // Allocation failure while accounting must not take down a request.
+  }
+}
+
+std::uint64_t counter_value(const std::string& name) noexcept {
+  const std::lock_guard<std::mutex> lock(counter_mutex());
+  const auto& counters = counter_map();
+  const auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+void counters_reset() noexcept {
+  const std::lock_guard<std::mutex> lock(counter_mutex());
+  counter_map().clear();
+}
+
+std::map<std::string, std::uint64_t> counters_snapshot() {
+  const std::lock_guard<std::mutex> lock(counter_mutex());
+  return counter_map();
+}
 
 double Samples::mean() const {
   if (values_.empty()) throw std::logic_error("Samples::mean: empty");

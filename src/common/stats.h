@@ -3,10 +3,35 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 namespace shield5g {
+
+// ---------------------------------------------------------------------
+// Process-wide named monotonic counters.
+//
+// Used for auditing events that must be *countable* from tests and CI
+// rather than logged — most importantly every SecretBytes::declassify
+// (common/secret.h) keyed as secret.declassify.<reason>.{shielded,host}
+// plus secret.declassify.denied for gate violations. Thread-safe: the
+// Monte Carlo driver declassifies transport fields from many host
+// threads concurrently.
+// ---------------------------------------------------------------------
+
+/// Adds `delta` to the named counter (creating it at zero).
+void counter_add(const std::string& name, std::uint64_t delta = 1) noexcept;
+
+/// Current value; 0 for a counter never touched.
+std::uint64_t counter_value(const std::string& name) noexcept;
+
+/// Clears every counter (tests isolate themselves with this).
+void counters_reset() noexcept;
+
+/// Snapshot of all counters, sorted by name.
+std::map<std::string, std::uint64_t> counters_snapshot();
 
 /// Accumulates raw samples and computes order statistics on demand.
 class Samples {

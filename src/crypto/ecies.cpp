@@ -15,27 +15,29 @@ constexpr std::size_t kIcbLen = 16;     // initial counter block
 constexpr std::size_t kMacKeyLen = 32;  // HMAC-SHA-256 key
 
 struct DerivedKeys {
-  Bytes enc_key, icb, mac_key;
+  SecretBytes enc_key, mac_key;
+  Bytes icb;
 };
 
-DerivedKeys derive_keys(ByteView shared_secret, ByteView eph_public) {
-  const Bytes material =
-      x963_kdf(shared_secret, eph_public, kEncKeyLen + kIcbLen + kMacKeyLen);
+DerivedKeys derive_keys(SecretView shared_secret, ByteView eph_public) {
+  const SecretBytes material(
+      x963_kdf(shared_secret, eph_public, kEncKeyLen + kIcbLen + kMacKeyLen));
+  const ByteView raw = material.unsafe_bytes();
   DerivedKeys keys;
-  keys.enc_key = take(material, kEncKeyLen);
-  keys.icb = slice_bytes(material, kEncKeyLen, kIcbLen);
-  keys.mac_key = slice_bytes(material, kEncKeyLen + kIcbLen, kMacKeyLen);
+  keys.enc_key = SecretBytes(take(raw, kEncKeyLen));
+  keys.icb = slice_bytes(raw, kEncKeyLen, kIcbLen);
+  keys.mac_key = SecretBytes(slice_bytes(raw, kEncKeyLen + kIcbLen, kMacKeyLen));
   return keys;
 }
 }  // namespace
 
-Bytes x963_kdf(ByteView shared_secret, ByteView shared_info,
+Bytes x963_kdf(SecretView shared_secret, ByteView shared_info,
                std::size_t out_len) {
   Bytes out;
   std::uint32_t counter = 1;
   while (out.size() < out_len) {
     Sha256 hash;
-    hash.update(shared_secret);
+    hash.update(shared_secret.unsafe_bytes());
     const Bytes ctr = be_bytes(counter, 4);
     hash.update(ctr);
     hash.update(shared_info);
@@ -72,20 +74,21 @@ EciesCiphertext ecies_encrypt(ByteView receiver_public, ByteView plaintext,
 
   EciesCiphertext ct;
   ct.ephemeral_public = Bytes(eph.public_key.begin(), eph.public_key.end());
-  ct.ciphertext = aes128_ctr(keys.enc_key, keys.icb, plaintext);
-  ct.mac_tag = hmac_sha256_trunc(keys.mac_key, ct.ciphertext, kMacTagLen);
+  ct.ciphertext = aes128_ctr(keys.enc_key.unsafe_bytes(), keys.icb, plaintext);
+  ct.mac_tag =
+      hmac_sha256_trunc(keys.mac_key.unsafe_bytes(), ct.ciphertext, kMacTagLen);
   return ct;
 }
 
-std::optional<Bytes> ecies_decrypt(ByteView receiver_private,
+std::optional<Bytes> ecies_decrypt(SecretView receiver_private,
                                    const EciesCiphertext& ct) {
   const X25519Key shared = x25519(receiver_private, ct.ephemeral_public);
   const DerivedKeys keys = derive_keys(shared, ct.ephemeral_public);
 
   const Bytes expected_tag =
-      hmac_sha256_trunc(keys.mac_key, ct.ciphertext, kMacTagLen);
+      hmac_sha256_trunc(keys.mac_key.unsafe_bytes(), ct.ciphertext, kMacTagLen);
   if (!ct_equal(expected_tag, ct.mac_tag)) return std::nullopt;
-  return aes128_ctr(keys.enc_key, keys.icb, ct.ciphertext);
+  return aes128_ctr(keys.enc_key.unsafe_bytes(), keys.icb, ct.ciphertext);
 }
 
 }  // namespace shield5g::crypto

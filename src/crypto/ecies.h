@@ -27,8 +27,10 @@ struct EciesCiphertext {
 };
 
 /// ANSI X9.63 KDF with SHA-256: counter-mode expansion of the shared
-/// secret, with `shared_info` appended to each hash input.
-Bytes x963_kdf(ByteView shared_secret, ByteView shared_info,
+/// secret, with `shared_info` appended to each hash input. The shared
+/// secret is tainted (DH output); the expansion is split into keys by
+/// the caller.
+Bytes x963_kdf(SecretView shared_secret, ByteView shared_info,
                std::size_t out_len);
 
 /// Encrypts `plaintext` to the receiver's X25519 public key.
@@ -37,8 +39,9 @@ Bytes x963_kdf(ByteView shared_secret, ByteView shared_info,
 EciesCiphertext ecies_encrypt(ByteView receiver_public, ByteView plaintext,
                               ByteView ephemeral_random);
 
-/// Decrypts; returns nullopt if the MAC tag does not verify.
-std::optional<Bytes> ecies_decrypt(ByteView receiver_private,
+/// Decrypts; returns nullopt if the MAC tag does not verify. The
+/// receiver's private scalar is the home-network secret.
+std::optional<Bytes> ecies_decrypt(SecretView receiver_private,
                                    const EciesCiphertext& ct);
 
 }  // namespace shield5g::crypto

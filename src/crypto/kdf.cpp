@@ -20,11 +20,12 @@ Bytes kdf_s_string(std::uint8_t fc, const std::vector<KdfParam>& params) {
   return s;
 }
 
-Bytes kdf(ByteView key, std::uint8_t fc, const std::vector<KdfParam>& params) {
-  return hmac_sha256(key, kdf_s_string(fc, params));
+Bytes kdf(SecretView key, std::uint8_t fc,
+          const std::vector<KdfParam>& params) {
+  return hmac_sha256(key.unsafe_bytes(), kdf_s_string(fc, params));
 }
 
-Bytes kdf_trunc128(ByteView key, std::uint8_t fc,
+Bytes kdf_trunc128(SecretView key, std::uint8_t fc,
                    const std::vector<KdfParam>& params) {
   Bytes full = kdf(key, fc, params);
   return Bytes(full.begin() + 16, full.end());

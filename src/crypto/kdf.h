@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 
 namespace shield5g::crypto {
 
@@ -20,12 +21,16 @@ struct KdfParam {
 /// Builds the S string: FC || P0 || L0 || ... || Pn || Ln.
 Bytes kdf_s_string(std::uint8_t fc, const std::vector<KdfParam>& params);
 
-/// Full 32-byte derived key.
-Bytes kdf(ByteView key, std::uint8_t fc, const std::vector<KdfParam>& params);
+/// Full 32-byte derived key. The input key is tainted (every caller
+/// holds a hierarchy key); the raw output is classified by the named
+/// derivations in key_hierarchy.h — key outputs wrap into SecretBytes,
+/// protocol outputs (RES*) stay plain.
+Bytes kdf(SecretView key, std::uint8_t fc,
+          const std::vector<KdfParam>& params);
 
 /// 3GPP truncation rule for 128-bit keys: the 128 *least significant*
 /// bits (i.e. trailing 16 bytes) of the 256-bit KDF output.
-Bytes kdf_trunc128(ByteView key, std::uint8_t fc,
+Bytes kdf_trunc128(SecretView key, std::uint8_t fc,
                    const std::vector<KdfParam>& params);
 
 }  // namespace shield5g::crypto

@@ -15,22 +15,25 @@ std::string serving_network_name(const std::string& mcc,
   return "5G:mnc" + mnc3 + ".mcc" + mcc + ".3gppnetwork.org";
 }
 
-Bytes derive_kausf(ByteView ck, ByteView ik, const std::string& snn,
-                   ByteView sqn_xor_ak) {
+SecretBytes derive_kausf(SecretView ck, SecretView ik, const std::string& snn,
+                         ByteView sqn_xor_ak) {
   if (ck.size() != 16 || ik.size() != 16 || sqn_xor_ak.size() != 6) {
     throw std::invalid_argument("derive_kausf: bad sizes");
   }
-  const Bytes key = concat({ck, ik});
-  return kdf(key, 0x6A,
-             {{to_bytes(snn)}, {Bytes(sqn_xor_ak.begin(), sqn_xor_ak.end())}});
+  // CK || IK is itself key material: hold it in tainted storage so the
+  // concat is zeroized on scope exit.
+  const SecretBytes key(concat({ck.unsafe_bytes(), ik.unsafe_bytes()}));
+  return SecretBytes(
+      kdf(key, 0x6A,
+          {{to_bytes(snn)}, {Bytes(sqn_xor_ak.begin(), sqn_xor_ak.end())}}));
 }
 
-Bytes derive_res_star(ByteView ck, ByteView ik, const std::string& snn,
+Bytes derive_res_star(SecretView ck, SecretView ik, const std::string& snn,
                       ByteView rand, ByteView res) {
   if (ck.size() != 16 || ik.size() != 16 || rand.size() != 16) {
     throw std::invalid_argument("derive_res_star: bad sizes");
   }
-  const Bytes key = concat({ck, ik});
+  const SecretBytes key(concat({ck.unsafe_bytes(), ik.unsafe_bytes()}));
   return kdf_trunc128(key, 0x6B,
                       {{to_bytes(snn)},
                        {Bytes(rand.begin(), rand.end())},
@@ -49,34 +52,36 @@ Bytes derive_hxres_star(ByteView rand, ByteView xres_star,
   return take(digest, out_len);
 }
 
-Bytes derive_kseaf(ByteView kausf, const std::string& snn) {
+SecretBytes derive_kseaf(SecretView kausf, const std::string& snn) {
   if (kausf.size() != 32) throw std::invalid_argument("derive_kseaf: size");
-  return kdf(kausf, 0x6C, {{to_bytes(snn)}});
+  return SecretBytes(kdf(kausf, 0x6C, {{to_bytes(snn)}}));
 }
 
-Bytes derive_kamf(ByteView kseaf, const std::string& supi, ByteView abba) {
+SecretBytes derive_kamf(SecretView kseaf, const std::string& supi,
+                        ByteView abba) {
   if (kseaf.size() != 32 || abba.size() != 2) {
     throw std::invalid_argument("derive_kamf: bad sizes");
   }
-  return kdf(kseaf, 0x6D,
-             {{to_bytes(supi)}, {Bytes(abba.begin(), abba.end())}});
+  return SecretBytes(kdf(kseaf, 0x6D,
+                         {{to_bytes(supi)}, {Bytes(abba.begin(), abba.end())}}));
 }
 
-Bytes derive_algo_key(ByteView kamf, AlgoType type, std::uint8_t algo_id) {
+SecretBytes derive_algo_key(SecretView kamf, AlgoType type,
+                            std::uint8_t algo_id) {
   if (kamf.size() != 32) throw std::invalid_argument("derive_algo_key: size");
-  return kdf_trunc128(
+  return SecretBytes(kdf_trunc128(
       kamf, 0x69,
-      {{Bytes{static_cast<std::uint8_t>(type)}}, {Bytes{algo_id}}});
+      {{Bytes{static_cast<std::uint8_t>(type)}}, {Bytes{algo_id}}}));
 }
 
-Bytes derive_kgnb(ByteView kamf, std::uint32_t uplink_nas_count,
-                  std::uint8_t access_type) {
+SecretBytes derive_kgnb(SecretView kamf, std::uint32_t uplink_nas_count,
+                        std::uint8_t access_type) {
   if (kamf.size() != 32) throw std::invalid_argument("derive_kgnb: size");
   Bytes count(4);
   for (int i = 0; i < 4; ++i) {
     count[3 - i] = static_cast<std::uint8_t>(uplink_nas_count >> (8 * i));
   }
-  return kdf(kamf, 0x6E, {{count}, {Bytes{access_type}}});
+  return SecretBytes(kdf(kamf, 0x6E, {{count}, {Bytes{access_type}}}));
 }
 
 }  // namespace shield5g::crypto

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 
 namespace shield5g::crypto {
 
@@ -19,12 +20,16 @@ namespace shield5g::crypto {
 std::string serving_network_name(const std::string& mcc,
                                  const std::string& mnc);
 
+// Taint discipline: hierarchy keys (CK/IK in, K_AUSF/K_SEAF/K_AMF and
+// the NAS/gNB keys out) are SecretView/SecretBytes. Protocol outputs
+// that legitimately cross the wire — RES*, HXRES* — stay plain Bytes.
+
 /// K_AUSF = KDF(CK || IK, FC=0x6A, SNN, SQN xor AK)      [A.2]
-Bytes derive_kausf(ByteView ck, ByteView ik, const std::string& snn,
-                   ByteView sqn_xor_ak);
+SecretBytes derive_kausf(SecretView ck, SecretView ik, const std::string& snn,
+                         ByteView sqn_xor_ak);
 
 /// (X)RES* = KDF(CK || IK, FC=0x6B, SNN, RAND, RES)[16..31]  [A.4]
-Bytes derive_res_star(ByteView ck, ByteView ik, const std::string& snn,
+Bytes derive_res_star(SecretView ck, SecretView ik, const std::string& snn,
                       ByteView rand, ByteView res);
 
 /// HXRES* = SHA-256(RAND || XRES*) most-significant bits   [A.5]
@@ -34,10 +39,11 @@ Bytes derive_hxres_star(ByteView rand, ByteView xres_star,
                         std::size_t out_len = 16);
 
 /// K_SEAF = KDF(K_AUSF, FC=0x6C, SNN)                     [A.6]
-Bytes derive_kseaf(ByteView kausf, const std::string& snn);
+SecretBytes derive_kseaf(SecretView kausf, const std::string& snn);
 
 /// K_AMF = KDF(K_SEAF, FC=0x6D, SUPI, ABBA)               [A.7]
-Bytes derive_kamf(ByteView kseaf, const std::string& supi, ByteView abba);
+SecretBytes derive_kamf(SecretView kseaf, const std::string& supi,
+                        ByteView abba);
 
 /// Algorithm-type distinguishers for A.8.
 enum class AlgoType : std::uint8_t {
@@ -50,10 +56,11 @@ enum class AlgoType : std::uint8_t {
 };
 
 /// Algorithm key = KDF(K_AMF, FC=0x69, type, id), truncated to 128 bits.
-Bytes derive_algo_key(ByteView kamf, AlgoType type, std::uint8_t algo_id);
+SecretBytes derive_algo_key(SecretView kamf, AlgoType type,
+                            std::uint8_t algo_id);
 
 /// K_gNB = KDF(K_AMF, FC=0x6E, uplink NAS COUNT, access type)  [A.9]
-Bytes derive_kgnb(ByteView kamf, std::uint32_t uplink_nas_count,
-                  std::uint8_t access_type = 0x01);
+SecretBytes derive_kgnb(SecretView kamf, std::uint32_t uplink_nas_count,
+                        std::uint8_t access_type = 0x01);
 
 }  // namespace shield5g::crypto

@@ -20,16 +20,17 @@ std::array<std::uint8_t, 16> rot(ByteView in, int bits) {
 
 }  // namespace
 
-Milenage::Milenage(ByteView k, ByteView opc) : cipher_(k) {
+Milenage::Milenage(SecretView k, SecretView opc) : cipher_(k.unsafe_bytes()) {
   if (opc.size() != 16) throw std::invalid_argument("Milenage: OPc size");
-  for (int i = 0; i < 16; ++i) opc_[i] = opc[i];
+  const ByteView opc_raw = opc.unsafe_bytes();
+  for (int i = 0; i < 16; ++i) opc_[i] = opc_raw[i];
 }
 
-Bytes Milenage::derive_opc(ByteView k, ByteView op) {
+SecretBytes Milenage::derive_opc(SecretView k, ByteView op) {
   if (op.size() != 16) throw std::invalid_argument("derive_opc: OP size");
-  const Aes128 cipher(k);
+  const Aes128 cipher(k.unsafe_bytes());
   const auto enc = cipher.encrypt_block(op);
-  return xor_bytes(op, ByteView(enc));
+  return SecretBytes(xor_bytes(op, ByteView(enc)));
 }
 
 Bytes Milenage::out_n(ByteView temp, int rot_bits, std::uint8_t c_last) const {
@@ -70,13 +71,12 @@ MilenageOutput Milenage::compute_f2345(ByteView rand) const {
 
   MilenageOutput out;
   const Bytes out2 = out_n(temp, 0, 0x01);   // r2 = 0,  c2 = ..01
-  const Bytes out3 = out_n(temp, 32, 0x02);  // r3 = 32, c3 = ..02
-  const Bytes out4 = out_n(temp, 64, 0x04);  // r4 = 64, c4 = ..04
   const Bytes out5 = out_n(temp, 96, 0x08);  // r5 = 96, c5 = ..08
   out.res = slice_bytes(out2, 8, 8);
   out.ak = take(out2, 6);
-  out.ck = out3;
-  out.ik = out4;
+  // CK/IK move straight into tainted storage; no plain copy lingers.
+  out.ck = SecretBytes(out_n(temp, 32, 0x02));  // r3 = 32, c3 = ..02
+  out.ik = SecretBytes(out_n(temp, 64, 0x04));  // r4 = 64, c4 = ..04
   out.ak_s = take(out5, 6);
   return out;
 }

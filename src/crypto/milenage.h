@@ -9,28 +9,30 @@
 #include <array>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/aes128.h"
 
 namespace shield5g::crypto {
 
 struct MilenageOutput {
-  Bytes mac_a;  // f1  — network authentication code (8 bytes)
-  Bytes mac_s;  // f1* — resynchronisation code (8 bytes)
-  Bytes res;    // f2  — response (8 bytes)
-  Bytes ck;     // f3  — cipher key (16 bytes)
-  Bytes ik;     // f4  — integrity key (16 bytes)
-  Bytes ak;     // f5  — anonymity key (6 bytes)
-  Bytes ak_s;   // f5* — resynchronisation anonymity key (6 bytes)
+  Bytes mac_a;     // f1  — network authentication code (8 bytes)
+  Bytes mac_s;     // f1* — resynchronisation code (8 bytes)
+  Bytes res;       // f2  — response (8 bytes)
+  SecretBytes ck;  // f3  — cipher key (16 bytes)
+  SecretBytes ik;  // f4  — integrity key (16 bytes)
+  Bytes ak;        // f5  — anonymity key (6 bytes)
+  Bytes ak_s;      // f5* — resynchronisation anonymity key (6 bytes)
 };
 
 class Milenage {
  public:
   /// `k` is the 16-byte subscriber key, `opc` the 16-byte derived
-  /// operator code OPc.
-  Milenage(ByteView k, ByteView opc);
+  /// operator code OPc. Both are tainted: the long-term key and OPc
+  /// are the root secrets of the whole AKA hierarchy.
+  Milenage(SecretView k, SecretView opc);
 
   /// Derives OPc = OP XOR E_K(OP) from the raw operator code.
-  static Bytes derive_opc(ByteView k, ByteView op);
+  static SecretBytes derive_opc(SecretView k, ByteView op);
 
   /// Runs all seven functions for one (RAND, SQN, AMF) tuple.
   /// sqn is 6 bytes, amf 2 bytes, rand 16 bytes.

@@ -3,7 +3,7 @@
 namespace shield5g::crypto {
 
 OpCounts& op_counts() noexcept {
-  static OpCounts counts;
+  static thread_local OpCounts counts;
   return counts;
 }
 

@@ -4,7 +4,11 @@
 // executed (AES block, SHA-256 compression, X25519 scalar mult), so the
 // functional latency of a P-AKA handler is driven by the real work its
 // real code performs rather than by a hard-coded per-handler constant.
-// The simulation is single-threaded, so plain counters suffice.
+//
+// Counters are thread_local: a handler (and its OpMeter) always runs to
+// completion on one thread, while load::monte_carlo fans jobs out across
+// host threads — per-thread counters keep each job's delta exact without
+// putting atomics on the per-block hot path.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +27,7 @@ struct OpCounts {
   }
 };
 
-/// Process-wide counter, incremented by the primitives.
+/// Per-thread counter, incremented by the primitives.
 OpCounts& op_counts() noexcept;
 
 }  // namespace shield5g::crypto

@@ -116,7 +116,7 @@ Suci conceal_supi(const std::string& mcc, const std::string& mnc,
 }
 
 std::optional<std::string> deconceal_suci(const Suci& suci,
-                                          ByteView hn_private) {
+                                          SecretView hn_private) {
   Bytes plaintext;
   switch (suci.scheme) {
     case SuciScheme::kNull:

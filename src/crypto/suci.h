@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 
 namespace shield5g::crypto {
 
@@ -43,8 +44,9 @@ Suci conceal_supi(const std::string& mcc, const std::string& mnc,
 
 /// SIDF side: recovers the SUPI string "<mcc><mnc><msin>".
 /// Returns nullopt on MAC failure or malformed scheme output.
+/// The home-network private scalar is tainted.
 std::optional<std::string> deconceal_suci(const Suci& suci,
-                                          ByteView hn_private);
+                                          SecretView hn_private);
 
 /// Packs decimal digits two-per-byte (TBCD-style, 0xf filler).
 Bytes pack_digits(const std::string& digits);

@@ -162,13 +162,13 @@ void fe_cswap(std::uint64_t swap, Fe& a, Fe& b) {
 
 }  // namespace
 
-X25519Key x25519(ByteView scalar, ByteView u) {
+X25519Key x25519(SecretView scalar, ByteView u) {
   if (scalar.size() != 32 || u.size() != 32) {
     throw std::invalid_argument("x25519: inputs must be 32 bytes");
   }
   ++op_counts().x25519_ops;
   std::uint8_t k[32];
-  std::memcpy(k, scalar.data(), 32);
+  std::memcpy(k, scalar.unsafe_bytes().data(), 32);
   k[0] &= 248;
   k[31] &= 127;
   k[31] |= 64;
@@ -205,10 +205,11 @@ X25519Key x25519(ByteView scalar, ByteView u) {
   const Fe out = fe_mul(x2, fe_invert(z2));
   X25519Key result{};
   fe_store(result.data(), out);
+  secure_zero(k, sizeof(k));
   return result;
 }
 
-X25519Key x25519_public(ByteView scalar) {
+X25519Key x25519_public(SecretView scalar) {
   std::uint8_t base[32] = {9};
   return x25519(scalar, ByteView(base, 32));
 }
@@ -217,8 +218,8 @@ X25519KeyPair x25519_keypair(ByteView random32) {
   if (random32.size() != 32) {
     throw std::invalid_argument("x25519_keypair: need 32 random bytes");
   }
-  X25519KeyPair kp{};
-  std::memcpy(kp.private_key.data(), random32.data(), 32);
+  X25519KeyPair kp;
+  kp.private_key = Secret<kX25519KeySize>(random32);
   kp.public_key = x25519_public(kp.private_key);
   return kp;
 }

@@ -9,6 +9,7 @@
 #include <array>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 
 namespace shield5g::crypto {
 
@@ -16,16 +17,18 @@ constexpr std::size_t kX25519KeySize = 32;
 
 using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
 
-/// Computes X25519(scalar, u). Both arguments are 32 bytes.
-X25519Key x25519(ByteView scalar, ByteView u);
+/// Computes X25519(scalar, u). Both arguments are 32 bytes; the scalar
+/// is the private key and is tainted.
+X25519Key x25519(SecretView scalar, ByteView u);
 
 /// Public key for a private scalar: X25519(scalar, 9).
-X25519Key x25519_public(ByteView scalar);
+X25519Key x25519_public(SecretView scalar);
 
 /// Key pair generated from 32 random bytes (clamped internally by the
-/// scalar multiplication, per RFC 7748).
+/// scalar multiplication, per RFC 7748). The private scalar lives in
+/// tainted fixed-size storage and zeroizes on destruction.
 struct X25519KeyPair {
-  X25519Key private_key;
+  Secret<kX25519KeySize> private_key;
   X25519Key public_key;
 };
 X25519KeyPair x25519_keypair(ByteView random32);

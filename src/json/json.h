@@ -15,6 +15,11 @@
 #include <variant>
 #include <vector>
 
+namespace shield5g {
+class SecretBytes;
+class SecretView;
+}  // namespace shield5g
+
 namespace shield5g::json {
 
 class Value;
@@ -34,6 +39,11 @@ class Value {
   Value(std::string s) : data_(std::move(s)) {}
   Value(Array a) : data_(std::move(a)) {}
   Value(Object o) : data_(std::move(o)) {}
+
+  /// Tainted key material never serializes into a JSON document
+  /// directly: go through SecretBytes::declassify + nf::hex_field.
+  Value(const shield5g::SecretBytes&) = delete;
+  Value(const shield5g::SecretView&) = delete;
 
   bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
   bool is_bool() const { return std::holds_alternative<bool>(data_); }

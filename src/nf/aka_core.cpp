@@ -12,8 +12,9 @@ namespace {
 const Bytes kResyncAmf = {0x00, 0x00};
 }  // namespace
 
-HeAv generate_he_av(ByteView k, ByteView opc, ByteView rand, ByteView sqn6,
-                    ByteView amf_field, const std::string& snn) {
+HeAv generate_he_av(SecretView k, SecretView opc, ByteView rand,
+                    ByteView sqn6, ByteView amf_field,
+                    const std::string& snn) {
   const crypto::Milenage milenage(k, opc);
   const auto out = milenage.compute(rand, sqn6, amf_field);
 
@@ -27,7 +28,7 @@ HeAv generate_he_av(ByteView k, ByteView opc, ByteView rand, ByteView sqn6,
   return av;
 }
 
-SeDerivation derive_se(ByteView rand, ByteView xres_star, ByteView kausf,
+SeDerivation derive_se(ByteView rand, ByteView xres_star, SecretView kausf,
                        const std::string& snn) {
   SeDerivation out;
   out.hxres_star =
@@ -36,12 +37,12 @@ SeDerivation derive_se(ByteView rand, ByteView xres_star, ByteView kausf,
   return out;
 }
 
-Bytes derive_kamf_for(ByteView kseaf, const std::string& supi) {
+SecretBytes derive_kamf_for(SecretView kseaf, const std::string& supi) {
   return crypto::derive_kamf(kseaf, supi, kAbba);
 }
 
-std::optional<Bytes> resync_verify(ByteView k, ByteView opc, ByteView rand,
-                                   ByteView auts) {
+std::optional<Bytes> resync_verify(SecretView k, SecretView opc,
+                                   ByteView rand, ByteView auts) {
   if (auts.size() != 14) return std::nullopt;
   const crypto::Milenage milenage(k, opc);
   const auto out = milenage.compute_f2345(rand);
@@ -53,7 +54,8 @@ std::optional<Bytes> resync_verify(ByteView k, ByteView opc, ByteView rand,
   return sqn_ms;
 }
 
-Bytes build_auts(ByteView k, ByteView opc, ByteView rand, ByteView sqn_ms) {
+Bytes build_auts(SecretView k, SecretView opc, ByteView rand,
+                 ByteView sqn_ms) {
   const crypto::Milenage milenage(k, opc);
   const auto out = milenage.compute_f2345(rand);
   Bytes mac_a, mac_s;

@@ -12,32 +12,35 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "nf/types.h"
 
 namespace shield5g::nf {
 
 /// UDM-side: generates the HE AV for one (K, OPc, RAND, SQN, AMF) tuple.
-HeAv generate_he_av(ByteView k, ByteView opc, ByteView rand, ByteView sqn6,
-                    ByteView amf_field, const std::string& snn);
+/// K and OPc are the tainted long-term credentials.
+HeAv generate_he_av(SecretView k, SecretView opc, ByteView rand,
+                    ByteView sqn6, ByteView amf_field, const std::string& snn);
 
 /// AUSF-side: HXRES* (paper's 8-byte form) and K_SEAF.
 struct SeDerivation {
-  Bytes hxres_star;  // kHxresStarBytes
-  Bytes kseaf;       // 32
+  Bytes hxres_star;    // kHxresStarBytes — protocol output
+  SecretBytes kseaf;   // 32 — anchor key, tainted
 };
-SeDerivation derive_se(ByteView rand, ByteView xres_star, ByteView kausf,
+SeDerivation derive_se(ByteView rand, ByteView xres_star, SecretView kausf,
                        const std::string& snn);
 
 /// AMF-side: K_AMF from K_SEAF.
-Bytes derive_kamf_for(ByteView kseaf, const std::string& supi);
+SecretBytes derive_kamf_for(SecretView kseaf, const std::string& supi);
 
 /// Resynchronisation (TS 33.102 §6.3.5): verifies AUTS = (SQNms xor AK*)
 /// || MAC-S against f1*/f5* and recovers SQNms. Returns nullopt when
 /// MAC-S does not verify.
-std::optional<Bytes> resync_verify(ByteView k, ByteView opc, ByteView rand,
-                                   ByteView auts);
+std::optional<Bytes> resync_verify(SecretView k, SecretView opc,
+                                   ByteView rand, ByteView auts);
 
 /// UE-side helper shared with the USIM model: AUTS construction.
-Bytes build_auts(ByteView k, ByteView opc, ByteView rand, ByteView sqn_ms);
+Bytes build_auts(SecretView k, SecretView opc, ByteView rand,
+                 ByteView sqn_ms);
 
 }  // namespace shield5g::nf

@@ -195,24 +195,26 @@ std::optional<Bytes> Amf::on_auth_response(UeContext& ctx,
     return reject.encode();
   }
   const auto supi = conf_body->get_string("supi");
-  const auto kseaf = hex_bytes(*conf_body, "kseaf");
+  auto kseaf = secret_hex_bytes(*conf_body, "kseaf");
   if (!supi || !kseaf) return std::nullopt;
   ctx.supi = Supi{*supi};
-  ctx.kseaf = *kseaf;
+  ctx.kseaf = std::move(*kseaf);
 
   // K_AMF: inside the eAMF P-AKA module (Table I: KSEAF in, KAMF out)
   // or locally in monolithic mode.
   if (config_.deployment == AkaDeployment::kExternal) {
     json::Object paka;
-    paka["kseaf"] = hex_field(ctx.kseaf);
+    paka["kseaf"] = secret_hex_field(ctx.kseaf, DeclassifyReason::kTransport,
+                                     secret_ctx());
     paka["supi"] = ctx.supi.value;
     auto der = call(config_.eamf_service,
                     json_post("/paka/v1/derive-kamf",
                               json::Value(std::move(paka))));
     const auto der_body = parse_body(der.response.body);
-    const auto kamf = der_body ? hex_bytes(*der_body, "kamf") : std::nullopt;
+    auto kamf =
+        der_body ? secret_hex_bytes(*der_body, "kamf") : std::nullopt;
     if (der.response.status != 200 || !kamf) return std::nullopt;
-    ctx.kamf = *kamf;
+    ctx.kamf = std::move(*kamf);
   } else {
     crypto::OpMeter kops;
     ctx.kamf = derive_kamf_for(ctx.kseaf, ctx.supi.value);

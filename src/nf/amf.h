@@ -91,10 +91,10 @@ class Amf : public Vnf {
     std::string auth_ctx_id;
     Bytes rand;
     Bytes hxres_star;
-    Bytes kseaf;
-    Bytes kamf;
-    Bytes knas_int;
-    Bytes knas_enc;
+    SecretBytes kseaf;
+    SecretBytes kamf;
+    SecretBytes knas_int;
+    SecretBytes knas_enc;
     std::uint32_t dl_count = 0;
     std::uint32_t ul_count = 0;
     std::uint8_t ngksi = 0;
@@ -106,9 +106,9 @@ class Amf : public Vnf {
   /// Saved security context for GUTI-based re-registration.
   struct StoredContext {
     Supi supi;
-    Bytes kamf;
-    Bytes knas_int;
-    Bytes knas_enc;
+    SecretBytes kamf;
+    SecretBytes knas_int;
+    SecretBytes knas_enc;
   };
 
   std::optional<Bytes> start_authentication(UeContext& ctx);

@@ -51,19 +51,21 @@ void Ausf::register_routes() {
         const auto rand = hex_bytes(*av, "rand");
         const auto autn = hex_bytes(*av, "autn");
         const auto xres_star = hex_bytes(*av, "xresStar");
-        const auto kausf = hex_bytes(*av, "kausf");
+        const auto kausf = secret_hex_bytes(*av, "kausf");
         if (!supi || !rand || !autn || !xres_star || !kausf) {
           return net::HttpResponse::error(500, "incomplete HE AV");
         }
 
         // Derive the SE AV: HXRES* and K_SEAF.
-        Bytes hxres_star, kseaf;
+        Bytes hxres_star;
+        SecretBytes kseaf;
         if (config_.deployment == AkaDeployment::kExternal) {
           json::Object paka;
           paka["rand"] = hex_field(*rand);
           paka["xresStar"] = hex_field(*xres_star);
           paka["snn"] = *snn;
-          paka["kausf"] = hex_field(*kausf);
+          paka["kausf"] = secret_hex_field(
+              *kausf, DeclassifyReason::kTransport, secret_ctx());
           auto der = call(config_.eausf_service,
                           json_post("/paka/v1/derive-se",
                                     json::Value(std::move(paka))));
@@ -73,22 +75,22 @@ void Ausf::register_routes() {
           const auto der_body = parse_body(der.response.body);
           const auto hx = der_body ? hex_bytes(*der_body, "hxresStar")
                                    : std::nullopt;
-          const auto ks = der_body ? hex_bytes(*der_body, "kseaf")
-                                   : std::nullopt;
+          auto ks = der_body ? secret_hex_bytes(*der_body, "kseaf")
+                             : std::nullopt;
           if (!hx || !ks) {
             return net::HttpResponse::error(500, "incomplete P-AKA output");
           }
           hxres_star = *hx;
-          kseaf = *ks;
+          kseaf = std::move(*ks);
         } else {
-          const auto se = derive_se(*rand, *xres_star, *kausf, *snn);
-          hxres_star = se.hxres_star;
-          kseaf = se.kseaf;
+          auto se = derive_se(*rand, *xres_star, *kausf, *snn);
+          hxres_star = std::move(se.hxres_star);
+          kseaf = std::move(se.kseaf);
         }
 
         const std::string ctx_id = "authctx-" + std::to_string(next_ctx_id_++);
         contexts_[ctx_id] =
-            AuthContext{Supi{*supi}, *snn, *rand, *xres_star, kseaf};
+            AuthContext{Supi{*supi}, *snn, *rand, *xres_star, std::move(kseaf)};
 
         json::Object out;
         out["authCtxId"] = ctx_id;
@@ -133,7 +135,8 @@ void Ausf::register_routes() {
         json::Object out;
         out["result"] = "AUTHENTICATION_SUCCESS";
         out["supi"] = ctx.supi.value;
-        out["kseaf"] = hex_field(ctx.kseaf);
+        out["kseaf"] = secret_hex_field(ctx.kseaf, DeclassifyReason::kTransport,
+                                        secret_ctx());
         return net::HttpResponse::json(200, json::Value(out).dump());
       });
 

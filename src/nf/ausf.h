@@ -43,7 +43,7 @@ class Ausf : public Vnf {
     std::string snn;
     Bytes rand;
     Bytes xres_star;
-    Bytes kseaf;
+    SecretBytes kseaf;  // anchor key: tainted until the SEAF hand-off
   };
 
   void register_routes();

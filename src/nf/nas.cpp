@@ -60,23 +60,23 @@ std::optional<NasMessage> NasMessage::decode(ByteView wire) {
   return msg;
 }
 
-Bytes nas_mac(ByteView knas_int, std::uint32_t count, bool downlink,
+Bytes nas_mac(SecretView knas_int, std::uint32_t count, bool downlink,
               bool ciphered, ByteView payload) {
   const Bytes header = concat(
       {ByteView(be_bytes(count, 4)),
        ByteView(Bytes{static_cast<std::uint8_t>((downlink ? 1 : 0) |
                                                 (ciphered ? 2 : 0))})});
   return crypto::hmac_sha256_trunc(
-      knas_int, concat({ByteView(header), payload}), 4);
+      knas_int.unsafe_bytes(), concat({ByteView(header), payload}), 4);
 }
 
-Bytes nas_cipher(ByteView knas_enc, std::uint32_t count, bool downlink,
+Bytes nas_cipher(SecretView knas_enc, std::uint32_t count, bool downlink,
                  ByteView data) {
   Bytes icb(16, 0);
   const Bytes c = be_bytes(count, 4);
   std::copy(c.begin(), c.end(), icb.begin());
   icb[4] = downlink ? 0x04 : 0x00;  // direction bit in the bearer octet
-  return crypto::aes128_ctr(knas_enc, icb, data);
+  return crypto::aes128_ctr(knas_enc.unsafe_bytes(), icb, data);
 }
 
 Bytes SecuredNas::encode() const {
@@ -105,7 +105,7 @@ std::optional<SecuredNas> SecuredNas::decode(ByteView wire) {
   return sec;
 }
 
-SecuredNas SecuredNas::protect(const NasMessage& msg, ByteView knas_int,
+SecuredNas SecuredNas::protect(const NasMessage& msg, SecretView knas_int,
                                std::uint32_t count, bool downlink) {
   SecuredNas sec;
   sec.count = count;
@@ -116,8 +116,8 @@ SecuredNas SecuredNas::protect(const NasMessage& msg, ByteView knas_int,
 }
 
 SecuredNas SecuredNas::protect_ciphered(const NasMessage& msg,
-                                        ByteView knas_int,
-                                        ByteView knas_enc,
+                                        SecretView knas_int,
+                                        SecretView knas_enc,
                                         std::uint32_t count, bool downlink) {
   SecuredNas sec;
   sec.count = count;
@@ -128,15 +128,15 @@ SecuredNas SecuredNas::protect_ciphered(const NasMessage& msg,
   return sec;
 }
 
-std::optional<NasMessage> SecuredNas::verify(ByteView knas_int) const {
+std::optional<NasMessage> SecuredNas::verify(SecretView knas_int) const {
   const Bytes expected = nas_mac(knas_int, count, downlink, ciphered, payload);
   if (!ct_equal(expected, mac)) return std::nullopt;
   if (ciphered) return std::nullopt;  // caller must use open()
   return NasMessage::decode(payload);
 }
 
-std::optional<NasMessage> SecuredNas::open(ByteView knas_int,
-                                           ByteView knas_enc) const {
+std::optional<NasMessage> SecuredNas::open(SecretView knas_int,
+                                           SecretView knas_enc) const {
   const Bytes expected = nas_mac(knas_int, count, downlink, ciphered, payload);
   if (!ct_equal(expected, mac)) return std::nullopt;
   if (!ciphered) return NasMessage::decode(payload);

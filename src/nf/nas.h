@@ -12,6 +12,7 @@
 #include <optional>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 
 namespace shield5g::nf {
 
@@ -77,12 +78,12 @@ struct NasMessage {
 
 /// Integrity protection wrapper. `count` is the per-direction NAS COUNT,
 /// `downlink` distinguishes AMF->UE from UE->AMF.
-Bytes nas_mac(ByteView knas_int, std::uint32_t count, bool downlink,
+Bytes nas_mac(SecretView knas_int, std::uint32_t count, bool downlink,
               bool ciphered, ByteView payload);
 
 /// NEA keystream application (AES-128-CTR with the COUNT/direction in
 /// the initial counter block, TS 33.501 D.2 shape). Encrypt == decrypt.
-Bytes nas_cipher(ByteView knas_enc, std::uint32_t count, bool downlink,
+Bytes nas_cipher(SecretView knas_enc, std::uint32_t count, bool downlink,
                  ByteView data);
 
 struct SecuredNas {
@@ -96,22 +97,22 @@ struct SecuredNas {
   static std::optional<SecuredNas> decode(ByteView wire);
 
   /// Integrity protection only (the Security Mode Command itself).
-  static SecuredNas protect(const NasMessage& msg, ByteView knas_int,
+  static SecuredNas protect(const NasMessage& msg, SecretView knas_int,
                             std::uint32_t count, bool downlink);
 
   /// Ciphering + integrity (everything after security mode completes):
   /// encrypt-then-MAC with K_NASenc / K_NASint.
   static SecuredNas protect_ciphered(const NasMessage& msg,
-                                     ByteView knas_int, ByteView knas_enc,
+                                     SecretView knas_int, SecretView knas_enc,
                                      std::uint32_t count, bool downlink);
 
   /// Verifies the MAC and decodes the inner message (plain payloads
   /// only; returns nullopt for ciphered messages).
-  std::optional<NasMessage> verify(ByteView knas_int) const;
+  std::optional<NasMessage> verify(SecretView knas_int) const;
 
   /// Verifies, deciphers when needed, and decodes the inner message.
-  std::optional<NasMessage> open(ByteView knas_int,
-                                 ByteView knas_enc) const;
+  std::optional<NasMessage> open(SecretView knas_int,
+                                 SecretView knas_enc) const;
 };
 
 }  // namespace shield5g::nf

@@ -8,13 +8,38 @@
 
 #include "common/bytes.h"
 #include "common/hex.h"
+#include "common/secret.h"
 #include "json/json.h"
 #include "net/http.h"
+#include "sgx/enclave_context.h"
 
 namespace shield5g::nf {
 
 inline json::Value hex_field(ByteView bytes) {
   return json::Value(hex_encode(bytes));
+}
+
+/// The only path by which tainted key material enters an SBI body: an
+/// audited declassification with an explicit reason and the sending
+/// module's isolation context. This is where the paper's Table V leak
+/// surface is counted — baseline VNFs call it with a container/host
+/// context, the P-AKA modules with their enclave-backed context.
+inline json::Value secret_hex_field(SecretView secret, DeclassifyReason reason,
+                                    const sgx::EnclaveContext* ctx) {
+  return json::Value(hex_encode(ByteView(secret.declassify(reason, ctx))));
+}
+
+/// Fetches a hex-encoded key field straight into tainted storage, so
+/// the plaintext never sits in an untracked Bytes value at the caller.
+inline std::optional<SecretBytes> secret_hex_bytes(const json::Value& obj,
+                                                   const std::string& key) {
+  const auto str = obj.get_string(key);
+  if (!str) return std::nullopt;
+  try {
+    return SecretBytes(hex_decode(*str));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
 }
 
 /// Fetches a hex-encoded byte field; nullopt when absent or malformed.

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 
 namespace shield5g::nf {
 
@@ -47,8 +48,8 @@ struct Guti {
 /// parameters (OPc, RAND, SQN, AMFid).
 struct SubscriberRecord {
   Supi supi;
-  Bytes k;          // 16 bytes
-  Bytes opc;        // 16 bytes
+  SecretBytes k;    // 16 bytes — long-term subscriber key
+  SecretBytes opc;  // 16 bytes — derived operator code
   std::uint64_t sqn = 0;      // 48-bit sequence number
   Bytes amf_field = {0x80, 0x00};  // AMF authentication field (TS 33.102)
 
@@ -56,11 +57,13 @@ struct SubscriberRecord {
 };
 
 /// Home-environment authentication vector (UDM -> AUSF, paper Fig. 5).
+/// RAND/AUTN/XRES* are protocol material; K_AUSF is tainted and only
+/// crosses the UDM->AUSF SBI hop via an audited kTransport declassify.
 struct HeAv {
-  Bytes rand;       // 16
-  Bytes autn;       // 16
-  Bytes xres_star;  // 16
-  Bytes kausf;      // 32
+  Bytes rand;          // 16
+  Bytes autn;          // 16
+  Bytes xres_star;     // 16
+  SecretBytes kausf;   // 32
 };
 
 /// Security-edge authentication vector (AUSF -> AMF).

@@ -66,7 +66,7 @@ void Udm::register_routes() {
         if (!sub_body || !adv_body) {
           return net::HttpResponse::error(500, "bad UDR payload");
         }
-        const auto opc = hex_bytes(*sub_body, "opc");
+        const auto opc = secret_hex_bytes(*sub_body, "opc");
         const auto amf_field = hex_bytes(*sub_body, "amfField");
         const auto sqn = hex_bytes(*adv_body, "sqn");
         if (!opc || !amf_field || !sqn) {
@@ -81,7 +81,8 @@ void Udm::register_routes() {
           // the module (sealed), so it is never on this path.
           json::Object paka;
           paka["supi"] = supi->value;
-          paka["opc"] = hex_field(*opc);
+          paka["opc"] = secret_hex_field(*opc, DeclassifyReason::kTransport,
+                                         secret_ctx());
           paka["rand"] = hex_field(rand);
           paka["sqn"] = hex_field(*sqn);
           paka["amfId"] = hex_field(*amf_field);
@@ -97,13 +98,13 @@ void Udm::register_routes() {
           const auto r = hex_bytes(*gen_body, "rand");
           const auto autn = hex_bytes(*gen_body, "autn");
           const auto xres = hex_bytes(*gen_body, "xresStar");
-          const auto kausf = hex_bytes(*gen_body, "kausf");
+          auto kausf = secret_hex_bytes(*gen_body, "kausf");
           if (!r || !autn || !xres || !kausf) {
             return net::HttpResponse::error(500, "incomplete P-AKA output");
           }
-          av = HeAv{*r, *autn, *xres, *kausf};
+          av = HeAv{*r, *autn, *xres, std::move(*kausf)};
         } else {
-          const auto k = hex_bytes(*sub_body, "k");
+          const auto k = secret_hex_bytes(*sub_body, "k");
           if (!k) return net::HttpResponse::error(500, "no key material");
           av = generate_he_av(*k, *opc, rand, *sqn, *amf_field, *snn);
         }
@@ -114,7 +115,8 @@ void Udm::register_routes() {
         out["rand"] = hex_field(av.rand);
         out["autn"] = hex_field(av.autn);
         out["xresStar"] = hex_field(av.xres_star);
-        out["kausf"] = hex_field(av.kausf);
+        out["kausf"] = secret_hex_field(av.kausf, DeclassifyReason::kTransport,
+                                        secret_ctx());
         return net::HttpResponse::json(200, json::Value(out).dump());
       });
 
@@ -144,14 +146,15 @@ void Udm::register_routes() {
           return net::HttpResponse::error(404, "unknown subscriber");
         }
         const auto sub_body = parse_body(sub.response.body);
-        const auto opc = hex_bytes(*sub_body, "opc");
+        const auto opc = secret_hex_bytes(*sub_body, "opc");
         if (!opc) return net::HttpResponse::error(500, "bad UDR record");
 
         std::optional<Bytes> sqn_ms;
         if (config_.deployment == AkaDeployment::kExternal) {
           json::Object paka;
           paka["supi"] = supi->value;
-          paka["opc"] = hex_field(*opc);
+          paka["opc"] = secret_hex_field(*opc, DeclassifyReason::kTransport,
+                                         secret_ctx());
           paka["rand"] = hex_field(*rand);
           paka["auts"] = hex_field(*auts);
           auto res = call(next_eudm(),
@@ -163,7 +166,7 @@ void Udm::register_routes() {
           const auto res_body = parse_body(res.response.body);
           if (res_body) sqn_ms = hex_bytes(*res_body, "sqnMs");
         } else {
-          const auto k = hex_bytes(*sub_body, "k");
+          const auto k = secret_hex_bytes(*sub_body, "k");
           if (!k) return net::HttpResponse::error(500, "no key material");
           sqn_ms = resync_verify(*k, *opc, *rand, *auts);
         }

@@ -35,8 +35,13 @@ void Udr::register_routes() {
         const SubscriberRecord& rec = it->second;
         json::Object body;
         body["supi"] = rec.supi.value;
-        body["k"] = hex_field(rec.k);
-        body["opc"] = hex_field(rec.opc);
+        // Audited, host-grade exposure: this is precisely the baseline
+        // leak the paper's eUDM removes (the SGX deployment never hits
+        // this route for K).
+        body["k"] = secret_hex_field(rec.k, DeclassifyReason::kTransport,
+                                     secret_ctx());
+        body["opc"] = secret_hex_field(rec.opc, DeclassifyReason::kTransport,
+                                       secret_ctx());
         body["sqn"] = hex_field(rec.sqn_bytes());
         body["amfField"] = hex_field(rec.amf_field);
         return net::HttpResponse::json(200, json::Value(body).dump());
@@ -81,8 +86,8 @@ void Udr::register_routes() {
       [this](const net::HttpRequest& req, const net::PathParams& params) {
         const auto body = parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
-        const auto k = hex_bytes(*body, "k");
-        const auto opc = hex_bytes(*body, "opc");
+        auto k = secret_hex_bytes(*body, "k");
+        auto opc = secret_hex_bytes(*body, "opc");
         const auto sqn = hex_bytes(*body, "sqn");
         if (!k || k->size() != 16 || !opc || opc->size() != 16 || !sqn ||
             sqn->size() != 6) {
@@ -90,8 +95,8 @@ void Udr::register_routes() {
         }
         SubscriberRecord rec;
         rec.supi = Supi{params.at("supi")};
-        rec.k = *k;
-        rec.opc = *opc;
+        rec.k = std::move(*k);
+        rec.opc = std::move(*opc);
         rec.sqn = be_value(*sqn);
         if (const auto amf_field = hex_bytes(*body, "amfField");
             amf_field && amf_field->size() == 2) {

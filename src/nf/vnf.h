@@ -10,6 +10,7 @@
 
 #include "net/bus.h"
 #include "net/env.h"
+#include "sgx/enclave_context.h"
 
 namespace shield5g::nf {
 
@@ -18,7 +19,8 @@ class Vnf {
   Vnf(std::string name, net::Bus& bus)
       : env_(bus.clock()),
         server_(std::move(name), env_, bus.costs()),
-        bus_(bus) {
+        bus_(bus),
+        secret_ctx_(sgx::EnclaveContext::container(server_.name())) {
     bus_.attach(server_);
   }
   virtual ~Vnf() { bus_.detach(server_.name()); }
@@ -31,6 +33,14 @@ class Vnf {
   net::ExecutionEnv& env() noexcept { return env_; }
   net::Bus& bus() noexcept { return bus_; }
 
+  /// Declassification context for this VNF's secret material. Baseline
+  /// VNFs run as plain containers (host-grade); key bytes they expose
+  /// on the SBI are counted under secret.declassify.*.host — the paper's
+  /// Table V leak surface.
+  const sgx::EnclaveContext* secret_ctx() const noexcept {
+    return &secret_ctx_;
+  }
+
  protected:
   /// Client-side request to a peer service on the bus.
   net::Bus::Exchange call(const std::string& to, const net::HttpRequest& req) {
@@ -40,6 +50,7 @@ class Vnf {
   net::HostEnv env_;
   net::Server server_;
   net::Bus& bus_;
+  sgx::EnclaveContext secret_ctx_;
 };
 
 }  // namespace shield5g::nf

@@ -16,17 +16,20 @@ void EamfAkaService::register_routes() {
   // SUPI and ABBA binding parameters ride along as transport fields).
   router.add(
       net::Method::kPost, "/paka/v1/derive-kamf",
-      [](const net::HttpRequest& req, const net::PathParams&) {
+      [this](const net::HttpRequest& req, const net::PathParams&) {
         const auto body = nf::parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
-        const auto kseaf = nf::hex_bytes(*body, "kseaf");
+        const auto kseaf = nf::secret_hex_bytes(*body, "kseaf");
         const auto supi = body->get_string("supi");
         if (!kseaf || kseaf->size() != 32 || !supi) {
           return net::HttpResponse::error(400, "bad K_AMF parameters");
         }
-        const Bytes kamf = nf::derive_kamf_for(*kseaf, *supi);
+        const SecretBytes kamf = nf::derive_kamf_for(*kseaf, *supi);
         json::Object out;
-        out["kamf"] = nf::hex_field(kamf);
+        // K_AMF hand-off to the AMF proper: audited transport
+        // declassification against this module's isolation context.
+        out["kamf"] = nf::secret_hex_field(
+            kamf, DeclassifyReason::kTransport, secret_ctx());
         return net::HttpResponse::json(200, json::Value(out).dump());
       });
 

@@ -16,13 +16,13 @@ void EausfAkaService::register_routes() {
   // (Table I row "eAUSF").
   router.add(
       net::Method::kPost, "/paka/v1/derive-se",
-      [](const net::HttpRequest& req, const net::PathParams&) {
+      [this](const net::HttpRequest& req, const net::PathParams&) {
         const auto body = nf::parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto rand = nf::hex_bytes(*body, "rand");
         const auto xres_star = nf::hex_bytes(*body, "xresStar");
         const auto snn = body->get_string("snn");
-        const auto kausf = nf::hex_bytes(*body, "kausf");
+        const auto kausf = nf::secret_hex_bytes(*body, "kausf");
         if (!rand || rand->size() != 16 || !xres_star ||
             xres_star->size() != 16 || !snn || !kausf ||
             kausf->size() != 32) {
@@ -32,7 +32,10 @@ void EausfAkaService::register_routes() {
             nf::derive_se(*rand, *xres_star, *kausf, *snn);
         json::Object out;
         out["hxresStar"] = nf::hex_field(se.hxres_star);
-        out["kseaf"] = nf::hex_field(se.kseaf);
+        // K_SEAF hand-off to the AUSF proper: audited transport
+        // declassification against this module's isolation context.
+        out["kseaf"] = nf::secret_hex_field(
+            se.kseaf, DeclassifyReason::kTransport, secret_ctx());
         return net::HttpResponse::json(200, json::Value(out).dump());
       });
 

@@ -10,12 +10,13 @@ EudmAkaService::EudmAkaService(sgx::Machine& machine, net::Bus& bus,
                                PakaOptions options, const std::string& name)
     : PakaService(name, machine, bus, options) {}
 
-void EudmAkaService::provision_key(const nf::Supi& supi, Bytes k) {
+void EudmAkaService::provision_key(const nf::Supi& supi, SecretBytes k) {
   keys_[supi] = std::move(k);
 }
 
 Bytes EudmAkaService::serialize_key_table(
-    const std::map<nf::Supi, Bytes>& keys) {
+    const std::map<nf::Supi, SecretBytes>& keys,
+    const sgx::EnclaveContext* ctx) {
   Bytes out;
   const Bytes count = be_bytes(keys.size(), 4);
   out.insert(out.end(), count.begin(), count.end());
@@ -24,24 +25,31 @@ Bytes EudmAkaService::serialize_key_table(
     out.insert(out.end(), len.begin(), len.end());
     const Bytes id = to_bytes(supi.value);
     out.insert(out.end(), id.begin(), id.end());
-    out.insert(out.end(), k.begin(), k.end());
+    const Bytes raw = k.declassify(DeclassifyReason::kProvisioning, ctx);
+    out.insert(out.end(), raw.begin(), raw.end());
   }
   return out;
 }
 
 bool EudmAkaService::provision_sealed(const sgx::SealedBlob& blob) {
   if (runtime() == nullptr || !runtime()->booted()) return false;
-  const auto plain = sgx::unseal(runtime()->enclave(), blob);
+  auto plain = sgx::unseal(runtime()->enclave(), blob);
   if (!plain) {
     S5G_LOG(LogLevel::kWarn, "eudm-aka") << "sealed key table rejected";
     return false;
   }
+  // The unsealed table is long-term key material: re-exposing it for
+  // parsing is enclave-grade declassification (KI 27) and would throw
+  // against anything but this module's enclave-backed context.
+  const SecretBytes table(std::move(*plain));
+  const Bytes raw =
+      table.declassify(DeclassifyReason::kUnseal, secret_ctx());
   // Deserialize: [count u32] { [len u16][supi][16-byte K] }*
-  const ByteView data(*plain);
+  const ByteView data(raw);
   if (data.size() < 4) return false;
   const std::uint64_t count = be_value(data.subspan(0, 4));
   std::size_t pos = 4;
-  std::map<nf::Supi, Bytes> parsed;
+  std::map<nf::Supi, SecretBytes> parsed;
   for (std::uint64_t i = 0; i < count; ++i) {
     if (pos + 2 > data.size()) return false;
     const std::uint64_t len = be_value(data.subspan(pos, 2));
@@ -49,7 +57,7 @@ bool EudmAkaService::provision_sealed(const sgx::SealedBlob& blob) {
     if (pos + len + 16 > data.size()) return false;
     const std::string supi = to_string(data.subspan(pos, len));
     pos += len;
-    parsed[nf::Supi{supi}] = slice_bytes(data, pos, 16);
+    parsed[nf::Supi{supi}] = SecretBytes(slice_bytes(data, pos, 16));
     pos += 16;
   }
   if (pos != data.size()) return false;
@@ -67,7 +75,7 @@ void EudmAkaService::register_routes() {
         const auto body = nf::parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto supi = body->get_string("supi");
-        const auto opc = nf::hex_bytes(*body, "opc");
+        const auto opc = nf::secret_hex_bytes(*body, "opc");
         const auto rand = nf::hex_bytes(*body, "rand");
         const auto sqn = nf::hex_bytes(*body, "sqn");
         const auto amf_id = nf::hex_bytes(*body, "amfId");
@@ -87,7 +95,10 @@ void EudmAkaService::register_routes() {
         out["rand"] = nf::hex_field(av.rand);
         out["autn"] = nf::hex_field(av.autn);
         out["xresStar"] = nf::hex_field(av.xres_star);
-        out["kausf"] = nf::hex_field(av.kausf);
+        // K_AUSF leaves the module for the AUSF: audited transport
+        // declassification, counted as shielded under SGX isolation.
+        out["kausf"] = nf::secret_hex_field(
+            av.kausf, DeclassifyReason::kTransport, secret_ctx());
         return net::HttpResponse::json(200, json::Value(out).dump());
       });
 
@@ -98,7 +109,7 @@ void EudmAkaService::register_routes() {
         const auto body = nf::parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto supi = body->get_string("supi");
-        const auto opc = nf::hex_bytes(*body, "opc");
+        const auto opc = nf::secret_hex_bytes(*body, "opc");
         const auto rand = nf::hex_bytes(*body, "rand");
         const auto auts = nf::hex_bytes(*body, "auts");
         if (!supi || !opc || !rand || !auts) {

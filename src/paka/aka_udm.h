@@ -21,16 +21,22 @@ class EudmAkaService final : public PakaService {
   EudmAkaService(sgx::Machine& machine, net::Bus& bus, PakaOptions options,
                  const std::string& name = "eudm-aka");
 
-  /// Container-mode provisioning: plain key table.
-  void provision_key(const nf::Supi& supi, Bytes k);
+  /// Container-mode provisioning: plain key table. The key is tainted
+  /// on arrival and stays tainted in the table.
+  void provision_key(const nf::Supi& supi, SecretBytes k);
 
   /// SGX-mode provisioning: a blob sealed to this module's measurement.
   /// Returns false when unsealing fails (wrong enclave or tampering).
+  /// Re-exposing the unsealed table is enclave-grade declassification
+  /// (DeclassifyReason::kUnseal): it only succeeds against the booted
+  /// enclave's context.
   bool provision_sealed(const sgx::SealedBlob& blob);
 
-  /// Serializes a key table for sealing by the orchestrator.
-  static Bytes serialize_key_table(
-      const std::map<nf::Supi, Bytes>& keys);
+  /// Serializes a key table for sealing by the orchestrator. Lowering
+  /// each K to wire bytes is provisioning-grade declassification,
+  /// audited against the orchestrator's context (host-grade when null).
+  static Bytes serialize_key_table(const std::map<nf::Supi, SecretBytes>& keys,
+                                   const sgx::EnclaveContext* ctx = nullptr);
 
   std::size_t key_count() const noexcept { return keys_.size(); }
 
@@ -40,7 +46,7 @@ class EudmAkaService final : public PakaService {
   std::uint64_t app_extra_bytes() const override { return 2'600'000; }
 
  private:
-  std::map<nf::Supi, Bytes> keys_;
+  std::map<nf::Supi, SecretBytes> keys_;
 };
 
 }  // namespace shield5g::paka

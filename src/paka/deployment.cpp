@@ -56,7 +56,8 @@ PakaService::PakaService(std::string name, sgx::Machine& machine,
       name_(std::move(name)),
       options_(options),
       host_env_(bus.clock()),
-      server_(name_, host_env_, bus.costs()) {
+      server_(name_, host_env_, bus.costs()),
+      secret_ctx_(sgx::EnclaveContext::container(name_)) {
   signer_key_ = machine_.rng().bytes(32);
 }
 
@@ -118,10 +119,16 @@ sim::Nanos PakaService::deploy() {
     load_time = runtime_->boot();
     sgx_env_ = std::make_unique<SgxEnv>(*runtime_, bus_.rng());
     server_.rebind_env(*sgx_env_);
+    // From here on this module's declassifications are enclave-backed:
+    // unsealing-grade exposure of long-term keys becomes legal (KI 27)
+    // and is audited under secret.declassify.*.shielded.
+    secret_ctx_ =
+        sgx::EnclaveContext::enclave_backed(name_, &runtime_->enclave());
   } else {
     machine_.clock().advance(kContainerStart);
     load_time = kContainerStart;
     server_.rebind_env(host_env_);
+    secret_ctx_ = sgx::EnclaveContext::container(name_);
   }
 
   // Server startup inside the deployment environment: TLS certificate
@@ -166,6 +173,9 @@ sim::Nanos PakaService::deploy() {
 void PakaService::undeploy() {
   if (!deployed_) return;
   bus_.detach(name_);
+  // The enclave (if any) is going away: drop back to a container-grade
+  // context before the backing pointer dies.
+  secret_ctx_ = sgx::EnclaveContext::container(name_);
   if (runtime_ != nullptr) {
     server_.rebind_env(host_env_);
     sgx_env_.reset();

@@ -20,6 +20,7 @@
 #include "net/bus.h"
 #include "net/env.h"
 #include "sgx/attestation.h"
+#include "sgx/enclave_context.h"
 #include "sgx/machine.h"
 
 namespace shield5g::paka {
@@ -101,6 +102,14 @@ class PakaService {
   libos::GramineRuntime* runtime() noexcept { return runtime_.get(); }
   const sgx::TransitionCounters* sgx_counters() const;
 
+  /// Declassification context of the running module: enclave-backed
+  /// once an SGX deployment has booted, container-grade otherwise.
+  /// Enclave-grade declassification (unsealing long-term keys, KI 27)
+  /// is only legal through the former.
+  const sgx::EnclaveContext* secret_ctx() const noexcept {
+    return &secret_ctx_;
+  }
+
   /// Remote attestation of the running module (SGX only; throws under
   /// container isolation, which has nothing to attest — the point of
   /// KI 13).
@@ -136,6 +145,7 @@ class PakaService {
   net::Server server_;
   std::unique_ptr<libos::GramineRuntime> runtime_;
   std::unique_ptr<SgxEnv> sgx_env_;
+  sgx::EnclaveContext secret_ctx_;
   Bytes signer_key_;
   bool deployed_ = false;
   bool routes_registered_ = false;

@@ -82,7 +82,7 @@ std::optional<Bytes> UeDevice::on_auth_request(const nf::NasMessage& msg) {
   const Bytes res_star =
       crypto::derive_res_star(ok.ck, ok.ik, snn_, rand_, ok.res);
   const auto autn_fields = crypto::parse_autn(autn);
-  const Bytes kausf =
+  const SecretBytes kausf =
       crypto::derive_kausf(ok.ck, ok.ik, snn_, autn_fields.sqn_xor_ak);
   kseaf_ = crypto::derive_kseaf(kausf, snn_);
   kamf_ = nf::derive_kamf_for(kseaf_, usim_.supi());

@@ -40,7 +40,7 @@ class UeDevice {
   Usim& usim() noexcept { return usim_; }
   const std::string& ue_ip() const noexcept { return ue_ip_; }
   const std::string& guti() const noexcept { return guti_; }
-  const Bytes& kamf() const noexcept { return kamf_; }
+  const SecretBytes& kamf() const noexcept { return kamf_; }
 
   /// Starts registration; returns the RegistrationRequest NAS PDU.
   Bytes start_registration();
@@ -73,10 +73,10 @@ class UeDevice {
   UeNasState state_ = UeNasState::kIdle;
   std::string snn_;
   Bytes rand_;
-  Bytes kseaf_;
-  Bytes kamf_;
-  Bytes knas_int_;
-  Bytes knas_enc_;
+  SecretBytes kseaf_;
+  SecretBytes kamf_;
+  SecretBytes knas_int_;
+  SecretBytes knas_enc_;
   std::uint32_t ul_count_ = 0;
   std::uint32_t dl_count_ = 0;
   std::string guti_;

@@ -22,7 +22,7 @@ crypto::Suci Usim::make_suci(ByteView ephemeral_random) const {
 AuthOutcome Usim::verify_challenge(ByteView rand, ByteView autn) {
   const auto fields = crypto::parse_autn(autn);
   const crypto::Milenage milenage(config_.k, config_.opc);
-  const auto out = milenage.compute_f2345(rand);
+  auto out = milenage.compute_f2345(rand);
 
   // Recover the network's SQN and check the MAC first.
   const Bytes sqn = xor_bytes(fields.sqn_xor_ak, out.ak);
@@ -42,7 +42,7 @@ AuthOutcome Usim::verify_challenge(ByteView rand, ByteView autn) {
   }
   config_.sqn_ms = sqn_value;
 
-  return AuthSuccess{out.res, out.ck, out.ik, sqn};
+  return AuthSuccess{out.res, std::move(out.ck), std::move(out.ik), sqn};
 }
 
 }  // namespace shield5g::ran

@@ -10,6 +10,7 @@
 #include <variant>
 
 #include "common/bytes.h"
+#include "common/secret.h"
 #include "crypto/suci.h"
 #include "nf/types.h"
 
@@ -17,9 +18,9 @@ namespace shield5g::ran {
 
 struct UsimConfig {
   nf::Plmn plmn;
-  std::string msin;  // subscriber-specific digits
-  Bytes k;           // 16
-  Bytes opc;         // 16
+  std::string msin;   // subscriber-specific digits
+  SecretBytes k;      // 16 — burned-in long-term key
+  SecretBytes opc;    // 16 — burned-in operator code
   std::uint64_t sqn_ms = 0;  // highest accepted sequence number
   crypto::SuciScheme suci_scheme = crypto::SuciScheme::kProfileA;
   Bytes hn_public;   // home-network ECIES public key (Profile A)
@@ -28,10 +29,10 @@ struct UsimConfig {
 
 /// Successful challenge verification: RES and the session keys.
 struct AuthSuccess {
-  Bytes res;  // 8
-  Bytes ck;   // 16
-  Bytes ik;   // 16
-  Bytes sqn;  // 6 — the accepted network SQN
+  Bytes res;       // 8
+  SecretBytes ck;  // 16
+  SecretBytes ik;  // 16
+  Bytes sqn;       // 6 — the accepted network SQN
 };
 
 /// MAC-A did not verify: the network (or an attacker) failed f1.

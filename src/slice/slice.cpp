@@ -145,7 +145,7 @@ bool Slice::provision_sealed_keys() {
   // KI 27: the subscriber key table reaches each eUDM enclave sealed to
   // its measurement; a plaintext K never appears in any image or on the
   // provisioning path.
-  std::map<nf::Supi, Bytes> keys;
+  std::map<nf::Supi, SecretBytes> keys;
   for (const auto& rec : subscribers_) keys[rec.supi] = rec.k;
   const Bytes table = paka::EudmAkaService::serialize_key_table(keys);
   for (const auto& replica : eudm_replicas_) {

@@ -220,7 +220,8 @@ struct MilenageVectors {
 
 TEST(Milenage, OpcDerivation) {
   const MilenageVectors v;
-  EXPECT_EQ(hex_encode(Milenage::derive_opc(v.k, v.op)), hex_encode(v.opc));
+  EXPECT_EQ(hex_encode(Milenage::derive_opc(v.k, v.op).reveal_for_test()),
+            hex_encode(v.opc));
 }
 
 TEST(Milenage, TestSet1AllFunctions) {
@@ -230,9 +231,9 @@ TEST(Milenage, TestSet1AllFunctions) {
   EXPECT_EQ(hex_encode(out.mac_a), "4a9ffac354dfafb3");   // f1
   EXPECT_EQ(hex_encode(out.mac_s), "01cfaf9ec4e871e9");   // f1*
   EXPECT_EQ(hex_encode(out.res), "a54211d5e3ba50bf");     // f2
-  EXPECT_EQ(hex_encode(out.ck),
+  EXPECT_EQ(hex_encode(out.ck.reveal_for_test()),
             "b40ba9a3c58b2a05bbf0d987b21bf8cb");           // f3
-  EXPECT_EQ(hex_encode(out.ik),
+  EXPECT_EQ(hex_encode(out.ik.reveal_for_test()),
             "f769bcd751044604127672711c6d3441");           // f4
   EXPECT_EQ(hex_encode(out.ak), "aa689c648370");           // f5
   EXPECT_EQ(hex_encode(out.ak_s), "451e8beca43b");         // f5*
@@ -329,14 +330,14 @@ TEST(KeyHierarchy, SizesAndDistinctness) {
   const Bytes sqn_xor_ak = rng.bytes(6);
   const std::string snn = serving_network_name("001", "01");
 
-  const Bytes kausf = derive_kausf(ck, ik, snn, sqn_xor_ak);
+  const SecretBytes kausf = derive_kausf(ck, ik, snn, sqn_xor_ak);
   const Bytes res_star = derive_res_star(ck, ik, snn, rand, res);
   const Bytes hxres = derive_hxres_star(rand, res_star);
-  const Bytes kseaf = derive_kseaf(kausf, snn);
-  const Bytes kamf = derive_kamf(kseaf, "001010000000001", Bytes{0, 0});
-  const Bytes knas_int = derive_algo_key(kamf, AlgoType::kNasInt, 2);
-  const Bytes knas_enc = derive_algo_key(kamf, AlgoType::kNasEnc, 2);
-  const Bytes kgnb = derive_kgnb(kamf, 0);
+  const SecretBytes kseaf = derive_kseaf(kausf, snn);
+  const SecretBytes kamf = derive_kamf(kseaf, "001010000000001", Bytes{0, 0});
+  const SecretBytes knas_int = derive_algo_key(kamf, AlgoType::kNasInt, 2);
+  const SecretBytes knas_enc = derive_algo_key(kamf, AlgoType::kNasEnc, 2);
+  const SecretBytes kgnb = derive_kgnb(kamf, 0);
 
   EXPECT_EQ(kausf.size(), 32u);
   EXPECT_EQ(res_star.size(), 16u);

@@ -153,7 +153,7 @@ TEST(Integration, CoResidentCannotUnsealKeyTable) {
   attacker.add_pages(64ULL << 20, Bytes{0xde, 0xad});
   attacker.init();
 
-  std::map<nf::Supi, Bytes> keys{{nf::Supi{"001010000000001"},
+  std::map<nf::Supi, SecretBytes> keys{{nf::Supi{"001010000000001"},
                                   Bytes(16, 9)}};
   Rng rng(1);
   const auto blob =

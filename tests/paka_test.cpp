@@ -37,7 +37,7 @@ class PakaFixture : public ::testing::TestWithParam<Isolation> {
 
   void provision(EudmAkaService& eudm) {
     if (eudm.isolation() == Isolation::kSgx) {
-      std::map<nf::Supi, Bytes> keys{{nf::Supi{supi_}, k_}};
+      std::map<nf::Supi, SecretBytes> keys{{nf::Supi{supi_}, k_}};
       const auto blob = sgx::seal(eudm.runtime()->enclave(),
                                   EudmAkaService::serialize_key_table(keys),
                                   rng_.bytes(16));
@@ -242,7 +242,7 @@ TEST_F(DeployFixture, SealedProvisioningRejectsWrongEnclave) {
   EausfAkaService other(machine_, bus_, opts);
   other.deploy();
 
-  std::map<nf::Supi, Bytes> keys{{nf::Supi{"001010000000001"},
+  std::map<nf::Supi, SecretBytes> keys{{nf::Supi{"001010000000001"},
                                   Bytes(16, 1)}};
   // Sealed to the *wrong* enclave: eUDM must reject it.
   const auto blob = sgx::seal(other.runtime()->enclave(),
@@ -257,7 +257,7 @@ TEST_F(DeployFixture, SealedProvisioningRejectsTamperedBlob) {
   opts.isolation = Isolation::kSgx;
   EudmAkaService eudm(machine_, bus_, opts);
   eudm.deploy();
-  std::map<nf::Supi, Bytes> keys{{nf::Supi{"001010000000001"},
+  std::map<nf::Supi, SecretBytes> keys{{nf::Supi{"001010000000001"},
                                   Bytes(16, 1)}};
   auto blob = sgx::seal(eudm.runtime()->enclave(),
                         EudmAkaService::serialize_key_table(keys),

@@ -207,7 +207,9 @@ TEST(Registration, WrongKeyFailsAuthentication) {
   s.create();
 
   UsimConfig usim = s.subscriber(0);
-  usim.k[0] ^= 0x01;  // cloned SIM with a wrong key
+  Bytes cloned_k = usim.k.reveal_for_test();
+  cloned_k[0] ^= 0x01;  // cloned SIM with a wrong key
+  usim.k = SecretBytes(std::move(cloned_k));
   UeDevice ue(usim, 778);
   const auto result = s.gnbsim().register_ue(ue, true);
   EXPECT_FALSE(result.registered);
@@ -338,7 +340,9 @@ TEST_F(CotsFixture, IncompatibleOsBuildFails) {
 
 TEST_F(CotsFixture, BadSimFailsRegistration) {
   UsimConfig usim = s_->subscriber(0);
-  usim.k[5] ^= 0xff;
+  Bytes bad_k = usim.k.reveal_for_test();
+  bad_k[5] ^= 0xff;
+  usim.k = SecretBytes(std::move(bad_k));
   CotsUe phone(CotsModel{}, usim);
   EXPECT_EQ(phone.connect({s_->gnb().cell()}, s_->gnbsim()),
             OtaOutcome::kRegistrationFailed);

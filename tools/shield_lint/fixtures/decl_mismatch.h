@@ -1,0 +1,21 @@
+// Seeded decl-mismatch violations: declarations whose own comment says
+// the field holds a secret while the type is plain Bytes.
+//
+// Fixture only — never compiled, only tokenized by the lint self-test.
+#pragma once
+
+#include "common/bytes.h"
+#include "common/secret.h"
+
+namespace shield5g::fixture {
+
+struct SessionKeys {
+  Bytes kamf;  // 32 — secret anchor key  lint-expect(decl-mismatch)
+  Bytes knas;  // secret NAS key  lint-expect(decl-mismatch)
+  // Benign: correctly typed secret.
+  SecretBytes kseaf;  // 32 — secret serving key
+  // Benign: public protocol material, no secret claim in the comment.
+  Bytes rand;  // 16 — public challenge
+};
+
+}  // namespace shield5g::fixture

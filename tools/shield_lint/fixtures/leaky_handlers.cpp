@@ -1,0 +1,34 @@
+// Seeded secret-sink violations: key material written into log, JSON
+// and HTTP sinks without going through declassify(). Every annotated
+// line must be reported by shield_lint with file:line; the unmarked
+// sink lines are sanitized uses and must NOT be flagged.
+//
+// Fixture only — never compiled, only tokenized by the lint self-test.
+#include "common/hex.h"
+#include "common/log.h"
+#include "nf/sbi.h"
+
+namespace shield5g::fixture {
+
+void leak_to_log(const SecretBytes& kseaf, const SecretBytes& kamf) {
+  S5G_LOG(LogLevel::kInfo, "ausf") << "kseaf=" << kseaf;  // lint-expect(secret-sink)
+  // Benign: length of a secret is not the secret.
+  S5G_LOG(LogLevel::kDebug, "ausf") << "kamf bytes: " << kamf.size();
+}
+
+json::Value leak_to_json(const SecretBytes& kausf, const nf::SubscriberRecord& rec,
+                         const sgx::EnclaveContext* ctx) {
+  json::Object out;
+  out["kausf"] = json::Value(hex_encode(kausf));  // lint-expect(secret-sink)
+  out["opc"] = nf::hex_field(rec.opc);  // lint-expect(secret-sink)
+  // Benign: the audited escape hatch is exactly what declassify is for.
+  out["kamf"] = json::Value(
+      hex_encode(rec.k.declassify(DeclassifyReason::kTransport, ctx)));
+  return json::Value(out);
+}
+
+net::HttpResponse leak_to_body(const SecretBytes& k) {
+  return net::HttpResponse::json(200, to_string(k));  // lint-expect(secret-sink)
+}
+
+}  // namespace shield5g::fixture

@@ -1,0 +1,19 @@
+// Negative fixture: files under a paka/ directory are the enclave
+// boundary — the P-AKA modules legitimately move key material through
+// their declassification sites, so the secret-sink rule is exempt
+// here. Nothing in this file may be flagged (no lint-expect markers).
+//
+// Fixture only — never compiled, only tokenized by the lint self-test.
+#include "nf/sbi.h"
+
+namespace shield5g::fixture::paka {
+
+json::Value handoff(const SecretBytes& kausf,
+                    const sgx::EnclaveContext* ctx) {
+  json::Object out;
+  out["kausf"] = json::Value(
+      hex_encode(kausf.declassify(DeclassifyReason::kTransport, ctx)));
+  return json::Value(out);
+}
+
+}  // namespace shield5g::fixture::paka

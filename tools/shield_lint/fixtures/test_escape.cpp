@@ -1,0 +1,23 @@
+// Seeded test-escape violations: the test-only declassification
+// surface (reveal_for_test, DeclassifyReason::kTestVector) appearing
+// in what pretends to be production code.
+//
+// Fixture only — never compiled, only tokenized by the lint self-test.
+#include "common/secret.h"
+
+namespace shield5g::fixture {
+
+Bytes dump_key(const SecretBytes& kamf) {
+  return kamf.reveal_for_test();  // lint-expect(test-escape)
+}
+
+Bytes dump_opc(const SecretBytes& opc) {
+  return opc.declassify(DeclassifyReason::kTestVector, nullptr);  // lint-expect(test-escape)
+}
+
+Bytes handoff(const SecretBytes& kausf, const sgx::EnclaveContext* ctx) {
+  // Benign: a production declassification reason with a context.
+  return kausf.declassify(DeclassifyReason::kTransport, ctx);
+}
+
+}  // namespace shield5g::fixture

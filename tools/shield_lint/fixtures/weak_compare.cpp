@@ -1,0 +1,34 @@
+// Seeded ct-compare violations: MAC/RES*/AUTS verification values
+// compared with memcmp or operator== instead of ct_equal (a timing
+// side channel on the authentication path, TS 33.501 §6.1.3.1).
+//
+// Fixture only — never compiled, only tokenized by the lint self-test.
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace shield5g::fixture {
+
+bool verify_mac(const Bytes& mac_a, const Bytes& expected) {
+  return std::memcmp(mac_a.data(), expected.data(), 8) == 0;  // lint-expect(ct-compare)
+}
+
+bool verify_res(const Bytes& res_star, const Bytes& xres) {
+  if (res_star == xres) {  // lint-expect(ct-compare)
+    return true;
+  }
+  return false;
+}
+
+bool verify_resync(const Bytes& mac_s, const Bytes& auts) {
+  // Benign: a length check is not a content compare.
+  if (auts.size() != 14) return false;
+  return slice_bytes(auts, 6, 8) != mac_s;  // lint-expect(ct-compare)
+}
+
+bool verify_ok(const Bytes& mac_a, const Bytes& expected) {
+  // Benign: this is the required constant-time compare.
+  return ct_equal(mac_a, expected);
+}
+
+}  // namespace shield5g::fixture

@@ -1,0 +1,531 @@
+#include "lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <unordered_set>
+
+namespace shield5g::lint {
+namespace {
+
+// ---------------------------------------------------------------------
+// Identifier classes
+// ---------------------------------------------------------------------
+
+/// Key-material identifiers: anything from the 5G-AKA hierarchy that is
+/// SecretBytes-typed in the tree. Matching is done on the lowercased
+/// token with trailing underscores stripped, so `kamf_`, `rec.opc` and
+/// `Kausf` all resolve here.
+const std::unordered_set<std::string>& secret_idents() {
+  static const std::unordered_set<std::string> kSet{
+      "k",        "ck",        "ik",        "opc",
+      "kausf",    "kseaf",     "kamf",      "kgnb",
+      "knas_int", "knas_enc",  "enc_key",   "mac_key",
+      "private_key", "hn_private", "receiver_private",
+  };
+  return kSet;
+}
+
+/// Authentication tokens that must be compared in constant time
+/// (TS 33.501 verification values: MAC-A/MAC-S, RES*/HXRES*, AUTS).
+const std::unordered_set<std::string>& ct_idents() {
+  static const std::unordered_set<std::string> kSet{
+      "mac_a",    "mac_s",      "mac_tag",    "res",
+      "res_star", "xres_star",  "hxres_star", "hres_star",
+      "auts",
+  };
+  return kSet;
+}
+
+/// Methods on a secret that are fine to call inside a sink expression:
+/// size/empty leak nothing, declassify is the audited escape hatch.
+const std::unordered_set<std::string>& allowed_methods() {
+  static const std::unordered_set<std::string> kSet{
+      "size", "empty", "declassify",
+  };
+  return kSet;
+}
+
+std::string normalize_ident(const std::string& ident) {
+  std::string out;
+  out.reserve(ident.size());
+  for (char c : ident) out.push_back(static_cast<char>(std::tolower(c)));
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+bool path_contains(const std::string& path, const std::string& piece) {
+  return path.find(piece) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer: comments and literals stripped, line numbers preserved
+// ---------------------------------------------------------------------
+
+struct Tok {
+  std::string text;
+  int line = 0;
+  bool ident = false;
+};
+
+/// Replaces comments, string literals and char literals with spaces so
+/// the token stream only ever sees code. Newlines are preserved.
+std::string strip_noise(const std::string& src) {
+  std::string out(src);
+  enum class Mode { kCode, kLine, kBlock, kStr, kChar } mode = Mode::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (mode) {
+      case Mode::kCode:
+        if (c == '/' && next == '/') {
+          mode = Mode::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          mode = Mode::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          mode = Mode::kStr;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          mode = Mode::kChar;
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kLine:
+        if (c == '\n') {
+          mode = Mode::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          mode = Mode::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kStr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < src.size() && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          out[i] = ' ';
+          mode = Mode::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < src.size() && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          out[i] = ' ';
+          mode = Mode::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<Tok> tokenize(const std::string& code) {
+  std::vector<Tok> toks;
+  int line = 1;
+  std::size_t i = 0;
+  auto is_ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < code.size()) {
+    const char c = code[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      std::size_t start = i;
+      while (i < code.size() && is_ident(code[i])) ++i;
+      toks.push_back({code.substr(start, i - start), line, true});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = i;
+      while (i < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[i])) ||
+              code[i] == '.' || code[i] == '\'')) {
+        ++i;
+      }
+      toks.push_back({code.substr(start, i - start), line, false});
+      continue;
+    }
+    // Multi-char operators the rules care about.
+    const char next = i + 1 < code.size() ? code[i + 1] : '\0';
+    if ((c == ':' && next == ':') || (c == '=' && next == '=') ||
+        (c == '!' && next == '=') || (c == '<' && next == '<') ||
+        (c == '-' && next == '>')) {
+      toks.push_back({std::string{c, next}, line, false});
+      i += 2;
+      continue;
+    }
+    toks.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------
+
+struct Scanner {
+  const std::string& file;
+  const std::vector<Tok>& toks;
+  std::vector<Finding>& findings;
+
+  void add(int line, const std::string& rule, const std::string& message) {
+    for (const Finding& f : findings) {
+      if (f.line == line && f.rule == rule) return;  // dedupe
+    }
+    findings.push_back({file, line, rule, message});
+  }
+
+  /// Index of the token closing the paren group opened at `open`.
+  std::size_t match_paren(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+      if (toks[i].text == "(") ++depth;
+      if (toks[i].text == ")" && --depth == 0) return i;
+    }
+    return toks.size();
+  }
+
+  /// True when the secret identifier at `i` is only used through an
+  /// allowed method (`.size()`, `.empty()`, or the audited
+  /// `.declassify(...)` gate).
+  bool sanitized_use(std::size_t i) const {
+    if (i + 2 >= toks.size()) return false;
+    const std::string& dot = toks[i + 1].text;
+    if (dot != "." && dot != "->") return false;
+    return allowed_methods().count(normalize_ident(toks[i + 2].text)) > 0;
+  }
+
+  /// Flags raw secret identifiers inside [begin, end).
+  void scan_sink_region(std::size_t begin, std::size_t end,
+                        const std::string& sink_name) {
+    for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+      if (!toks[i].ident) continue;
+      const std::string norm = normalize_ident(toks[i].text);
+      if (!secret_idents().count(norm)) continue;
+      if (sanitized_use(i)) continue;
+      add(toks[i].line, "secret-sink",
+          "key material `" + toks[i].text + "` reaches " + sink_name +
+              " without declassify()");
+    }
+  }
+
+  /// Terminal identifier of the member chain starting at `i` moving
+  /// right: for `a.b.mac_a` the value being compared is `mac_a`, not
+  /// the base object. Empty when the chain ends in a call (`x.size()`
+  /// compares a derived scalar, not the byte array).
+  std::string right_operand(std::size_t i) const {
+    std::string last;
+    while (i < toks.size()) {
+      if (toks[i].ident) {
+        last = normalize_ident(toks[i].text);
+        ++i;
+        if (i < toks.size() && (toks[i].text == "." || toks[i].text == "->")) {
+          ++i;
+          continue;
+        }
+        if (i < toks.size() && toks[i].text == "(") return {};
+        break;
+      }
+      if (toks[i].text == "*" || toks[i].text == "&") {
+        ++i;  // dereference of an optional/pointer operand
+        continue;
+      }
+      break;
+    }
+    return last;
+  }
+
+  /// Terminal identifier of the chain ending just before token `i`:
+  /// for `fields.mac_a ==` that is `mac_a`. Empty after `)` (a call
+  /// result like `x.size() ==` compares a scalar).
+  std::string left_operand(std::size_t i) const {
+    if (i == 0 || !toks[i - 1].ident) return {};
+    return normalize_ident(toks[i - 1].text);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Per-rule passes
+// ---------------------------------------------------------------------
+
+/// Rule test-escape: the test-only declassification surface must not
+/// appear in production code. secret.{h,cpp} define it and are exempt.
+void pass_test_escape(Scanner& s) {
+  const std::string base = std::filesystem::path(s.file).filename().string();
+  if (base == "secret.h" || base == "secret.cpp") return;
+  for (std::size_t i = 0; i < s.toks.size(); ++i) {
+    const Tok& t = s.toks[i];
+    if (t.text == "kTestVector") {
+      s.add(t.line, "test-escape",
+            "DeclassifyReason::kTestVector is test-only");
+    }
+    if (t.text == "reveal_for_test" && i > 0 &&
+        (s.toks[i - 1].text == "." || s.toks[i - 1].text == "->")) {
+      s.add(t.line, "test-escape", "reveal_for_test() is test-only");
+    }
+  }
+}
+
+/// Rule ct-compare: memcmp or ==/!= on MAC/RES*/AUTS verification
+/// values instead of ct_equal (timing side channel on the auth path).
+void pass_ct_compare(Scanner& s) {
+  for (std::size_t i = 0; i < s.toks.size(); ++i) {
+    const Tok& t = s.toks[i];
+    if (t.text == "memcmp" && i + 1 < s.toks.size() &&
+        s.toks[i + 1].text == "(") {
+      s.add(t.line, "ct-compare", "memcmp is never constant-time here");
+      continue;
+    }
+    if (t.text != "==" && t.text != "!=") continue;
+    for (const std::string& ident :
+         {s.left_operand(i), s.right_operand(i + 1)}) {
+      if (!ident.empty() && ct_idents().count(ident)) {
+        s.add(t.line, "ct-compare",
+              "`" + ident + "` compared with " + t.text +
+                  "; use ct_equal()");
+        break;
+      }
+    }
+  }
+}
+
+/// Rule secret-sink: raw key material reaching a log stream, JSON
+/// value, hex encoder or HTTP response body. src/paka/ is exempt: the
+/// P-AKA modules are the enclave boundary and hand keys off through
+/// their own audited declassification sites.
+void pass_secret_sink(Scanner& s) {
+  if (path_contains(s.file, "paka/")) return;
+  const std::vector<Tok>& toks = s.toks;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (!t.ident) continue;
+
+    // S5G_LOG(...) << ... ;  — the whole statement is the sink.
+    if (t.text == "S5G_LOG") {
+      int depth = 0;
+      std::size_t j = i;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")") --depth;
+        if (toks[j].text == ";" && depth == 0) break;
+      }
+      s.scan_sink_region(i + 1, j, "a log stream");
+      continue;
+    }
+
+    // hex_encode(...) / hex_field(...) — argument list is the sink.
+    if ((t.text == "hex_encode" || t.text == "hex_field") &&
+        i + 1 < toks.size() && toks[i + 1].text == "(") {
+      s.scan_sink_region(i + 2, s.match_paren(i + 1), t.text + "()");
+      continue;
+    }
+
+    // json::Value(...) and HttpResponse::json(...) constructions.
+    const bool json_value = t.text == "json" && i + 3 < toks.size() &&
+                            toks[i + 1].text == "::" &&
+                            toks[i + 2].text == "Value" &&
+                            toks[i + 3].text == "(";
+    const bool http_body = t.text == "HttpResponse" && i + 3 < toks.size() &&
+                           toks[i + 1].text == "::" &&
+                           toks[i + 2].text == "json" &&
+                           toks[i + 3].text == "(";
+    if (json_value || http_body) {
+      s.scan_sink_region(
+          i + 4, s.match_paren(i + 3),
+          json_value ? "a json::Value" : "an HTTP response body");
+    }
+  }
+}
+
+/// Rule decl-mismatch: a plain `Bytes` declaration whose own trailing
+/// comment says it holds a secret — the declaration and the comment
+/// disagree, and the type should be SecretBytes.
+void pass_decl_mismatch(const std::string& file, const std::string& raw,
+                        std::vector<Finding>& findings) {
+  std::istringstream in(raw);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t slash = line.find("//");
+    if (slash == std::string::npos) continue;
+    std::string comment = line.substr(slash + 2);
+    std::transform(comment.begin(), comment.end(), comment.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (comment.find("secret") == std::string::npos) continue;
+    const std::string code = line.substr(0, slash);
+    // `Bytes name;` or `Bytes name =` with a word boundary before
+    // `Bytes` (so SecretBytes does not match).
+    for (std::size_t pos = code.find("Bytes"); pos != std::string::npos;
+         pos = code.find("Bytes", pos + 1)) {
+      if (pos > 0 && (std::isalnum(static_cast<unsigned char>(
+                          code[pos - 1])) ||
+                      code[pos - 1] == '_')) {
+        continue;
+      }
+      std::size_t p = pos + 5;
+      while (p < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[p]))) {
+        ++p;
+      }
+      std::size_t name_start = p;
+      while (p < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[p])) ||
+              code[p] == '_')) {
+        ++p;
+      }
+      if (p == name_start) continue;
+      while (p < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[p]))) {
+        ++p;
+      }
+      if (p < code.size() && (code[p] == ';' || code[p] == '=')) {
+        findings.push_back(
+            {file, lineno, "decl-mismatch",
+             "comment declares a secret but the type is plain Bytes"});
+        break;
+      }
+    }
+  }
+}
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+std::string read_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+std::vector<Finding> scan_source(const std::string& file_label,
+                                 const std::string& content) {
+  std::vector<Finding> findings;
+  const std::string code = strip_noise(content);
+  const std::vector<Tok> toks = tokenize(code);
+  Scanner scanner{file_label, toks, findings};
+  pass_test_escape(scanner);
+  pass_ct_compare(scanner);
+  pass_secret_sink(scanner);
+  pass_decl_mismatch(file_label, content, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.line < b.line;
+            });
+  return findings;
+}
+
+std::vector<Finding> scan_tree(const std::string& root) {
+  std::vector<Finding> all;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && lintable(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    const auto found =
+        scan_source(path.generic_string(), read_file(path));
+    all.insert(all.end(), found.begin(), found.end());
+  }
+  return all;
+}
+
+std::vector<Expectation> parse_expectations_tree(const std::string& root) {
+  std::vector<Expectation> out;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && lintable(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::string marker = "lint-expect(";
+      for (std::size_t pos = line.find(marker); pos != std::string::npos;
+           pos = line.find(marker, pos + 1)) {
+        const std::size_t open = pos + marker.size();
+        const std::size_t close = line.find(')', open);
+        if (close == std::string::npos) continue;
+        out.push_back({path.generic_string(), lineno,
+                       line.substr(open, close - open)});
+      }
+    }
+  }
+  return out;
+}
+
+bool check_expectations(const std::vector<Finding>& findings,
+                        const std::vector<Expectation>& expected,
+                        std::vector<std::string>& errors) {
+  std::set<std::string> found;
+  for (const Finding& f : findings) {
+    found.insert(f.file + ":" + std::to_string(f.line) + " [" + f.rule +
+                 "]");
+  }
+  std::set<std::string> wanted;
+  for (const Expectation& e : expected) {
+    wanted.insert(e.file + ":" + std::to_string(e.line) + " [" + e.rule +
+                  "]");
+  }
+  for (const std::string& want : wanted) {
+    if (!found.count(want)) errors.push_back("missed " + want);
+  }
+  for (const std::string& got : found) {
+    if (!wanted.count(got)) errors.push_back("unexpected " + got);
+  }
+  return errors.empty();
+}
+
+}  // namespace shield5g::lint

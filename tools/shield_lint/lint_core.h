@@ -1,0 +1,55 @@
+// shield_lint: token-level secret-leak scanner for the shield5g tree.
+//
+// The SecretBytes type system (src/common/secret.h) makes most leaks a
+// compile error; this lint catches the patterns a type check cannot:
+// raw key-material identifiers written into log/JSON/HTTP sinks via an
+// escape hatch, non-constant-time comparison of authentication tokens,
+// the test-only declassification reason appearing in production code,
+// and `Bytes` declarations whose own comment claims they hold a secret.
+//
+// Deliberately no libclang: a tokenizer plus per-statement scanning is
+// enough for these rules and keeps the tool dependency-free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shield5g::lint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string file;  // path as passed to the scanner
+  int line = 0;      // 1-based
+  std::string rule;  // secret-sink | ct-compare | test-escape | decl-mismatch
+  std::string message;
+};
+
+/// A `// lint-expect(rule)` annotation inside a fixture file.
+struct Expectation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+};
+
+/// Scans one translation unit (already loaded). `file_label` is used in
+/// findings and for the per-file rule exemptions (src/paka/ is allowed
+/// to move key material through sinks; secret.h itself defines the
+/// test-only escape hatch it would otherwise flag).
+std::vector<Finding> scan_source(const std::string& file_label,
+                                 const std::string& content);
+
+/// Recursively scans every .h/.hpp/.cc/.cpp under `root`.
+std::vector<Finding> scan_tree(const std::string& root);
+
+/// Collects `lint-expect(<rule>)` annotations under `root` (fixtures).
+std::vector<Expectation> parse_expectations_tree(const std::string& root);
+
+/// Compares findings against fixture expectations. Appends one line per
+/// missed expectation ("missed <file>:<line> [<rule>]") and per
+/// unexpected finding to `errors`. Returns true iff both sets match —
+/// i.e. 100% of the seeded violations were flagged and nothing else.
+bool check_expectations(const std::vector<Finding>& findings,
+                        const std::vector<Expectation>& expected,
+                        std::vector<std::string>& errors);
+
+}  // namespace shield5g::lint

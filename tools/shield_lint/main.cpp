@@ -1,0 +1,75 @@
+// shield_lint CLI.
+//
+//   shield_lint <dir> [...]          scan trees; exit 1 on any finding
+//   shield_lint --self-test <dir>    scan a fixture tree and require the
+//                                    findings to match its lint-expect()
+//                                    annotations exactly (100% flagged,
+//                                    nothing extra); exit 1 on mismatch
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace {
+
+int run_scan(const std::vector<std::string>& roots) {
+  using shield5g::lint::Finding;
+  std::vector<Finding> all;
+  for (const std::string& root : roots) {
+    const auto found = shield5g::lint::scan_tree(root);
+    all.insert(all.end(), found.begin(), found.end());
+  }
+  for (const Finding& f : all) {
+    std::fprintf(stderr, "%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                 f.rule.c_str(), f.message.c_str());
+  }
+  if (!all.empty()) {
+    std::fprintf(stderr, "shield_lint: %zu violation(s)\n", all.size());
+    return 1;
+  }
+  std::printf("shield_lint: clean\n");
+  return 0;
+}
+
+int run_self_test(const std::string& root) {
+  const auto findings = shield5g::lint::scan_tree(root);
+  const auto expected = shield5g::lint::parse_expectations_tree(root);
+  if (expected.empty()) {
+    std::fprintf(stderr,
+                 "shield_lint: no lint-expect() annotations under %s\n",
+                 root.c_str());
+    return 1;
+  }
+  std::vector<std::string> errors;
+  if (!shield5g::lint::check_expectations(findings, expected, errors)) {
+    for (const std::string& err : errors) {
+      std::fprintf(stderr, "shield_lint self-test: %s\n", err.c_str());
+    }
+    return 1;
+  }
+  std::printf("shield_lint self-test: %zu/%zu seeded violations flagged\n",
+              expected.size(), expected.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  bool self_test = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: shield_lint [--self-test] <dir> [...]\n");
+    return 2;
+  }
+  if (self_test) return run_self_test(roots.front());
+  return run_scan(roots);
+}
