@@ -1,0 +1,310 @@
+// Wall-clock registration throughput harness.
+//
+// Unlike every other bench in this directory, which reports *virtual*
+// time (the paper's metric), this one measures how fast the harness
+// itself executes: end-to-end UE registrations are driven through the
+// open-loop engine and timed with the host's steady clock. The output
+// is registrations per wall-clock second plus a per-stage breakdown
+// (crypto / codec / bus / scheduler) from the hot-stage probes, per
+// isolation mode.
+//
+//   $ ./throughput [--smoke] [ue_count] [offered_load_per_s] [repeats] [out.json]
+//
+// Defaults: 600 UEs, 2000/s Poisson arrivals, 3 repeats, writing
+// BENCH_throughput.json in the working directory. --smoke shrinks the
+// run for CI (60 UEs, 1 repeat). Each repeat builds a fresh slice; the
+// reported rate per mode is the median across repeats so a noisy host
+// does not dominate. The emitted JSON is re-parsed and schema-checked
+// before the process exits 0 — a malformed or incomplete report fails
+// the bench.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/hot_stage.h"
+#include "common/stats.h"
+#include "crypto/cpu_dispatch.h"
+#include "json/json.h"
+#include "load/generator.h"
+#include "slice/slice.h"
+
+using namespace shield5g;
+
+namespace {
+
+constexpr const char* kSchemaId = "shield5g.bench.throughput.v1";
+
+constexpr HotStage kStages[] = {HotStage::kCrypto, HotStage::kCodec,
+                                HotStage::kBus, HotStage::kScheduler};
+
+struct ModeResult {
+  const char* mode = "";
+  std::uint32_t registered = 0;
+  std::uint32_t failed = 0;
+  double elapsed_ms_median = 0.0;
+  double regs_per_s = 0.0;
+  std::uint64_t stage_ns[kHotStageCount] = {};
+};
+
+struct Options {
+  std::uint32_t ue_count = 600;
+  double rate_per_s = 2000.0;
+  int repeats = 3;
+  std::string out_path = "BENCH_throughput.json";
+  bool smoke = false;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      opt.smoke = true;
+      opt.ue_count = 60;
+      opt.rate_per_s = 1000.0;
+      opt.repeats = 1;
+      continue;
+    }
+    switch (positional++) {
+      case 0: opt.ue_count = static_cast<std::uint32_t>(std::atoi(argv[i])); break;
+      case 1: opt.rate_per_s = std::atof(argv[i]); break;
+      case 2: opt.repeats = std::atoi(argv[i]); break;
+      case 3: opt.out_path = argv[i]; break;
+      default:
+        std::fprintf(stderr,
+                     "usage: %s [--smoke] [ue_count] [rate_per_s] [repeats] "
+                     "[out.json]\n",
+                     argv[0]);
+        std::exit(2);
+    }
+  }
+  if (opt.ue_count == 0 || opt.rate_per_s <= 0.0 || opt.repeats < 1) {
+    std::fprintf(stderr, "throughput: ue_count, rate and repeats must be > 0\n");
+    std::exit(2);
+  }
+  return opt;
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One timed open-loop run against a fresh slice. Slice construction and
+/// subscriber provisioning stay outside the timed window; the TLS
+/// handshakes, AKA flows and scheduler drain are inside it.
+ModeResult run_mode(slice::IsolationMode mode, const Options& opt) {
+  ModeResult result;
+  result.mode = slice::isolation_mode_name(mode);
+
+  Samples elapsed_ms;
+  Samples rate;
+  for (int rep = 0; rep < opt.repeats; ++rep) {
+    slice::SliceConfig config;
+    config.mode = mode;
+    config.subscriber_count = opt.ue_count;
+    slice::Slice slice(config);
+    slice.create();
+
+    load::LoadConfig load_cfg;
+    load_cfg.ue_count = opt.ue_count;
+    load_cfg.arrivals.kind = load::ArrivalKind::kPoisson;
+    load_cfg.arrivals.rate_per_s = opt.rate_per_s;
+
+    hot_stage::reset();
+    const double t0 = now_ms();
+    load::LoadGenerator generator;
+    const load::LoadReport report = generator.run(slice, load_cfg);
+    const double t1 = now_ms();
+
+    result.registered = report.registered;
+    result.failed = report.failed;
+    elapsed_ms.add(t1 - t0);
+    if (t1 > t0) {
+      rate.add(static_cast<double>(report.registered) / ((t1 - t0) / 1e3));
+    }
+    // Stage totals accumulate across repeats; shares stay meaningful.
+    for (const HotStage stage : kStages) {
+      result.stage_ns[static_cast<int>(stage)] += hot_stage::total_ns(stage);
+    }
+  }
+  result.elapsed_ms_median = elapsed_ms.median();
+  result.regs_per_s = rate.empty() ? 0.0 : rate.median();
+  return result;
+}
+
+json::Value stage_object(const std::uint64_t ns[kHotStageCount]) {
+  json::Object obj;
+  for (const HotStage stage : kStages) {
+    obj[hot_stage::name(stage)] = json::Value(ns[static_cast<int>(stage)]);
+  }
+  return json::Value(std::move(obj));
+}
+
+/// Re-parses the emitted document and checks the schema the CI smoke
+/// stage (and downstream tooling) depends on. Returns false with a
+/// diagnostic on any missing or mistyped field.
+bool validate(const std::string& text) {
+  const auto fail = [](const char* what) {
+    std::fprintf(stderr, "throughput: schema validation failed: %s\n", what);
+    return false;
+  };
+  json::Value doc;
+  try {
+    doc = json::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "throughput: emitted JSON does not parse: %s\n",
+                 e.what());
+    return false;
+  }
+  if (!doc.is_object()) return fail("root is not an object");
+  const json::Object& root = doc.as_object();
+  const auto field = [&root](const char* key) -> const json::Value* {
+    const auto it = root.find(key);
+    return it == root.end() ? nullptr : &it->second;
+  };
+
+  const json::Value* schema = field("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kSchemaId) {
+    return fail("schema id missing or wrong");
+  }
+  const json::Value* backend = field("backend");
+  if (backend == nullptr || !backend->is_string()) return fail("backend");
+  for (const char* key : {"ue_count", "rate_per_s", "repeats",
+                          "regs_per_s", "wall_ms"}) {
+    const json::Value* v = field(key);
+    if (v == nullptr || !v->is_number()) return fail(key);
+  }
+  const json::Value* smoke = field("smoke");
+  if (smoke == nullptr || !smoke->is_bool()) return fail("smoke");
+
+  const json::Value* modes = field("modes");
+  if (modes == nullptr || !modes->is_array() || modes->as_array().empty()) {
+    return fail("modes");
+  }
+  for (const json::Value& entry : modes->as_array()) {
+    if (!entry.is_object()) return fail("modes entry not an object");
+    const json::Object& m = entry.as_object();
+    for (const char* key : {"registered", "failed", "elapsed_ms",
+                            "regs_per_s"}) {
+      const auto it = m.find(key);
+      if (it == m.end() || !it->second.is_number()) return fail(key);
+    }
+    const auto mode_it = m.find("mode");
+    if (mode_it == m.end() || !mode_it->second.is_string()) {
+      return fail("mode name");
+    }
+    const auto stages_it = m.find("stage_ns");
+    if (stages_it == m.end() || !stages_it->second.is_object()) {
+      return fail("stage_ns");
+    }
+    const json::Object& stages = stages_it->second.as_object();
+    for (const HotStage stage : kStages) {
+      const auto it = stages.find(hot_stage::name(stage));
+      if (it == stages.end() || !it->second.is_number()) {
+        return fail("stage_ns bucket");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  const char* backend = crypto::backend_name(crypto::active_backend());
+
+  bench::heading("Wall-clock registration throughput");
+  std::printf("  backend=%s ue_count=%u rate=%.0f/s repeats=%d%s\n", backend,
+              opt.ue_count, opt.rate_per_s, opt.repeats,
+              opt.smoke ? " (smoke)" : "");
+  bench::print_note(
+      "host time, not virtual time — every other bench reports the latter");
+
+  hot_stage::set_enabled(true);
+
+  const slice::IsolationMode modes[] = {slice::IsolationMode::kMonolithic,
+                                        slice::IsolationMode::kContainer,
+                                        slice::IsolationMode::kSgx};
+  std::vector<ModeResult> results;
+  std::uint64_t total_stage_ns[kHotStageCount] = {};
+  std::uint32_t total_registered = 0;
+  double total_wall_ms = 0.0;
+  for (const slice::IsolationMode mode : modes) {
+    ModeResult r = run_mode(mode, opt);
+    std::printf("  %-11s %u/%u registered, %.1f ms, %.0f regs/s wall\n",
+                r.mode, r.registered, opt.ue_count, r.elapsed_ms_median,
+                r.regs_per_s);
+    std::uint64_t mode_total = 0;
+    for (const HotStage stage : kStages) {
+      mode_total += r.stage_ns[static_cast<int>(stage)];
+    }
+    for (const HotStage stage : kStages) {
+      const int i = static_cast<int>(stage);
+      total_stage_ns[i] += r.stage_ns[i];
+      if (mode_total > 0) {
+        std::printf("    %-10s %8.2f ms (%4.1f%%)\n", hot_stage::name(stage),
+                    static_cast<double>(r.stage_ns[i]) / 1e6,
+                    100.0 * static_cast<double>(r.stage_ns[i]) /
+                        static_cast<double>(mode_total));
+      }
+    }
+    // One slice-run's worth of wall time per mode (median over repeats);
+    // the headline rate divides registrations by this aggregate.
+    total_registered += r.registered;
+    total_wall_ms += r.elapsed_ms_median;
+    results.push_back(std::move(r));
+  }
+  hot_stage::set_enabled(false);
+
+  const double headline_regs_per_s =
+      total_wall_ms > 0.0
+          ? static_cast<double>(total_registered) / (total_wall_ms / 1e3)
+          : 0.0;
+  std::printf("  headline: %u registrations in %.1f ms -> %.0f regs/s\n",
+              total_registered, total_wall_ms, headline_regs_per_s);
+
+  json::Object root;
+  root["schema"] = json::Value(kSchemaId);
+  root["backend"] = json::Value(backend);
+  root["smoke"] = json::Value(opt.smoke);
+  root["ue_count"] = json::Value(static_cast<std::uint64_t>(opt.ue_count));
+  root["rate_per_s"] = json::Value(opt.rate_per_s);
+  root["repeats"] = json::Value(static_cast<std::int64_t>(opt.repeats));
+  root["regs_per_s"] = json::Value(headline_regs_per_s);
+  root["wall_ms"] = json::Value(total_wall_ms);
+  root["stage_ns"] = stage_object(total_stage_ns);
+  json::Array mode_entries;
+  for (const ModeResult& r : results) {
+    json::Object entry;
+    entry["mode"] = json::Value(r.mode);
+    entry["registered"] = json::Value(static_cast<std::uint64_t>(r.registered));
+    entry["failed"] = json::Value(static_cast<std::uint64_t>(r.failed));
+    entry["elapsed_ms"] = json::Value(r.elapsed_ms_median);
+    entry["regs_per_s"] = json::Value(r.regs_per_s);
+    entry["stage_ns"] = stage_object(r.stage_ns);
+    mode_entries.emplace_back(std::move(entry));
+  }
+  root["modes"] = json::Value(std::move(mode_entries));
+
+  const std::string text = json::Value(std::move(root)).dump();
+  if (!validate(text)) return 1;
+
+  std::ofstream out(opt.out_path, std::ios::trunc);
+  out << text << '\n';
+  if (!out) {
+    std::fprintf(stderr, "throughput: cannot write %s\n",
+                 opt.out_path.c_str());
+    return 1;
+  }
+  std::printf("  wrote %s\n", opt.out_path.c_str());
+  return 0;
+}

@@ -13,6 +13,10 @@
 #   scripts/ci.sh ubsan       # UBSanitizer over the unit suite
 #   scripts/ci.sh tsan        # ThreadSanitizer over the Monte Carlo
 #                             # host-thread driver (src/load/montecarlo.h)
+#   scripts/ci.sh bench-smoke # tiny wall-clock throughput run: validate
+#                             # the BENCH_throughput.json schema, lint
+#                             # src/ + bench/, and pin the declassify
+#                             # audit surface
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -41,6 +45,29 @@ case "$stage" in
           -DSHIELD5G_SANITIZE=thread
     cmake --build "$build" --target montecarlo_test -j "$jobs"
     ctest --test-dir "$build" --output-on-failure -R '^MonteCarlo'
+    ;;
+  bench-smoke)
+    build="${BUILD_DIR:-$repo/build}"
+    cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$build" --target throughput shield_lint -j "$jobs"
+    out="$build/BENCH_throughput.json"
+    # The binary self-validates the document before exiting 0; the greps
+    # below catch a stale or truncated file on top of that.
+    "$build/bench/throughput" --smoke 60 1000 1 "$out"
+    grep -q '"schema":"shield5g.bench.throughput.v1"' "$out"
+    grep -q '"regs_per_s"' "$out"
+    grep -q '"stage_ns"' "$out"
+    "$build/tools/shield_lint/shield_lint" "$repo/src" "$repo/bench"
+    # The secret-taint audit surface must not grow: exactly the blessed
+    # declassify call sites (sbi.h hex dump, UDM provisioning + unseal).
+    sites="$(grep -rn 'declassify(' "$repo/src" --include='*.cpp' \
+             --include='*.h' | grep -v 'common/secret' \
+             | grep -vE ':[0-9]+:[[:space:]]*(//|\*)' | wc -l)"
+    if [ "$sites" -ne 3 ]; then
+      echo "bench-smoke: declassify call sites changed (found $sites, want 3)" >&2
+      exit 1
+    fi
+    echo "bench-smoke: OK"
     ;;
   *)
     build="${BUILD_DIR:-$repo/build}"

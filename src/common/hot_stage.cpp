@@ -1,0 +1,72 @@
+#include "common/hot_stage.h"
+
+#include <array>
+#include <atomic>
+#include <chrono>
+
+namespace shield5g {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::array<std::atomic<std::uint64_t>, kHotStageCount> g_totals{};
+
+thread_local ScopedStage* t_current = nullptr;
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+namespace hot_stage {
+
+void set_enabled(bool on) noexcept {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }
+
+void reset() noexcept {
+  for (auto& t : g_totals) t.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t total_ns(HotStage stage) noexcept {
+  return g_totals[static_cast<int>(stage)].load(std::memory_order_relaxed);
+}
+
+const char* name(HotStage stage) noexcept {
+  switch (stage) {
+    case HotStage::kCrypto: return "crypto";
+    case HotStage::kCodec: return "codec";
+    case HotStage::kBus: return "bus";
+    case HotStage::kScheduler: return "scheduler";
+  }
+  return "unknown";
+}
+
+}  // namespace hot_stage
+
+ScopedStage::ScopedStage(HotStage stage) noexcept {
+  if (!hot_stage::enabled()) return;
+  active_ = true;
+  stage_ = stage;
+  parent_ = t_current;
+  t_current = this;
+  start_ns_ = now_ns();
+}
+
+ScopedStage::~ScopedStage() {
+  if (!active_) return;
+  const std::uint64_t elapsed = now_ns() - start_ns_;
+  const std::uint64_t own = elapsed > child_ns_ ? elapsed - child_ns_ : 0;
+  g_totals[static_cast<int>(stage_)].fetch_add(own,
+                                               std::memory_order_relaxed);
+  if (parent_ != nullptr) parent_->child_ns_ += elapsed;
+  t_current = parent_;
+}
+
+}  // namespace shield5g

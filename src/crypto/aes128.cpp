@@ -1,6 +1,10 @@
 #include "crypto/aes128.h"
 
 #include <stdexcept>
+
+#include "common/secret.h"
+#include "crypto/aes128_kernels.h"
+#include "crypto/cpu_dispatch.h"
 #include "crypto/op_count.h"
 
 namespace shield5g::crypto {
@@ -131,11 +135,52 @@ void inv_mix_columns(State& s) noexcept {
   }
 }
 
+// Scalar reference kernels. They do NOT charge op counts — the public
+// methods do, before dispatch, so both backends count identically.
+void scalar_encrypt_block(const std::uint8_t* rk, const std::uint8_t* in,
+                          std::uint8_t* out) noexcept {
+  State s;
+  for (int i = 0; i < 16; ++i) s[i] = in[i];
+  add_round_key(s, rk);
+  for (int round = 1; round < 10; ++round) {
+    sub_bytes(s);
+    shift_rows(s);
+    mix_columns(s);
+    add_round_key(s, rk + 16 * round);
+  }
+  sub_bytes(s);
+  shift_rows(s);
+  add_round_key(s, rk + 160);
+  for (int i = 0; i < 16; ++i) out[i] = s[i];
+}
+
+void scalar_decrypt_block(const std::uint8_t* rk, const std::uint8_t* in,
+                          std::uint8_t* out) noexcept {
+  State s;
+  for (int i = 0; i < 16; ++i) s[i] = in[i];
+  add_round_key(s, rk + 160);
+  for (int round = 9; round >= 1; --round) {
+    inv_shift_rows(s);
+    inv_sub_bytes(s);
+    add_round_key(s, rk + 16 * round);
+    inv_mix_columns(s);
+  }
+  inv_shift_rows(s);
+  inv_sub_bytes(s);
+  add_round_key(s, rk);
+  for (int i = 0; i < 16; ++i) out[i] = s[i];
+}
+
+bool use_aesni() noexcept {
+  return active_backend() == CryptoBackend::kAccelerated &&
+         detail::aesni_compiled() && cpu_has_aesni();
+}
+
 }  // namespace
 
-Aes128::Aes128(ByteView key) {
+Aes128Ctx::Aes128Ctx(ByteView key) {
   if (key.size() != kKeySize) {
-    throw std::invalid_argument("Aes128: key must be 16 bytes");
+    throw std::invalid_argument("Aes128Ctx: key must be 16 bytes");
   }
   for (std::size_t i = 0; i < kKeySize; ++i) round_keys_[i] = key[i];
   for (int i = 4; i < 44; ++i) {
@@ -156,59 +201,61 @@ Aes128::Aes128(ByteView key) {
   }
 }
 
-std::array<std::uint8_t, Aes128::kBlockSize> Aes128::encrypt_block(
+Aes128Ctx::~Aes128Ctx() {
+  secure_zero(round_keys_.data(), round_keys_.size());
+}
+
+std::array<std::uint8_t, Aes128Ctx::kBlockSize> Aes128Ctx::encrypt_block(
     ByteView plaintext) const {
   if (plaintext.size() != kBlockSize) {
-    throw std::invalid_argument("Aes128::encrypt_block: need 16 bytes");
+    throw std::invalid_argument("Aes128Ctx::encrypt_block: need 16 bytes");
   }
   ++op_counts().aes_blocks;
-  State s;
-  for (int i = 0; i < 16; ++i) s[i] = plaintext[i];
-  add_round_key(s, &round_keys_[0]);
-  for (int round = 1; round < 10; ++round) {
-    sub_bytes(s);
-    shift_rows(s);
-    mix_columns(s);
-    add_round_key(s, &round_keys_[16 * round]);
+  std::array<std::uint8_t, kBlockSize> out;
+  if (use_aesni()) {
+    detail::aesni_encrypt_blocks(round_keys_.data(), plaintext.data(),
+                                 out.data(), 1);
+  } else {
+    scalar_encrypt_block(round_keys_.data(), plaintext.data(), out.data());
   }
-  sub_bytes(s);
-  shift_rows(s);
-  add_round_key(s, &round_keys_[160]);
-  return s;
+  return out;
 }
 
-std::array<std::uint8_t, Aes128::kBlockSize> Aes128::decrypt_block(
+std::array<std::uint8_t, Aes128Ctx::kBlockSize> Aes128Ctx::decrypt_block(
     ByteView ciphertext) const {
   if (ciphertext.size() != kBlockSize) {
-    throw std::invalid_argument("Aes128::decrypt_block: need 16 bytes");
+    throw std::invalid_argument("Aes128Ctx::decrypt_block: need 16 bytes");
   }
   ++op_counts().aes_blocks;
-  State s;
-  for (int i = 0; i < 16; ++i) s[i] = ciphertext[i];
-  add_round_key(s, &round_keys_[160]);
-  for (int round = 9; round >= 1; --round) {
-    inv_shift_rows(s);
-    inv_sub_bytes(s);
-    add_round_key(s, &round_keys_[16 * round]);
-    inv_mix_columns(s);
+  std::array<std::uint8_t, kBlockSize> out;
+  if (use_aesni()) {
+    detail::aesni_decrypt_block(round_keys_.data(), ciphertext.data(),
+                                out.data());
+  } else {
+    scalar_decrypt_block(round_keys_.data(), ciphertext.data(), out.data());
   }
-  inv_shift_rows(s);
-  inv_sub_bytes(s);
-  add_round_key(s, &round_keys_[0]);
-  return s;
+  return out;
 }
 
-Bytes aes128_ctr(ByteView key, ByteView icb, ByteView data) {
-  if (icb.size() != Aes128::kBlockSize) {
-    throw std::invalid_argument("aes128_ctr: counter block must be 16 bytes");
+void Aes128Ctx::ctr_xor(ByteView icb, ByteView data,
+                        std::uint8_t* out) const {
+  if (icb.size() != kBlockSize) {
+    throw std::invalid_argument("Aes128Ctx::ctr_xor: counter block size");
   }
-  const Aes128 cipher(key);
+  const std::size_t nblocks = (data.size() + kBlockSize - 1) / kBlockSize;
+  op_counts().aes_blocks += nblocks;
+  if (use_aesni()) {
+    detail::aesni_ctr_xor(round_keys_.data(), icb.data(), data.data(), out,
+                          data.size());
+    return;
+  }
   std::array<std::uint8_t, 16> counter{};
   for (int i = 0; i < 16; ++i) counter[i] = icb[i];
-  Bytes out(data.size());
   std::size_t off = 0;
   while (off < data.size()) {
-    const auto keystream = cipher.encrypt_block(counter);
+    std::array<std::uint8_t, 16> keystream;
+    scalar_encrypt_block(round_keys_.data(), counter.data(),
+                         keystream.data());
     const std::size_t n = std::min<std::size_t>(16, data.size() - off);
     for (std::size_t i = 0; i < n; ++i) {
       out[off + i] = static_cast<std::uint8_t>(data[off + i] ^ keystream[i]);
@@ -219,6 +266,16 @@ Bytes aes128_ctr(ByteView key, ByteView icb, ByteView data) {
     }
     off += n;
   }
+}
+
+Bytes aes128_ctr(ByteView key, ByteView icb, ByteView data) {
+  const Aes128Ctx ctx(key);
+  return aes128_ctr(ctx, icb, data);
+}
+
+Bytes aes128_ctr(const Aes128Ctx& ctx, ByteView icb, ByteView data) {
+  Bytes out(data.size());
+  ctx.ctr_xor(icb, data, out.data());
   return out;
 }
 

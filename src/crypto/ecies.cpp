@@ -15,7 +15,8 @@ constexpr std::size_t kIcbLen = 16;     // initial counter block
 constexpr std::size_t kMacKeyLen = 32;  // HMAC-SHA-256 key
 
 struct DerivedKeys {
-  SecretBytes enc_key, mac_key;
+  Aes128Ctx enc;  // schedule expanded straight off the KDF output
+  SecretBytes mac_key;
   Bytes icb;
 };
 
@@ -23,11 +24,10 @@ DerivedKeys derive_keys(SecretView shared_secret, ByteView eph_public) {
   const SecretBytes material(
       x963_kdf(shared_secret, eph_public, kEncKeyLen + kIcbLen + kMacKeyLen));
   const ByteView raw = material.unsafe_bytes();
-  DerivedKeys keys;
-  keys.enc_key = SecretBytes(take(raw, kEncKeyLen));
-  keys.icb = slice_bytes(raw, kEncKeyLen, kIcbLen);
-  keys.mac_key = SecretBytes(slice_bytes(raw, kEncKeyLen + kIcbLen, kMacKeyLen));
-  return keys;
+  return DerivedKeys{
+      Aes128Ctx(raw.subspan(0, kEncKeyLen)),
+      SecretBytes(raw.subspan(kEncKeyLen + kIcbLen, kMacKeyLen)),
+      slice_bytes(raw, kEncKeyLen, kIcbLen)};
 }
 }  // namespace
 
@@ -74,7 +74,7 @@ EciesCiphertext ecies_encrypt(ByteView receiver_public, ByteView plaintext,
 
   EciesCiphertext ct;
   ct.ephemeral_public = Bytes(eph.public_key.begin(), eph.public_key.end());
-  ct.ciphertext = aes128_ctr(keys.enc_key.unsafe_bytes(), keys.icb, plaintext);
+  ct.ciphertext = aes128_ctr(keys.enc, keys.icb, plaintext);
   ct.mac_tag =
       hmac_sha256_trunc(keys.mac_key.unsafe_bytes(), ct.ciphertext, kMacTagLen);
   return ct;
@@ -88,7 +88,7 @@ std::optional<Bytes> ecies_decrypt(SecretView receiver_private,
   const Bytes expected_tag =
       hmac_sha256_trunc(keys.mac_key.unsafe_bytes(), ct.ciphertext, kMacTagLen);
   if (!ct_equal(expected_tag, ct.mac_tag)) return std::nullopt;
-  return aes128_ctr(keys.enc_key.unsafe_bytes(), keys.icb, ct.ciphertext);
+  return aes128_ctr(keys.enc, keys.icb, ct.ciphertext);
 }
 
 }  // namespace shield5g::crypto

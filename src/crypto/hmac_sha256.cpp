@@ -1,39 +1,75 @@
 #include "crypto/hmac_sha256.h"
 
+#include <array>
+#include <cstring>
 #include <stdexcept>
 
+#include "common/secret.h"
 #include "crypto/sha256.h"
 
 namespace shield5g::crypto {
 
-Bytes hmac_sha256(ByteView key, ByteView data) {
+namespace {
+
+// Core with the message supplied as up to two parts; pads live on the
+// stack and are wiped before returning.
+Bytes hmac_core(ByteView key, ByteView part1, const ByteView* part2) {
   constexpr std::size_t kBlock = Sha256::kBlockSize;
 
-  Bytes k0(key.begin(), key.end());
-  if (k0.size() > kBlock) k0 = Sha256::digest(k0);
-  k0.resize(kBlock, 0x00);
-
-  Bytes ipad(kBlock), opad(kBlock);
-  for (std::size_t i = 0; i < kBlock; ++i) {
-    ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
-    opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  std::array<std::uint8_t, kBlock> k0{};
+  if (key.size() > kBlock) {
+    const Bytes digest = Sha256::digest(key);
+    std::memcpy(k0.data(), digest.data(), digest.size());
+  } else if (!key.empty()) {  // empty ByteView may carry a null pointer
+    std::memcpy(k0.data(), key.data(), key.size());
   }
 
+  std::array<std::uint8_t, kBlock> pad;
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    pad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
+  }
   Sha256 inner;
-  inner.update(ipad).update(data);
+  inner.update(pad).update(part1);
+  if (part2 != nullptr) inner.update(*part2);
   const auto inner_digest = inner.finalize();
 
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    pad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
+  }
   Sha256 outer;
-  outer.update(opad).update(ByteView(inner_digest));
+  outer.update(pad).update(ByteView(inner_digest));
   const auto mac = outer.finalize();
+
+  secure_zero(k0.data(), k0.size());
+  secure_zero(pad.data(), pad.size());
   return Bytes(mac.begin(), mac.end());
+}
+
+}  // namespace
+
+Bytes hmac_sha256(ByteView key, ByteView data) {
+  return hmac_core(key, data, nullptr);
+}
+
+Bytes hmac_sha256(ByteView key, ByteView part1, ByteView part2) {
+  return hmac_core(key, part1, &part2);
 }
 
 Bytes hmac_sha256_trunc(ByteView key, ByteView data, std::size_t n) {
   if (n > Sha256::kDigestSize) {
     throw std::invalid_argument("hmac_sha256_trunc: n > 32");
   }
-  Bytes mac = hmac_sha256(key, data);
+  Bytes mac = hmac_core(key, data, nullptr);
+  mac.resize(n);
+  return mac;
+}
+
+Bytes hmac_sha256_trunc(ByteView key, ByteView part1, ByteView part2,
+                        std::size_t n) {
+  if (n > Sha256::kDigestSize) {
+    throw std::invalid_argument("hmac_sha256_trunc: n > 32");
+  }
+  Bytes mac = hmac_core(key, part1, &part2);
   mac.resize(n);
   return mac;
 }

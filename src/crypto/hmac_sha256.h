@@ -13,7 +13,14 @@ namespace shield5g::crypto {
 /// Computes HMAC-SHA-256(key, data). Any key length is accepted.
 Bytes hmac_sha256(ByteView key, ByteView data);
 
+/// Two-part message variant: HMAC-SHA-256(key, part1 || part2) without
+/// materializing the concatenation (the TLS record layer MACs
+/// seq || ciphertext per record).
+Bytes hmac_sha256(ByteView key, ByteView part1, ByteView part2);
+
 /// Truncated variant: the first `n` bytes of the MAC (n <= 32).
 Bytes hmac_sha256_trunc(ByteView key, ByteView data, std::size_t n);
+Bytes hmac_sha256_trunc(ByteView key, ByteView part1, ByteView part2,
+                        std::size_t n);
 
 }  // namespace shield5g::crypto

@@ -2,16 +2,20 @@
 
 #include <stdexcept>
 
+#include "common/hot_stage.h"
+
 namespace shield5g::crypto {
 
 namespace {
 
+using Block = std::array<std::uint8_t, 16>;
+
 // Cyclic left rotation of a 16-byte block by a multiple of 8 bits.
 // TS 35.206 uses r1..r5 = 64, 0, 32, 64, 96 bits.
-std::array<std::uint8_t, 16> rot(ByteView in, int bits) {
+Block rot(const Block& in, int bits) {
   if (bits % 8 != 0) throw std::invalid_argument("rot: bits must be /8");
   const std::size_t shift = static_cast<std::size_t>(bits / 8);
-  std::array<std::uint8_t, 16> out{};
+  Block out{};
   for (std::size_t i = 0; i < 16; ++i) {
     out[i] = in[(i + shift) % 16];
   }
@@ -33,13 +37,21 @@ SecretBytes Milenage::derive_opc(SecretView k, ByteView op) {
   return SecretBytes(xor_bytes(op, ByteView(enc)));
 }
 
-Bytes Milenage::out_n(ByteView temp, int rot_bits, std::uint8_t c_last) const {
+std::array<std::uint8_t, 16> Milenage::out_n(const std::array<std::uint8_t, 16>& temp,
+                                             int rot_bits,
+                                             std::uint8_t c_last) const {
   // OUTn = E_K[ rot(TEMP XOR OPc, rn) XOR cn ] XOR OPc
-  Bytes mixed = xor_bytes(temp, ByteView(opc_));
-  auto rotated = rot(mixed, rot_bits);
+  Block mixed;
+  for (int i = 0; i < 16; ++i) {
+    mixed[i] = static_cast<std::uint8_t>(temp[i] ^ opc_[i]);
+  }
+  Block rotated = rot(mixed, rot_bits);
   rotated[15] = static_cast<std::uint8_t>(rotated[15] ^ c_last);
-  const auto enc = cipher_.encrypt_block(rotated);
-  return xor_bytes(ByteView(enc), ByteView(opc_));
+  Block out = cipher_.encrypt_block(rotated);
+  for (int i = 0; i < 16; ++i) out[i] ^= opc_[i];
+  secure_zero(mixed.data(), mixed.size());
+  secure_zero(rotated.data(), rotated.size());
+  return out;
 }
 
 void Milenage::compute_f1(ByteView rand, ByteView sqn, ByteView amf,
@@ -47,37 +59,55 @@ void Milenage::compute_f1(ByteView rand, ByteView sqn, ByteView amf,
   if (rand.size() != 16 || sqn.size() != 6 || amf.size() != 2) {
     throw std::invalid_argument("Milenage::compute_f1: bad sizes");
   }
-  const Bytes rand_xor_opc = xor_bytes(rand, ByteView(opc_));
-  const auto temp = cipher_.encrypt_block(rand_xor_opc);
+  ScopedStage timer(HotStage::kCrypto);
+  Block rand_xor_opc;
+  for (int i = 0; i < 16; ++i) {
+    rand_xor_opc[i] = static_cast<std::uint8_t>(rand[i] ^ opc_[i]);
+  }
+  const Block temp = cipher_.encrypt_block(rand_xor_opc);
 
   // IN1 = SQN || AMF || SQN || AMF
-  const Bytes in1 = concat({sqn, amf, sqn, amf});
-  const Bytes in1_xor_opc = xor_bytes(in1, ByteView(opc_));
-  auto arg = rot(in1_xor_opc, 64);  // r1 = 64 bits, c1 = 0
+  Block in1;
+  for (int i = 0; i < 6; ++i) in1[i] = in1[i + 8] = sqn[i];
+  in1[6] = in1[14] = amf[0];
+  in1[7] = in1[15] = amf[1];
+  for (int i = 0; i < 16; ++i) in1[i] ^= opc_[i];
+  Block arg = rot(in1, 64);  // r1 = 64 bits, c1 = 0
   for (int i = 0; i < 16; ++i) arg[i] ^= temp[i];
-  const auto enc = cipher_.encrypt_block(arg);
-  const Bytes out1 = xor_bytes(ByteView(enc), ByteView(opc_));
-  mac_a = take(out1, 8);
-  mac_s = slice_bytes(out1, 8, 8);
+  Block out1 = cipher_.encrypt_block(arg);
+  for (int i = 0; i < 16; ++i) out1[i] ^= opc_[i];
+  mac_a.assign(out1.begin(), out1.begin() + 8);
+  mac_s.assign(out1.begin() + 8, out1.end());
+  secure_zero(rand_xor_opc.data(), rand_xor_opc.size());
+  secure_zero(arg.data(), arg.size());
 }
 
 MilenageOutput Milenage::compute_f2345(ByteView rand) const {
   if (rand.size() != 16) {
     throw std::invalid_argument("Milenage::compute_f2345: RAND size");
   }
-  const Bytes rand_xor_opc = xor_bytes(rand, ByteView(opc_));
-  const auto temp_block = cipher_.encrypt_block(rand_xor_opc);
-  const ByteView temp(temp_block);
+  ScopedStage timer(HotStage::kCrypto);
+  Block rand_xor_opc;
+  for (int i = 0; i < 16; ++i) {
+    rand_xor_opc[i] = static_cast<std::uint8_t>(rand[i] ^ opc_[i]);
+  }
+  const Block temp = cipher_.encrypt_block(rand_xor_opc);
+  secure_zero(rand_xor_opc.data(), rand_xor_opc.size());
 
   MilenageOutput out;
-  const Bytes out2 = out_n(temp, 0, 0x01);   // r2 = 0,  c2 = ..01
-  const Bytes out5 = out_n(temp, 96, 0x08);  // r5 = 96, c5 = ..08
-  out.res = slice_bytes(out2, 8, 8);
-  out.ak = take(out2, 6);
-  // CK/IK move straight into tainted storage; no plain copy lingers.
-  out.ck = SecretBytes(out_n(temp, 32, 0x02));  // r3 = 32, c3 = ..02
-  out.ik = SecretBytes(out_n(temp, 64, 0x04));  // r4 = 64, c4 = ..04
-  out.ak_s = take(out5, 6);
+  const Block out2 = out_n(temp, 0, 0x01);   // r2 = 0,  c2 = ..01
+  const Block out5 = out_n(temp, 96, 0x08);  // r5 = 96, c5 = ..08
+  out.res.assign(out2.begin() + 8, out2.end());
+  out.ak.assign(out2.begin(), out2.begin() + 6);
+  // CK/IK move straight into tainted storage; the stack staging blocks
+  // are wiped before returning.
+  Block out3 = out_n(temp, 32, 0x02);  // r3 = 32, c3 = ..02
+  Block out4 = out_n(temp, 64, 0x04);  // r4 = 64, c4 = ..04
+  out.ck = SecretBytes(ByteView(out3));
+  out.ik = SecretBytes(ByteView(out4));
+  secure_zero(out3.data(), out3.size());
+  secure_zero(out4.data(), out4.size());
+  out.ak_s.assign(out5.begin(), out5.begin() + 6);
   return out;
 }
 
@@ -93,8 +123,14 @@ Bytes build_autn(ByteView sqn, ByteView ak, ByteView amf, ByteView mac_a) {
       mac_a.size() != 8) {
     throw std::invalid_argument("build_autn: bad field sizes");
   }
-  const Bytes sqn_xor_ak = xor_bytes(sqn, ak);
-  return concat({ByteView(sqn_xor_ak), amf, mac_a});
+  Bytes autn;
+  autn.reserve(16);
+  for (int i = 0; i < 6; ++i) {
+    autn.push_back(static_cast<std::uint8_t>(sqn[i] ^ ak[i]));
+  }
+  autn.insert(autn.end(), amf.begin(), amf.end());
+  autn.insert(autn.end(), mac_a.begin(), mac_a.end());
+  return autn;
 }
 
 AutnFields parse_autn(ByteView autn) {

@@ -47,7 +47,8 @@ class Milenage {
                   Bytes& mac_s) const;
 
  private:
-  Bytes out_n(ByteView temp, int rot_bits, std::uint8_t c_last) const;
+  std::array<std::uint8_t, 16> out_n(const std::array<std::uint8_t, 16>& temp,
+                                     int rot_bits, std::uint8_t c_last) const;
 
   Aes128 cipher_;
   std::array<std::uint8_t, 16> opc_{};

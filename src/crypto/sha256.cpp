@@ -3,7 +3,10 @@
 #include <bit>
 #include <cstring>
 #include <stdexcept>
+
+#include "crypto/cpu_dispatch.h"
 #include "crypto/op_count.h"
+#include "crypto/sha256_kernels.h"
 
 namespace shield5g::crypto {
 
@@ -30,65 +33,9 @@ std::uint32_t rotr(std::uint32_t x, int n) noexcept {
   return std::rotr(x, n);
 }
 
-}  // namespace
-
-Sha256::Sha256() { reset(); }
-
-void Sha256::reset() {
-  h_ = kInit;
-  buffer_len_ = 0;
-  total_len_ = 0;
-  finalized_ = false;
-}
-
-Sha256& Sha256::update(ByteView data) {
-  if (finalized_) throw std::logic_error("Sha256: update after finalize");
-  total_len_ += data.size();
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const std::size_t n =
-        std::min(kBlockSize - buffer_len_, data.size() - off);
-    std::memcpy(buffer_.data() + buffer_len_, data.data() + off, n);
-    buffer_len_ += n;
-    off += n;
-    if (buffer_len_ == kBlockSize) {
-      process_block(buffer_.data());
-      buffer_len_ = 0;
-    }
-  }
-  return *this;
-}
-
-std::array<std::uint8_t, Sha256::kDigestSize> Sha256::finalize() {
-  if (finalized_) throw std::logic_error("Sha256: double finalize");
-  finalized_ = true;
-  const std::uint64_t bit_len = total_len_ * 8;
-  // Padding: 0x80, zeros, 64-bit big-endian length.
-  buffer_[buffer_len_++] = 0x80;
-  if (buffer_len_ > kBlockSize - 8) {
-    std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - buffer_len_);
-    process_block(buffer_.data());
-    buffer_len_ = 0;
-  }
-  std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - 8 - buffer_len_);
-  for (int i = 0; i < 8; ++i) {
-    buffer_[kBlockSize - 1 - i] =
-        static_cast<std::uint8_t>(bit_len >> (8 * i));
-  }
-  process_block(buffer_.data());
-
-  std::array<std::uint8_t, kDigestSize> out{};
-  for (int i = 0; i < 8; ++i) {
-    out[4 * i + 0] = static_cast<std::uint8_t>(h_[i] >> 24);
-    out[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
-    out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
-    out[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
-  }
-  return out;
-}
-
-void Sha256::process_block(const std::uint8_t* block) {
-  ++op_counts().sha256_blocks;
+// Scalar compression over one block; never charges op counts (the
+// dispatcher does).
+void scalar_compress(std::uint32_t* h_, const std::uint8_t* block) noexcept {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
@@ -129,6 +76,90 @@ void Sha256::process_block(const std::uint8_t* block) {
   h_[5] += f;
   h_[6] += g;
   h_[7] += h;
+}
+
+bool use_shani() noexcept {
+  return active_backend() == CryptoBackend::kAccelerated &&
+         detail::shani_compiled() && cpu_has_shani();
+}
+
+}  // namespace
+
+Sha256::Sha256() { reset(); }
+
+void Sha256::reset() {
+  h_ = kInit;
+  buffer_len_ = 0;
+  total_len_ = 0;
+  finalized_ = false;
+}
+
+Sha256& Sha256::update(ByteView data) {
+  if (finalized_) throw std::logic_error("Sha256: update after finalize");
+  total_len_ += data.size();
+  std::size_t off = 0;
+  // Top up a partially filled buffer first.
+  if (buffer_len_ > 0) {
+    const std::size_t n =
+        std::min(kBlockSize - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), n);
+    buffer_len_ += n;
+    off = n;
+    if (buffer_len_ == kBlockSize) {
+      process_blocks(buffer_.data(), 1);
+      buffer_len_ = 0;
+    }
+  }
+  // Whole blocks straight from the input, no staging copy.
+  const std::size_t whole = (data.size() - off) / kBlockSize;
+  if (whole > 0) {
+    process_blocks(data.data() + off, whole);
+    off += whole * kBlockSize;
+  }
+  if (off < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + off, data.size() - off);
+    buffer_len_ = data.size() - off;
+  }
+  return *this;
+}
+
+std::array<std::uint8_t, Sha256::kDigestSize> Sha256::finalize() {
+  if (finalized_) throw std::logic_error("Sha256: double finalize");
+  finalized_ = true;
+  const std::uint64_t bit_len = total_len_ * 8;
+  // Padding: 0x80, zeros, 64-bit big-endian length.
+  buffer_[buffer_len_++] = 0x80;
+  if (buffer_len_ > kBlockSize - 8) {
+    std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - buffer_len_);
+    process_blocks(buffer_.data(), 1);
+    buffer_len_ = 0;
+  }
+  std::memset(buffer_.data() + buffer_len_, 0, kBlockSize - 8 - buffer_len_);
+  for (int i = 0; i < 8; ++i) {
+    buffer_[kBlockSize - 1 - i] =
+        static_cast<std::uint8_t>(bit_len >> (8 * i));
+  }
+  process_blocks(buffer_.data(), 1);
+
+  std::array<std::uint8_t, kDigestSize> out{};
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i + 0] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+void Sha256::process_blocks(const std::uint8_t* data, std::size_t nblocks) {
+  op_counts().sha256_blocks += nblocks;
+  if (use_shani()) {
+    detail::shani_compress(h_.data(), data, nblocks);
+    return;
+  }
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    scalar_compress(h_.data(), data + b * kBlockSize);
+  }
 }
 
 Bytes Sha256::digest(ByteView data) {

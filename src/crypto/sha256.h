@@ -34,7 +34,10 @@ class Sha256 {
   static Bytes digest(ByteView data);
 
  private:
-  void process_block(const std::uint8_t* block);
+  /// Compresses `nblocks` consecutive 64-byte blocks, dispatching to
+  /// the SHA-NI kernel when available (crypto/cpu_dispatch.h). Charges
+  /// op counts once per block regardless of backend.
+  void process_blocks(const std::uint8_t* data, std::size_t nblocks);
 
   std::array<std::uint32_t, 8> h_{};
   std::array<std::uint8_t, kBlockSize> buffer_{};

@@ -1,0 +1,22 @@
+// Internal SHA-256 kernel entry points (not part of the public API).
+//
+// The SHA-NI function lives in its own translation unit compiled with
+// the `sha` target attribute; Sha256::process_blocks calls it only
+// after checking cpu_has_shani(). Kernels never touch the op counters —
+// the dispatcher charges per block before calling in.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shield5g::crypto::detail {
+
+/// True when this build carries the SHA-NI kernel at all (x86-64 only).
+bool shani_compiled() noexcept;
+
+/// Runs the SHA-256 compression function over `nblocks` consecutive
+/// 64-byte blocks, updating `state` (h0..h7) in place.
+void shani_compress(std::uint32_t* state, const std::uint8_t* data,
+                    std::size_t nblocks);
+
+}  // namespace shield5g::crypto::detail

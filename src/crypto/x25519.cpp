@@ -2,177 +2,30 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <vector>
+
+#include "common/hot_stage.h"
+#include "crypto/cpu_dispatch.h"
+#include "crypto/fe25519.h"
 #include "crypto/op_count.h"
+#include "crypto/x25519_comb.h"
+#include "crypto/x25519_internal.h"
 
 namespace shield5g::crypto {
 
 namespace {
 
-// Field element in GF(2^255 - 19), five 51-bit limbs, little-endian.
-using Fe = std::array<std::uint64_t, 5>;
-using U128 = unsigned __int128;
+using namespace fe25519;
 
-constexpr std::uint64_t kMask51 = (1ULL << 51) - 1;
-
-Fe fe_load(const std::uint8_t* s) {
-  std::uint64_t w[4];
-  for (int i = 0; i < 4; ++i) {
-    w[i] = 0;
-    for (int j = 0; j < 8; ++j) {
-      w[i] |= static_cast<std::uint64_t>(s[8 * i + j]) << (8 * j);
-    }
-  }
-  w[3] &= 0x7fffffffffffffffULL;  // RFC 7748: mask the top bit of u
-  Fe h;
-  h[0] = w[0] & kMask51;
-  h[1] = ((w[0] >> 51) | (w[1] << 13)) & kMask51;
-  h[2] = ((w[1] >> 38) | (w[2] << 26)) & kMask51;
-  h[3] = ((w[2] >> 25) | (w[3] << 39)) & kMask51;
-  h[4] = (w[3] >> 12) & kMask51;
-  return h;
-}
-
-void fe_store(std::uint8_t* s, const Fe& h_in) {
-  Fe t = h_in;
-  // Two lossy carry passes bring every limb under 2^52.
-  for (int pass = 0; pass < 2; ++pass) {
-    t[1] += t[0] >> 51; t[0] &= kMask51;
-    t[2] += t[1] >> 51; t[1] &= kMask51;
-    t[3] += t[2] >> 51; t[2] &= kMask51;
-    t[4] += t[3] >> 51; t[3] &= kMask51;
-    t[0] += 19 * (t[4] >> 51); t[4] &= kMask51;
-  }
-  // Canonicalize into [0, p).
-  t[0] += 19;
-  t[1] += t[0] >> 51; t[0] &= kMask51;
-  t[2] += t[1] >> 51; t[1] &= kMask51;
-  t[3] += t[2] >> 51; t[2] &= kMask51;
-  t[4] += t[3] >> 51; t[3] &= kMask51;
-  t[0] += 19 * (t[4] >> 51); t[4] &= kMask51;
-
-  t[0] += (1ULL << 51) - 19;
-  t[1] += (1ULL << 51) - 1;
-  t[2] += (1ULL << 51) - 1;
-  t[3] += (1ULL << 51) - 1;
-  t[4] += (1ULL << 51) - 1;
-
-  t[1] += t[0] >> 51; t[0] &= kMask51;
-  t[2] += t[1] >> 51; t[1] &= kMask51;
-  t[3] += t[2] >> 51; t[2] &= kMask51;
-  t[4] += t[3] >> 51; t[3] &= kMask51;
-  t[4] &= kMask51;
-
-  const std::uint64_t w0 = t[0] | (t[1] << 51);
-  const std::uint64_t w1 = (t[1] >> 13) | (t[2] << 38);
-  const std::uint64_t w2 = (t[2] >> 26) | (t[3] << 25);
-  const std::uint64_t w3 = (t[3] >> 39) | (t[4] << 12);
-  const std::uint64_t w[4] = {w0, w1, w2, w3};
-  for (int i = 0; i < 4; ++i) {
-    for (int j = 0; j < 8; ++j) {
-      s[8 * i + j] = static_cast<std::uint8_t>(w[i] >> (8 * j));
-    }
-  }
-}
-
-Fe fe_add(const Fe& a, const Fe& b) {
-  Fe r;
-  for (int i = 0; i < 5; ++i) r[i] = a[i] + b[i];
-  return r;
-}
-
-Fe fe_sub(const Fe& a, const Fe& b) {
-  // a + 2p - b keeps limbs positive; inputs are < 2^52 after carries.
-  Fe r;
-  r[0] = a[0] + ((1ULL << 52) - 38) - b[0];
-  for (int i = 1; i < 5; ++i) r[i] = a[i] + ((1ULL << 52) - 2) - b[i];
-  return r;
-}
-
-void fe_carry(Fe& r, U128 t0, U128 t1, U128 t2, U128 t3, U128 t4) {
-  std::uint64_t c;
-  c = static_cast<std::uint64_t>(t0 >> 51); t0 &= kMask51; t1 += c;
-  c = static_cast<std::uint64_t>(t1 >> 51); t1 &= kMask51; t2 += c;
-  c = static_cast<std::uint64_t>(t2 >> 51); t2 &= kMask51; t3 += c;
-  c = static_cast<std::uint64_t>(t3 >> 51); t3 &= kMask51; t4 += c;
-  c = static_cast<std::uint64_t>(t4 >> 51); t4 &= kMask51;
-  t0 += static_cast<U128>(19) * c;
-  c = static_cast<std::uint64_t>(t0 >> 51); t0 &= kMask51; t1 += c;
-  r[0] = static_cast<std::uint64_t>(t0);
-  r[1] = static_cast<std::uint64_t>(t1);
-  r[2] = static_cast<std::uint64_t>(t2);
-  r[3] = static_cast<std::uint64_t>(t3);
-  r[4] = static_cast<std::uint64_t>(t4);
-}
-
-Fe fe_mul(const Fe& f, const Fe& g) {
-  const U128 f0 = f[0], f1 = f[1], f2 = f[2], f3 = f[3], f4 = f[4];
-  const std::uint64_t g0 = g[0], g1 = g[1], g2 = g[2], g3 = g[3], g4 = g[4];
-  const std::uint64_t g1_19 = 19 * g1, g2_19 = 19 * g2, g3_19 = 19 * g3,
-                      g4_19 = 19 * g4;
-  const U128 t0 = f0 * g0 + f1 * g4_19 + f2 * g3_19 + f3 * g2_19 + f4 * g1_19;
-  const U128 t1 = f0 * g1 + f1 * g0 + f2 * g4_19 + f3 * g3_19 + f4 * g2_19;
-  const U128 t2 = f0 * g2 + f1 * g1 + f2 * g0 + f3 * g4_19 + f4 * g3_19;
-  const U128 t3 = f0 * g3 + f1 * g2 + f2 * g1 + f3 * g0 + f4 * g4_19;
-  const U128 t4 = f0 * g4 + f1 * g3 + f2 * g2 + f3 * g1 + f4 * g0;
-  Fe r;
-  fe_carry(r, t0, t1, t2, t3, t4);
-  return r;
-}
-
-Fe fe_sq(const Fe& f) { return fe_mul(f, f); }
-
-Fe fe_mul_small(const Fe& f, std::uint64_t s) {
-  U128 t[5];
-  for (int i = 0; i < 5; ++i) t[i] = static_cast<U128>(f[i]) * s;
-  Fe r;
-  fe_carry(r, t[0], t[1], t[2], t[3], t[4]);
-  return r;
-}
-
-Fe fe_sqn(Fe f, int n) {
-  for (int i = 0; i < n; ++i) f = fe_sq(f);
-  return f;
-}
-
-// z^(p-2) via the standard addition chain.
-Fe fe_invert(const Fe& z) {
-  const Fe t0 = fe_sq(z);                      // z^2
-  Fe t1 = fe_mul(z, fe_sqn(t0, 2));            // z^9
-  const Fe t0b = fe_mul(t0, t1);               // z^11
-  const Fe t2 = fe_sq(t0b);                    // z^22
-  t1 = fe_mul(t1, t2);                         // z^31 = z^(2^5-1)
-  Fe t3 = fe_mul(t1, fe_sqn(t1, 5));           // z^(2^10-1)
-  Fe t4 = fe_mul(t3, fe_sqn(t3, 10));          // z^(2^20-1)
-  Fe t5 = fe_mul(t4, fe_sqn(t4, 20));          // z^(2^40-1)
-  t4 = fe_mul(t3, fe_sqn(t5, 10));             // z^(2^50-1)
-  t5 = fe_mul(t4, fe_sqn(t4, 50));             // z^(2^100-1)
-  Fe t6 = fe_mul(t5, fe_sqn(t5, 100));         // z^(2^200-1)
-  t5 = fe_mul(t4, fe_sqn(t6, 50));             // z^(2^250-1)
-  return fe_mul(t0b, fe_sqn(t5, 5));           // z^(2^255-21) = z^(p-2)
-}
-
-void fe_cswap(std::uint64_t swap, Fe& a, Fe& b) {
-  const std::uint64_t mask = 0 - swap;  // all-ones if swap == 1
-  for (int i = 0; i < 5; ++i) {
-    const std::uint64_t x = mask & (a[i] ^ b[i]);
-    a[i] ^= x;
-    b[i] ^= x;
-  }
-}
-
-}  // namespace
-
-X25519Key x25519(SecretView scalar, ByteView u) {
-  if (scalar.size() != 32 || u.size() != 32) {
-    throw std::invalid_argument("x25519: inputs must be 32 bytes");
-  }
-  ++op_counts().x25519_ops;
-  std::uint8_t k[32];
+void clamp(std::uint8_t k[32], SecretView scalar) {
   std::memcpy(k, scalar.unsafe_bytes().data(), 32);
   k[0] &= 248;
   k[31] &= 127;
   k[31] |= 64;
+}
 
+// RFC 7748 Montgomery ladder over the shared fe25519 arithmetic.
+X25519Key ladder(const std::uint8_t k[32], ByteView u) {
   const Fe x1 = fe_load(u.data());
   Fe x2{1, 0, 0, 0, 0}, z2{0, 0, 0, 0, 0};
   Fe x3 = x1, z3{1, 0, 0, 0, 0};
@@ -205,6 +58,95 @@ X25519Key x25519(SecretView scalar, ByteView u) {
   const Fe out = fe_mul(x2, fe_invert(z2));
   X25519Key result{};
   fe_store(result.data(), out);
+  return result;
+}
+
+// Per-thread cache of comb tables keyed by the 32-byte u-coordinate.
+// Registrations hammer a stable working set — the base point, the home
+// network's ECIES key, and every attached server's TLS identity — but
+// the identities are per-slice, so a process that builds several slices
+// (mass_registration runs three isolation modes back to back) cycles
+// through a few dozen repeated points. A point earns a table after
+// kBuildThreshold sightings; twist points are remembered as unliftable
+// so the lift is attempted once. Eviction is least-recently-used: a
+// finished slice's keys age out, one-shot ephemerals churn through the
+// tail, and live hot points stay resident whatever their age.
+constexpr int kBuildThreshold = 4;
+constexpr std::size_t kMaxCacheEntries = 32;
+
+struct CacheEntry {
+  std::array<std::uint8_t, 32> u;
+  int uses = 0;
+  std::uint64_t last_use = 0;
+  bool unliftable = false;
+  detail::CombTablePtr table;
+};
+
+thread_local std::vector<CacheEntry> g_comb_cache;
+thread_local std::uint64_t g_comb_tick = 0;
+
+bool same_u(const std::array<std::uint8_t, 32>& a, const std::uint8_t* b) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < 32; ++i) {
+    acc |= static_cast<std::uint8_t>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+// Returns the table to use for `u`, or nullptr to take the ladder.
+const detail::CombTable* comb_lookup(ByteView u) {
+  for (auto& entry : g_comb_cache) {
+    if (!same_u(entry.u, u.data())) continue;
+    entry.last_use = ++g_comb_tick;
+    if (entry.unliftable) return nullptr;
+    if (entry.table) return entry.table.get();
+    if (++entry.uses < kBuildThreshold) return nullptr;
+    entry.table = detail::comb_build(u.data());
+    if (!entry.table) {
+      entry.unliftable = true;
+      return nullptr;
+    }
+    return entry.table.get();
+  }
+  CacheEntry fresh;
+  std::memcpy(fresh.u.data(), u.data(), 32);
+  fresh.uses = 1;
+  fresh.last_use = ++g_comb_tick;
+  if (g_comb_cache.size() < kMaxCacheEntries) {
+    g_comb_cache.push_back(std::move(fresh));
+    return nullptr;
+  }
+  // Full: replace the least-recently-used entry. Hot points refresh
+  // last_use on every sighting and stay pinned; a retired slice's
+  // tables and the one-shot ephemeral tail are the oldest entries.
+  CacheEntry* victim = &g_comb_cache.front();
+  for (auto& entry : g_comb_cache) {
+    if (entry.last_use < victim->last_use) victim = &entry;
+  }
+  *victim = std::move(fresh);
+  return nullptr;
+}
+
+}  // namespace
+
+X25519Key x25519(SecretView scalar, ByteView u) {
+  if (scalar.size() != 32 || u.size() != 32) {
+    throw std::invalid_argument("x25519: inputs must be 32 bytes");
+  }
+  ScopedStage timer(HotStage::kCrypto);
+  ++op_counts().x25519_ops;
+  std::uint8_t k[32];
+  clamp(k, scalar);
+
+  X25519Key result;
+  const detail::CombTable* table =
+      active_backend() == CryptoBackend::kAccelerated ? comb_lookup(u)
+                                                      : nullptr;
+  if (table != nullptr) {
+    detail::comb_eval(*table, k, result.data());
+  } else {
+    result = ladder(k, u);
+  }
   secure_zero(k, sizeof(k));
   return result;
 }
@@ -223,5 +165,45 @@ X25519KeyPair x25519_keypair(ByteView random32) {
   kp.public_key = x25519_public(kp.private_key);
   return kp;
 }
+
+namespace detail {
+
+X25519Key x25519_ladder(SecretView scalar, ByteView u) {
+  if (scalar.size() != 32 || u.size() != 32) {
+    throw std::invalid_argument("x25519: inputs must be 32 bytes");
+  }
+  std::uint8_t k[32];
+  clamp(k, scalar);
+  X25519Key result = ladder(k, u);
+  secure_zero(k, sizeof(k));
+  return result;
+}
+
+X25519Key x25519_comb_forced(SecretView scalar, ByteView u) {
+  if (scalar.size() != 32 || u.size() != 32) {
+    throw std::invalid_argument("x25519: inputs must be 32 bytes");
+  }
+  const CombTablePtr table = comb_build(u.data());
+  if (!table) {
+    throw std::invalid_argument("x25519_comb_forced: point does not lift");
+  }
+  std::uint8_t k[32];
+  clamp(k, scalar);
+  X25519Key result;
+  comb_eval(*table, k, result.data());
+  secure_zero(k, sizeof(k));
+  return result;
+}
+
+bool x25519_comb_liftable(ByteView u) {
+  if (u.size() != 32) return false;
+  return comb_build(u.data()) != nullptr;
+}
+
+void x25519_cache_reset() { g_comb_cache.clear(); }
+
+std::size_t x25519_cache_size() { return g_comb_cache.size(); }
+
+}  // namespace detail
 
 }  // namespace shield5g::crypto

@@ -1,9 +1,12 @@
 #include "json/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
+
+#include "common/hot_stage.h"
 
 namespace shield5g::json {
 
@@ -210,6 +213,7 @@ class Parser {
   Value parse_object() {
     expect('{');
     Object obj;
+    obj.reserve(8);  // SBI bodies: typically 3-7 fields
     skip_ws();
     if (peek() == '}') {
       ++pos_;
@@ -307,15 +311,14 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) fail("expected value");
-    try {
-      std::size_t consumed = 0;
-      const std::string token = text_.substr(start, pos_ - start);
-      const double d = std::stod(token, &consumed);
-      if (consumed != token.size()) fail("bad number");
-      return Value(d);
-    } catch (const std::exception&) {
-      fail("bad number");
-    }
+    // std::from_chars converts straight from the input span — no
+    // substring allocation, and stricter than stod (no "+5", no hex).
+    double d = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc() || ptr != last) fail("bad number");
+    return Value(d);
   }
 
   const std::string& text_;
@@ -325,11 +328,16 @@ class Parser {
 }  // namespace
 
 std::string Value::dump() const {
+  ScopedStage timer(HotStage::kCodec);
   std::string out;
+  out.reserve(256);  // covers every SBI body in the repo without regrowth
   dump_value(*this, out);
   return out;
 }
 
-Value parse(const std::string& text) { return Parser(text).parse_document(); }
+Value parse(const std::string& text) {
+  ScopedStage timer(HotStage::kCodec);
+  return Parser(text).parse_document();
+}
 
 }  // namespace shield5g::json

@@ -4,14 +4,20 @@
 // documents carrying the Table I parameters (hex-encoded). This module is
 // the in-repo replacement for the nlohmann/jsoncpp dependency the OAI
 // code uses: objects, arrays, strings, numbers, booleans and null, with
-// strict parsing and deterministic (sorted-key) serialization.
+// strict parsing and deterministic (insertion-ordered) serialization.
+//
+// Objects are a flat vector of key/value pairs rather than a std::map:
+// SBI bodies carry a handful of keys, so linear probing beats the
+// rb-tree's node allocations and pointer chasing on the hot path, and
+// documents round-trip with their field order intact. Inserting an
+// existing key overwrites the value but keeps the original position.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -24,7 +30,42 @@ namespace shield5g::json {
 
 class Value;
 using Array = std::vector<Value>;
-using Object = std::map<std::string, Value>;
+
+/// Insertion-ordered object: the subset of the std::map interface the
+/// codebase uses, over contiguous storage. Equality is order-sensitive
+/// (two objects with the same pairs in different order differ, exactly
+/// like the serialized documents they produce).
+class Object {
+ public:
+  using value_type = std::pair<std::string, Value>;
+  using storage_type = std::vector<value_type>;
+  using iterator = storage_type::iterator;
+  using const_iterator = storage_type::const_iterator;
+
+  Object() = default;
+
+  iterator begin();
+  iterator end();
+  const_iterator begin() const;
+  const_iterator end() const;
+
+  bool empty() const;
+  std::size_t size() const;
+  void reserve(std::size_t n);
+
+  iterator find(const std::string& key);
+  const_iterator find(const std::string& key) const;
+  std::size_t count(const std::string& key) const;
+
+  /// Returns the value for `key`, appending a null entry when absent.
+  Value& operator[](const std::string& key);
+  Value& operator[](std::string&& key);
+
+  bool operator==(const Object& other) const;
+
+ private:
+  storage_type items_;
+};
 
 class Value {
  public:
@@ -72,7 +113,7 @@ class Value {
   /// Mutating object index (creates the key).
   Value& operator[](const std::string& key);
 
-  /// Compact serialization with sorted object keys.
+  /// Compact serialization, object fields in insertion order.
   std::string dump() const;
 
   bool operator==(const Value& other) const = default;
@@ -81,8 +122,56 @@ class Value {
   std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
 };
 
+// Object's members live below Value so the vector's element type is
+// complete where the bodies instantiate it.
+
+inline Object::iterator Object::begin() { return items_.begin(); }
+inline Object::iterator Object::end() { return items_.end(); }
+inline Object::const_iterator Object::begin() const { return items_.begin(); }
+inline Object::const_iterator Object::end() const { return items_.end(); }
+
+inline bool Object::empty() const { return items_.empty(); }
+inline std::size_t Object::size() const { return items_.size(); }
+inline void Object::reserve(std::size_t n) { items_.reserve(n); }
+
+inline Object::iterator Object::find(const std::string& key) {
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    if (it->first == key) return it;
+  }
+  return items_.end();
+}
+
+inline Object::const_iterator Object::find(const std::string& key) const {
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    if (it->first == key) return it;
+  }
+  return items_.end();
+}
+
+inline std::size_t Object::count(const std::string& key) const {
+  return find(key) == items_.end() ? 0 : 1;
+}
+
+inline Value& Object::operator[](const std::string& key) {
+  const auto it = find(key);
+  if (it != items_.end()) return it->second;
+  items_.emplace_back(key, Value());
+  return items_.back().second;
+}
+
+inline Value& Object::operator[](std::string&& key) {
+  const auto it = find(key);
+  if (it != items_.end()) return it->second;
+  items_.emplace_back(std::move(key), Value());
+  return items_.back().second;
+}
+
+inline bool Object::operator==(const Object& other) const {
+  return items_ == other.items_;
+}
+
 /// Strict parser. Throws std::runtime_error with a position-annotated
-/// message on malformed input.
+/// message on malformed input. Object field order is preserved.
 Value parse(const std::string& text);
 
 }  // namespace shield5g::json

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "common/hot_stage.h"
 #include "common/log.h"
 
 namespace shield5g::net {
@@ -160,6 +161,7 @@ Bus::Connection Bus::open_connection(Attachment& target,
 
 Bus::Exchange Bus::request(const std::string& from, const std::string& to,
                            const HttpRequest& req, ExecutionEnv* client_env) {
+  ScopedStage timer(HotStage::kBus);
   const auto it = servers_.find(to);
   if (it == servers_.end()) {
     throw std::runtime_error("Bus: no server attached as '" + to + "'");
@@ -174,22 +176,27 @@ Bus::Exchange Bus::request(const std::string& from, const std::string& to,
   client.compute(static_cast<sim::Nanos>(
       static_cast<double>(costs_.client_fixed_ns) * jitter()));
 
-  // Connection: cached under keep-alive, otherwise per-request.
-  const auto conn_key = std::make_pair(from, to);
+  // Connection: cached under keep-alive, otherwise per-request. The
+  // one-shot path keeps the session on the stack — no key-pair strings,
+  // no map churn (virtual time is identical: map upkeep charges
+  // nothing, and every syscall below is unchanged).
+  Connection one_shot;
   Connection* conn = nullptr;
   if (keep_alive_) {
-    auto cit = connections_.find(conn_key);
+    auto cit = connections_.find(std::make_pair(from, to));
     if (cit == connections_.end()) {
       cit = connections_
-                .emplace(conn_key, open_connection(target, client))
+                .emplace(std::make_pair(from, to),
+                         open_connection(target, client))
                 .first;
     }
     conn = &cit->second;
   } else {
-    connections_.erase(conn_key);
-    auto cit =
-        connections_.emplace(conn_key, open_connection(target, client)).first;
-    conn = &cit->second;
+    // Stale cached sessions (keep-alive toggled off mid-run) must not
+    // be reused later; the map is normally empty here.
+    if (!connections_.empty()) connections_.erase(std::make_pair(from, to));
+    one_shot = open_connection(target, client);
+    conn = &one_shot;
   }
 
   // Client: serialize, protect, send.
@@ -215,7 +222,6 @@ Bus::Exchange Bus::request(const std::string& from, const std::string& to,
     if (!keep_alive_) {
       client.syscall(Sys::kClose);
       server.env().syscall(Sys::kClose);
-      connections_.erase(conn_key);
     }
     exchange.response = HttpResponse::error(503, "server saturated: queue full");
     exchange.transport_ok = true;  // clean HTTP-level rejection
@@ -243,7 +249,6 @@ Bus::Exchange Bus::request(const std::string& from, const std::string& to,
     clock_.advance(faults_.retransmit_timeout);
     exchange.response = HttpResponse::error(504, "response lost in transit");
     exchange.response_ns = clock_.now() - start;
-    if (!keep_alive_) connections_.erase(conn_key);
     return exchange;
   }
   clock_.advance(bridge_ns(served.record_out.size()));
@@ -268,7 +273,6 @@ Bus::Exchange Bus::request(const std::string& from, const std::string& to,
   if (!keep_alive_) {
     client.syscall(Sys::kClose);
     server.env().syscall(Sys::kClose);
-    connections_.erase(conn_key);
   }
 
   exchange.response = std::move(*response);

@@ -1,56 +1,118 @@
 #include "net/http.h"
 
-#include <sstream>
+#include <charconv>
+#include <string_view>
+
+#include "common/hot_stage.h"
 
 namespace shield5g::net {
 
 namespace {
 
-constexpr const char* kCrlf = "\r\n";
+constexpr std::string_view kCrlf = "\r\n";
 
-std::string headers_block(const std::map<std::string, std::string>& headers,
-                          std::size_t body_size) {
-  std::ostringstream os;
-  for (const auto& [k, v] : headers) os << k << ": " << v << kCrlf;
-  os << "content-length: " << body_size << kCrlf;
-  return os.str();
+void append(Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// Serialized header block size, so the wire buffer is reserved exactly
+// once (ostringstream's chunked growth used to dominate the serializer
+// profile).
+std::size_t headers_size(const std::map<std::string, std::string>& headers,
+                         std::size_t body_size) {
+  std::size_t n = 0;
+  for (const auto& [k, v] : headers) n += k.size() + 2 + v.size() + 2;
+  char digits[24];
+  const auto res =
+      std::to_chars(digits, digits + sizeof(digits), body_size);
+  n += 16 + static_cast<std::size_t>(res.ptr - digits) + 2;  // content-length
+  return n;
+}
+
+void append_headers(Bytes& out,
+                    const std::map<std::string, std::string>& headers,
+                    std::size_t body_size) {
+  for (const auto& [k, v] : headers) {
+    append(out, k);
+    append(out, ": ");
+    append(out, v);
+    append(out, kCrlf);
+  }
+  append(out, "content-length: ");
+  char digits[24];
+  const auto res =
+      std::to_chars(digits, digits + sizeof(digits), body_size);
+  append(out, std::string_view(digits,
+                               static_cast<std::size_t>(res.ptr - digits)));
+  append(out, kCrlf);
 }
 
 struct ParsedHead {
-  std::string start_line;
+  std::string_view start_line;
   std::map<std::string, std::string> headers;
   std::string body;
 };
 
+// Parses straight off the wire view: no whole-message copy, no
+// istringstream; only the retained pieces (header strings, body) are
+// materialized.
 std::optional<ParsedHead> parse_common(ByteView wire) {
-  const std::string text = to_string(wire);
+  const std::string_view text(reinterpret_cast<const char*>(wire.data()),
+                              wire.size());
   const std::size_t head_end = text.find("\r\n\r\n");
-  if (head_end == std::string::npos) return std::nullopt;
+  if (head_end == std::string_view::npos) return std::nullopt;
 
   ParsedHead out;
-  std::istringstream head(text.substr(0, head_end));
-  if (!std::getline(head, out.start_line)) return std::nullopt;
-  if (!out.start_line.empty() && out.start_line.back() == '\r') {
-    out.start_line.pop_back();
-  }
-  std::string line;
-  while (std::getline(head, line)) {
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+  std::string_view head = text.substr(0, head_end);
+  const std::size_t line_end = head.find(kCrlf);
+  out.start_line = head.substr(0, line_end);
+  head = line_end == std::string_view::npos ? std::string_view()
+                                            : head.substr(line_end + 2);
+
+  while (!head.empty()) {
+    const std::size_t eol = head.find(kCrlf);
+    const std::string_view line =
+        eol == std::string_view::npos ? head : head.substr(0, eol);
+    head = eol == std::string_view::npos ? std::string_view()
+                                         : head.substr(eol + 2);
     const std::size_t colon = line.find(':');
-    if (colon == std::string::npos) return std::nullopt;
-    std::string key = line.substr(0, colon);
-    std::size_t vstart = colon + 1;
-    while (vstart < line.size() && line[vstart] == ' ') ++vstart;
-    out.headers[key] = line.substr(vstart);
+    if (colon == std::string_view::npos) return std::nullopt;
+    std::string_view value = line.substr(colon + 1);
+    while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
+    out.headers.emplace(std::string(line.substr(0, colon)),
+                        std::string(value));
   }
-  out.body = text.substr(head_end + 4);
+
+  out.body.assign(text.substr(head_end + 4));
   const auto it = out.headers.find("content-length");
   if (it != out.headers.end()) {
-    const std::size_t want = std::stoul(it->second);
+    std::size_t want = 0;
+    const char* first = it->second.data();
+    const char* last = first + it->second.size();
+    const auto [ptr, ec] = std::from_chars(first, last, want);
+    if (ec != std::errc() || ptr != last) return std::nullopt;
     if (out.body.size() != want) return std::nullopt;
     out.headers.erase(it);
   }
   return out;
+}
+
+// Splits a start line on single spaces; returns false unless exactly
+// `n` tokens come out.
+bool split_tokens(std::string_view line, std::string_view* tokens,
+                  std::size_t n) {
+  std::size_t count = 0;
+  while (!line.empty()) {
+    const std::size_t sp = line.find(' ');
+    const std::string_view tok =
+        sp == std::string_view::npos ? line : line.substr(0, sp);
+    line = sp == std::string_view::npos ? std::string_view()
+                                        : line.substr(sp + 1);
+    if (tok.empty()) continue;
+    if (count == n) return false;
+    tokens[count++] = tok;
+  }
+  return count == n;
 }
 
 }  // namespace
@@ -67,18 +129,29 @@ const char* method_name(Method m) noexcept {
 }
 
 Bytes HttpRequest::serialize() const {
-  std::ostringstream os;
-  os << method_name(method) << " " << path << " HTTP/1.1" << kCrlf
-     << headers_block(headers, body.size()) << kCrlf << body;
-  return to_bytes(os.str());
+  ScopedStage timer(HotStage::kCodec);
+  const std::string_view method_str = method_name(method);
+  Bytes out;
+  out.reserve(method_str.size() + 1 + path.size() + 11 +
+              headers_size(headers, body.size()) + 2 + body.size());
+  append(out, method_str);
+  append(out, " ");
+  append(out, path);
+  append(out, " HTTP/1.1");
+  append(out, kCrlf);
+  append_headers(out, headers, body.size());
+  append(out, kCrlf);
+  append(out, body);
+  return out;
 }
 
 std::optional<HttpRequest> HttpRequest::parse(ByteView wire) {
+  ScopedStage timer(HotStage::kCodec);
   auto head = parse_common(wire);
   if (!head) return std::nullopt;
-  std::istringstream start(head->start_line);
-  std::string method_str, path, version;
-  if (!(start >> method_str >> path >> version)) return std::nullopt;
+  std::string_view tokens[3];
+  if (!split_tokens(head->start_line, tokens, 3)) return std::nullopt;
+  const std::string_view method_str = tokens[0];
 
   HttpRequest req;
   if (method_str == "GET") req.method = Method::kGet;
@@ -87,26 +160,55 @@ std::optional<HttpRequest> HttpRequest::parse(ByteView wire) {
   else if (method_str == "DELETE") req.method = Method::kDelete;
   else if (method_str == "PATCH") req.method = Method::kPatch;
   else return std::nullopt;
-  req.path = path;
+  req.path.assign(tokens[1]);
   req.headers = std::move(head->headers);
   req.body = std::move(head->body);
   return req;
 }
 
 Bytes HttpResponse::serialize() const {
-  std::ostringstream os;
-  os << "HTTP/1.1 " << status << " " << (status < 300 ? "OK" : "Error")
-     << kCrlf << headers_block(headers, body.size()) << kCrlf << body;
-  return to_bytes(os.str());
+  ScopedStage timer(HotStage::kCodec);
+  const std::string_view reason = status < 300 ? "OK" : "Error";
+  char status_digits[16];
+  const auto res = std::to_chars(status_digits,
+                                 status_digits + sizeof(status_digits),
+                                 status);
+  const std::string_view status_str(
+      status_digits, static_cast<std::size_t>(res.ptr - status_digits));
+
+  Bytes out;
+  out.reserve(9 + status_str.size() + 1 + reason.size() + 2 +
+              headers_size(headers, body.size()) + 2 + body.size());
+  append(out, "HTTP/1.1 ");
+  append(out, status_str);
+  append(out, " ");
+  append(out, reason);
+  append(out, kCrlf);
+  append_headers(out, headers, body.size());
+  append(out, kCrlf);
+  append(out, body);
+  return out;
 }
 
 std::optional<HttpResponse> HttpResponse::parse(ByteView wire) {
+  ScopedStage timer(HotStage::kCodec);
   auto head = parse_common(wire);
   if (!head) return std::nullopt;
-  std::istringstream start(head->start_line);
-  std::string version;
+  // Start line: "HTTP/1.1 <status> <reason...>"; the reason phrase may
+  // itself contain spaces, so only the first two tokens are split off.
+  const std::string_view line = head->start_line;
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return std::nullopt;
+  std::string_view rest = line.substr(sp1 + 1);
+  while (!rest.empty() && rest.front() == ' ') rest.remove_prefix(1);
+  const std::size_t sp2 = rest.find(' ');
+  const std::string_view status_str =
+      sp2 == std::string_view::npos ? rest : rest.substr(0, sp2);
   int status = 0;
-  if (!(start >> version >> status)) return std::nullopt;
+  const char* first = status_str.data();
+  const char* last = first + status_str.size();
+  const auto [ptr, ec] = std::from_chars(first, last, status);
+  if (ec != std::errc() || ptr != last || first == last) return std::nullopt;
 
   HttpResponse resp;
   resp.status = status;

@@ -1,8 +1,9 @@
 #include "net/tls.h"
 
+#include <array>
 #include <stdexcept>
 
-#include "crypto/aes128.h"
+#include "common/hot_stage.h"
 #include "crypto/ecies.h"
 #include "crypto/hmac_sha256.h"
 
@@ -10,13 +11,29 @@ namespace shield5g::net {
 
 namespace {
 
-Bytes direction_icb(const TlsDirection& dir) {
-  Bytes icb = dir.base_iv;
+std::array<std::uint8_t, 16> direction_icb(const TlsDirection& dir) {
+  std::array<std::uint8_t, 16> icb{};
+  for (int i = 0; i < 16; ++i) icb[i] = dir.base_iv[i];
   for (int i = 0; i < 8; ++i) {
     icb[15 - i] = static_cast<std::uint8_t>(
         icb[15 - i] ^ static_cast<std::uint8_t>(dir.seq >> (8 * i)));
   }
   return icb;
+}
+
+std::array<std::uint8_t, 8> seq_bytes(std::uint64_t seq) {
+  std::array<std::uint8_t, 8> out{};
+  for (int i = 0; i < 8; ++i) {
+    out[7 - i] = static_cast<std::uint8_t>(seq >> (8 * i));
+  }
+  return out;
+}
+
+TlsDirection make_direction(const Bytes& material, std::size_t off) {
+  const ByteView view(material);
+  return TlsDirection{crypto::Aes128Ctx(view.subspan(off, 16)),
+                      slice_bytes(view, off + 16, 16),
+                      slice_bytes(view, off + 32, 32), 0};
 }
 
 }  // namespace
@@ -25,18 +42,15 @@ TlsIdentity TlsIdentity::generate(Rng& rng) {
   return TlsIdentity{crypto::x25519_keypair(rng.bytes(32))};
 }
 
-TlsSession::TlsSession(ByteView shared_secret, ByteView salt, bool is_client) {
-  // Key schedule: client->server and server->client keys from the X9.63
-  // KDF over the shared secret, salted with the client ephemeral key.
-  const Bytes material = crypto::x963_kdf(shared_secret, salt, 2 * (16 + 16 + 32));
-  auto cut = [&material](std::size_t pos, std::size_t n) {
-    return slice_bytes(material, pos, n);
-  };
-  TlsDirection c2s{cut(0, 16), cut(16, 16), cut(32, 32), 0};
-  TlsDirection s2c{cut(64, 16), cut(80, 16), cut(96, 32), 0};
-  send_ = is_client ? c2s : s2c;
-  recv_ = is_client ? s2c : c2s;
-}
+TlsSession::TlsSession(ByteView shared_secret, ByteView salt, bool is_client)
+    // Key schedule: client->server and server->client keys from the X9.63
+    // KDF over the shared secret, salted with the client ephemeral key.
+    : TlsSession(crypto::x963_kdf(shared_secret, salt, 2 * (16 + 16 + 32)),
+                 is_client) {}
+
+TlsSession::TlsSession(const Bytes& material, bool is_client)
+    : send_(make_direction(material, is_client ? 0 : 64)),
+      recv_(make_direction(material, is_client ? 64 : 0)) {}
 
 TlsSession TlsSession::client_connect(ByteView server_public, Rng& rng,
                                       Bytes& hello_out) {
@@ -58,26 +72,31 @@ std::optional<TlsSession> TlsSession::server_accept(
 }
 
 Bytes TlsSession::protect(ByteView plaintext) {
-  const Bytes icb = direction_icb(send_);
-  const Bytes ciphertext = crypto::aes128_ctr(send_.key, icb, plaintext);
-  const Bytes seq = be_bytes(send_.seq, 8);
-  const Bytes mac = crypto::hmac_sha256_trunc(
-      send_.mac_key, concat({ByteView(seq), ByteView(ciphertext)}), 16);
-  ++send_.seq;
+  ScopedStage timer(HotStage::kCrypto);
+  const auto icb = direction_icb(send_);
+  const std::size_t len = plaintext.size() + 16;
 
   Bytes record;
+  record.reserve(5 + len);
   record.push_back(0x17);  // application data
   record.push_back(0x03);
   record.push_back(0x03);
-  const std::size_t len = ciphertext.size() + mac.size();
   record.push_back(static_cast<std::uint8_t>(len >> 8));
   record.push_back(static_cast<std::uint8_t>(len & 0xff));
-  record.insert(record.end(), ciphertext.begin(), ciphertext.end());
+  record.resize(5 + plaintext.size());
+  send_.ctx.ctr_xor(icb, plaintext, record.data() + 5);
+
+  const auto seq = seq_bytes(send_.seq);
+  const ByteView ciphertext(record.data() + 5, plaintext.size());
+  const Bytes mac =
+      crypto::hmac_sha256_trunc(send_.mac_key, seq, ciphertext, 16);
+  ++send_.seq;
   record.insert(record.end(), mac.begin(), mac.end());
   return record;
 }
 
 std::optional<Bytes> TlsSession::unprotect(ByteView record) {
+  ScopedStage timer(HotStage::kCrypto);
   if (record.size() < kRecordOverhead) return std::nullopt;
   // Validate the record header (type + version); these bytes are not
   // covered by the MAC, so they must be checked explicitly.
@@ -87,17 +106,19 @@ std::optional<Bytes> TlsSession::unprotect(ByteView record) {
   const std::size_t len = (static_cast<std::size_t>(record[3]) << 8) |
                           record[4];
   if (record.size() != 5 + len || len < 16) return std::nullopt;
-  const Bytes ciphertext = slice_bytes(record, 5, len - 16);
-  const Bytes mac = slice_bytes(record, 5 + len - 16, 16);
+  const ByteView ciphertext = record.subspan(5, len - 16);
+  const ByteView mac = record.subspan(5 + len - 16, 16);
 
-  const Bytes seq = be_bytes(recv_.seq, 8);
-  const Bytes expected = crypto::hmac_sha256_trunc(
-      recv_.mac_key, concat({ByteView(seq), ByteView(ciphertext)}), 16);
+  const auto seq = seq_bytes(recv_.seq);
+  const Bytes expected =
+      crypto::hmac_sha256_trunc(recv_.mac_key, seq, ciphertext, 16);
   if (!ct_equal(expected, mac)) return std::nullopt;
 
-  const Bytes icb = direction_icb(recv_);
+  const auto icb = direction_icb(recv_);
   ++recv_.seq;
-  return crypto::aes128_ctr(recv_.key, icb, ciphertext);
+  Bytes plaintext(ciphertext.size());
+  recv_.ctx.ctr_xor(icb, ciphertext, plaintext.data());
+  return plaintext;
 }
 
 }  // namespace shield5g::net

@@ -14,6 +14,7 @@
 
 #include "common/bytes.h"
 #include "common/rng.h"
+#include "crypto/aes128.h"
 #include "crypto/x25519.h"
 
 namespace shield5g::net {
@@ -26,11 +27,12 @@ struct TlsIdentity {
   static TlsIdentity generate(Rng& rng);
 };
 
-/// One direction's record-protection state.
+/// One direction's record-protection state. The AES schedule is
+/// expanded once at session setup and reused for every record.
 struct TlsDirection {
-  Bytes key;      // 16 bytes
-  Bytes base_iv;  // 16 bytes
-  Bytes mac_key;  // 32 bytes
+  crypto::Aes128Ctx ctx;  // expanded 128-bit record key
+  Bytes base_iv;          // 16 bytes
+  Bytes mac_key;          // 32 bytes
   std::uint64_t seq = 0;
 };
 
@@ -62,6 +64,7 @@ class TlsSession {
 
  private:
   TlsSession(ByteView shared_secret, ByteView salt, bool is_client);
+  TlsSession(const Bytes& material, bool is_client);
 
   TlsDirection send_;
   TlsDirection recv_;

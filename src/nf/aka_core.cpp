@@ -15,7 +15,12 @@ const Bytes kResyncAmf = {0x00, 0x00};
 HeAv generate_he_av(SecretView k, SecretView opc, ByteView rand,
                     ByteView sqn6, ByteView amf_field,
                     const std::string& snn) {
-  const crypto::Milenage milenage(k, opc);
+  return generate_he_av(crypto::Milenage(k, opc), rand, sqn6, amf_field, snn);
+}
+
+HeAv generate_he_av(const crypto::Milenage& milenage, ByteView rand,
+                    ByteView sqn6, ByteView amf_field,
+                    const std::string& snn) {
   const auto out = milenage.compute(rand, sqn6, amf_field);
 
   HeAv av;
@@ -43,8 +48,12 @@ SecretBytes derive_kamf_for(SecretView kseaf, const std::string& supi) {
 
 std::optional<Bytes> resync_verify(SecretView k, SecretView opc,
                                    ByteView rand, ByteView auts) {
+  return resync_verify(crypto::Milenage(k, opc), rand, auts);
+}
+
+std::optional<Bytes> resync_verify(const crypto::Milenage& milenage,
+                                   ByteView rand, ByteView auts) {
   if (auts.size() != 14) return std::nullopt;
-  const crypto::Milenage milenage(k, opc);
   const auto out = milenage.compute_f2345(rand);
 
   const Bytes sqn_ms = xor_bytes(take(auts, 6), out.ak_s);
@@ -56,7 +65,11 @@ std::optional<Bytes> resync_verify(SecretView k, SecretView opc,
 
 Bytes build_auts(SecretView k, SecretView opc, ByteView rand,
                  ByteView sqn_ms) {
-  const crypto::Milenage milenage(k, opc);
+  return build_auts(crypto::Milenage(k, opc), rand, sqn_ms);
+}
+
+Bytes build_auts(const crypto::Milenage& milenage, ByteView rand,
+                 ByteView sqn_ms) {
   const auto out = milenage.compute_f2345(rand);
   Bytes mac_a, mac_s;
   milenage.compute_f1(rand, sqn_ms, kResyncAmf, mac_a, mac_s);

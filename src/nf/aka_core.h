@@ -13,6 +13,7 @@
 
 #include "common/bytes.h"
 #include "common/secret.h"
+#include "crypto/milenage.h"
 #include "nf/types.h"
 
 namespace shield5g::nf {
@@ -20,6 +21,12 @@ namespace shield5g::nf {
 /// UDM-side: generates the HE AV for one (K, OPc, RAND, SQN, AMF) tuple.
 /// K and OPc are the tainted long-term credentials.
 HeAv generate_he_av(SecretView k, SecretView opc, ByteView rand,
+                    ByteView sqn6, ByteView amf_field, const std::string& snn);
+
+/// Same computation against an already-constructed MILENAGE context
+/// (the hot path: the AES key schedule for K is expanded once per
+/// subscriber, not once per authentication).
+HeAv generate_he_av(const crypto::Milenage& milenage, ByteView rand,
                     ByteView sqn6, ByteView amf_field, const std::string& snn);
 
 /// AUSF-side: HXRES* (paper's 8-byte form) and K_SEAF.
@@ -38,9 +45,13 @@ SecretBytes derive_kamf_for(SecretView kseaf, const std::string& supi);
 /// MAC-S does not verify.
 std::optional<Bytes> resync_verify(SecretView k, SecretView opc,
                                    ByteView rand, ByteView auts);
+std::optional<Bytes> resync_verify(const crypto::Milenage& milenage,
+                                   ByteView rand, ByteView auts);
 
 /// UE-side helper shared with the USIM model: AUTS construction.
 Bytes build_auts(SecretView k, SecretView opc, ByteView rand,
+                 ByteView sqn_ms);
+Bytes build_auts(const crypto::Milenage& milenage, ByteView rand,
                  ByteView sqn_ms);
 
 }  // namespace shield5g::nf

@@ -14,6 +14,19 @@ Udm::Udm(net::Bus& bus, UdmConfig config)
   register_routes();
 }
 
+const crypto::Milenage& Udm::milenage_for(const std::string& supi,
+                                          const SecretBytes& k,
+                                          const SecretBytes& opc) {
+  const auto it = milenage_cache_.find(supi);
+  if (it != milenage_cache_.end() && it->second.k == k &&
+      it->second.opc == opc) {
+    return it->second.ctx;
+  }
+  const auto [pos, inserted] = milenage_cache_.insert_or_assign(
+      supi, MilenageEntry{k, opc, crypto::Milenage(k, opc)});
+  return pos->second.ctx;
+}
+
 std::optional<Supi> Udm::resolve_identity(const json::Value& body) {
   if (const auto supi = body.get_string("supi")) return Supi{*supi};
   const auto suci_str = body.get_string("suci");
@@ -106,7 +119,8 @@ void Udm::register_routes() {
         } else {
           const auto k = secret_hex_bytes(*sub_body, "k");
           if (!k) return net::HttpResponse::error(500, "no key material");
-          av = generate_he_av(*k, *opc, rand, *sqn, *amf_field, *snn);
+          av = generate_he_av(milenage_for(supi->value, *k, *opc), rand,
+                              *sqn, *amf_field, *snn);
         }
         ++av_count_;
 
@@ -168,7 +182,8 @@ void Udm::register_routes() {
         } else {
           const auto k = secret_hex_bytes(*sub_body, "k");
           if (!k) return net::HttpResponse::error(500, "no key material");
-          sqn_ms = resync_verify(*k, *opc, *rand, *auts);
+          sqn_ms = resync_verify(milenage_for(supi->value, *k, *opc),
+                                 *rand, *auts);
         }
         if (!sqn_ms) {
           return net::HttpResponse::error(403, "AUTS verification failed");

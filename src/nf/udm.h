@@ -8,10 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
+#include "crypto/milenage.h"
 #include "crypto/x25519.h"
 #include "json/json.h"
 #include "nf/types.h"
@@ -66,7 +68,20 @@ class Udm : public Vnf {
   /// de-concealment crypto to this VNF's environment.
   std::optional<Supi> resolve_identity(const json::Value& body);
 
+  /// Cached per-subscriber MILENAGE context (monolithic deployment):
+  /// the AES schedule for K is expanded once, then revalidated in
+  /// constant time against the credentials the UDR returned.
+  struct MilenageEntry {
+    SecretBytes k;
+    SecretBytes opc;
+    crypto::Milenage ctx;
+  };
+  const crypto::Milenage& milenage_for(const std::string& supi,
+                                       const SecretBytes& k,
+                                       const SecretBytes& opc);
+
   UdmConfig config_;
+  std::map<std::string, MilenageEntry> milenage_cache_;
   Rng rand_rng_;
   std::uint64_t av_count_ = 0;
   std::uint64_t auth_events_ = 0;

@@ -12,6 +12,19 @@ EudmAkaService::EudmAkaService(sgx::Machine& machine, net::Bus& bus,
 
 void EudmAkaService::provision_key(const nf::Supi& supi, SecretBytes k) {
   keys_[supi] = std::move(k);
+  milenage_cache_.erase(supi);
+}
+
+const crypto::Milenage& EudmAkaService::milenage_for(const nf::Supi& supi,
+                                                     const SecretBytes& k,
+                                                     const SecretBytes& opc) {
+  const auto it = milenage_cache_.find(supi);
+  if (it != milenage_cache_.end() && it->second.opc == opc) {
+    return it->second.ctx;
+  }
+  const auto [pos, inserted] = milenage_cache_.insert_or_assign(
+      supi, MilenageEntry{opc, crypto::Milenage(k, opc)});
+  return pos->second.ctx;
 }
 
 Bytes EudmAkaService::serialize_key_table(
@@ -62,6 +75,7 @@ bool EudmAkaService::provision_sealed(const sgx::SealedBlob& blob) {
   }
   if (pos != data.size()) return false;
   keys_ = std::move(parsed);
+  milenage_cache_.clear();
   return true;
 }
 
@@ -89,8 +103,9 @@ void EudmAkaService::register_routes() {
         if (key == keys_.end()) {
           return net::HttpResponse::error(404, "no key material for SUPI");
         }
-        const nf::HeAv av = nf::generate_he_av(key->second, *opc, *rand,
-                                               *sqn, *amf_id, *snn);
+        const nf::HeAv av = nf::generate_he_av(
+            milenage_for(key->first, key->second, *opc), *rand, *sqn,
+            *amf_id, *snn);
         json::Object out;
         out["rand"] = nf::hex_field(av.rand);
         out["autn"] = nf::hex_field(av.autn);
@@ -119,8 +134,8 @@ void EudmAkaService::register_routes() {
         if (key == keys_.end()) {
           return net::HttpResponse::error(404, "no key material for SUPI");
         }
-        const auto sqn_ms =
-            nf::resync_verify(key->second, *opc, *rand, *auts);
+        const auto sqn_ms = nf::resync_verify(
+            milenage_for(key->first, key->second, *opc), *rand, *auts);
         if (!sqn_ms) {
           return net::HttpResponse::error(403, "MAC-S verification failed");
         }

@@ -10,6 +10,7 @@
 
 #include <map>
 
+#include "crypto/milenage.h"
 #include "nf/types.h"
 #include "paka/deployment.h"
 #include "sgx/sealing.h"
@@ -46,7 +47,21 @@ class EudmAkaService final : public PakaService {
   std::uint64_t app_extra_bytes() const override { return 2'600'000; }
 
  private:
+  /// Cached MILENAGE context for one subscriber: the AES schedule for K
+  /// is expanded once per provisioning, not once per authentication.
+  /// The OPc the context was built with is kept for constant-time
+  /// revalidation, since OPc arrives with each request.
+  struct MilenageEntry {
+    SecretBytes opc;
+    crypto::Milenage ctx;
+  };
+
+  const crypto::Milenage& milenage_for(const nf::Supi& supi,
+                                       const SecretBytes& k,
+                                       const SecretBytes& opc);
+
   std::map<nf::Supi, SecretBytes> keys_;
+  std::map<nf::Supi, MilenageEntry> milenage_cache_;
 };
 
 }  // namespace shield5g::paka

@@ -7,11 +7,19 @@
 
 namespace shield5g::ran {
 
-Usim::Usim(UsimConfig config) : config_(std::move(config)) {
-  if (config_.k.size() != 16 || config_.opc.size() != 16) {
+namespace {
+
+crypto::Milenage make_milenage(const UsimConfig& config) {
+  if (config.k.size() != 16 || config.opc.size() != 16) {
     throw std::invalid_argument("Usim: K and OPc must be 16 bytes");
   }
+  return crypto::Milenage(config.k, config.opc);
 }
+
+}  // namespace
+
+Usim::Usim(UsimConfig config)
+    : config_(std::move(config)), milenage_(make_milenage(config_)) {}
 
 crypto::Suci Usim::make_suci(ByteView ephemeral_random) const {
   return crypto::conceal_supi(config_.plmn.mcc, config_.plmn.mnc,
@@ -21,13 +29,12 @@ crypto::Suci Usim::make_suci(ByteView ephemeral_random) const {
 
 AuthOutcome Usim::verify_challenge(ByteView rand, ByteView autn) {
   const auto fields = crypto::parse_autn(autn);
-  const crypto::Milenage milenage(config_.k, config_.opc);
-  auto out = milenage.compute_f2345(rand);
+  auto out = milenage_.compute_f2345(rand);
 
   // Recover the network's SQN and check the MAC first.
   const Bytes sqn = xor_bytes(fields.sqn_xor_ak, out.ak);
   Bytes mac_a, mac_s;
-  milenage.compute_f1(rand, sqn, fields.amf, mac_a, mac_s);
+  milenage_.compute_f1(rand, sqn, fields.amf, mac_a, mac_s);
   if (!ct_equal(mac_a, fields.mac_a)) {
     return AuthMacFailure{};
   }
@@ -37,8 +44,7 @@ AuthOutcome Usim::verify_challenge(ByteView rand, ByteView autn) {
   if (sqn_value <= config_.sqn_ms ||
       sqn_value - config_.sqn_ms > kSqnDelta) {
     const Bytes sqn_ms_bytes = be_bytes(config_.sqn_ms, 6);
-    return AuthSyncFailure{
-        nf::build_auts(config_.k, config_.opc, rand, sqn_ms_bytes)};
+    return AuthSyncFailure{nf::build_auts(milenage_, rand, sqn_ms_bytes)};
   }
   config_.sqn_ms = sqn_value;
 

@@ -11,6 +11,7 @@
 
 #include "common/bytes.h"
 #include "common/secret.h"
+#include "crypto/milenage.h"
 #include "crypto/suci.h"
 #include "nf/types.h"
 
@@ -69,6 +70,9 @@ class Usim {
 
  private:
   UsimConfig config_;
+  // Persistent MILENAGE context: K and OPc are burned in, so the AES
+  // schedule is expanded once per USIM, not once per challenge.
+  crypto::Milenage milenage_;
 };
 
 }  // namespace shield5g::ran

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/hot_stage.h"
+
 namespace shield5g::sim {
 
 void Scheduler::at(Nanos when, Task task) {
@@ -12,6 +14,10 @@ void Scheduler::at(Nanos when, Task task) {
 }
 
 void Scheduler::run() {
+  // The scheduler stage times the whole dispatch; nested crypto/codec/
+  // bus stages subtract themselves out (exclusive-time semantics), so
+  // what is left is queue upkeep plus the engine state machines.
+  ScopedStage timer(HotStage::kScheduler);
   while (!queue_.empty()) {
     // Copy out: the task may schedule more events.
     Event ev = queue_.top();
@@ -22,6 +28,7 @@ void Scheduler::run() {
 }
 
 void Scheduler::run_until(Nanos deadline) {
+  ScopedStage timer(HotStage::kScheduler);
   while (!queue_.empty() && queue_.top().when <= deadline) {
     Event ev = queue_.top();
     queue_.pop();

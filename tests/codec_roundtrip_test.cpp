@@ -159,5 +159,34 @@ TEST(JsonRoundTrip, RandomDocumentsDumpParseDumpIdentically) {
   }
 }
 
+TEST(JsonRoundTrip, RandomKeyOrderIsPreservedExactly) {
+  // The flat Object keeps insertion order; a parse -> dump cycle must
+  // reproduce random (unsorted) key sequences key for key.
+  Rng rng(0x0bde55eedULL);
+  for (int i = 0; i < kIterations; ++i) {
+    const std::uint64_t n = 1 + rng.uniform(12);
+    std::vector<std::string> keys;
+    json::Object obj;
+    for (std::uint64_t k = 0; k < n; ++k) {
+      std::string key = "k" + std::to_string(rng.uniform(1u << 20));
+      if (obj.count(key) != 0) continue;  // duplicates tested elsewhere
+      obj[key] = json::Value(static_cast<std::int64_t>(k));
+      keys.push_back(std::move(key));
+    }
+    const std::string text = json::Value(std::move(obj)).dump();
+    const json::Value reparsed = json::parse(text);
+    const json::Object& round = reparsed.as_object();
+    ASSERT_EQ(round.size(), keys.size()) << "iteration " << i;
+    std::size_t pos = 0;
+    for (const auto& [key, value] : round) {
+      EXPECT_EQ(key, keys[pos]) << "iteration " << i << " position " << pos;
+      EXPECT_EQ(value.as_int(), static_cast<std::int64_t>(pos))
+          << "iteration " << i;
+      ++pos;
+    }
+    EXPECT_EQ(reparsed.dump(), text) << "iteration " << i;
+  }
+}
+
 }  // namespace
 }  // namespace shield5g

@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "crypto/cpu_dispatch.h"
 #include "load/generator.h"
 #include "slice/slice.h"
 
@@ -91,6 +92,46 @@ TEST(Determinism, DifferentSeedsDiverge) {
   cfg.seed ^= 1;
   const auto b = run_once(slice::IsolationMode::kContainer, 0xd5ee4ULL, cfg);
   EXPECT_NE(a.trace_hash, b.trace_hash);
+}
+
+class ForcedBackend {
+ public:
+  explicit ForcedBackend(crypto::CryptoBackend backend) {
+    crypto::force_backend(backend);
+  }
+  ~ForcedBackend() { crypto::clear_forced_backend(); }
+};
+
+TEST(Determinism, ScalarAndAcceleratedBackendsReplayBitIdentically) {
+  // The hardware kernels and the Edwards-comb X25519 path are pure
+  // wall-clock optimizations: with the dispatch pinned to either side,
+  // the same workload must produce the same bytes, trace and stats.
+  const load::LoadConfig cfg = contended_config();
+  load::LoadReport scalar, accel;
+  {
+    ForcedBackend pin(crypto::CryptoBackend::kScalar);
+    scalar = run_once(slice::IsolationMode::kSgx, 0xd5ee6ULL, cfg);
+  }
+  {
+    ForcedBackend pin(crypto::CryptoBackend::kAccelerated);
+    accel = run_once(slice::IsolationMode::kSgx, 0xd5ee6ULL, cfg);
+  }
+  expect_identical(scalar, accel);
+  EXPECT_GT(scalar.registered, 0u);
+}
+
+TEST(Determinism, BackendReplayHoldsUnderContainerMode) {
+  const load::LoadConfig cfg = contended_config();
+  load::LoadReport scalar, accel;
+  {
+    ForcedBackend pin(crypto::CryptoBackend::kScalar);
+    scalar = run_once(slice::IsolationMode::kContainer, 0xd5ee7ULL, cfg);
+  }
+  {
+    ForcedBackend pin(crypto::CryptoBackend::kAccelerated);
+    accel = run_once(slice::IsolationMode::kContainer, 0xd5ee7ULL, cfg);
+  }
+  expect_identical(scalar, accel);
 }
 
 TEST(Determinism, TraceHashIndependentOfRecording) {

@@ -46,11 +46,11 @@ TEST(JsonDump, ScalarsAndEscapes) {
   EXPECT_EQ(Value("a\"b\\c\nd").dump(), "\"a\\\"b\\\\c\\nd\"");
 }
 
-TEST(JsonDump, SortedObjectKeys) {
+TEST(JsonDump, InsertionOrderedObjectKeys) {
   Object obj;
   obj["zeta"] = Value(1);
   obj["alpha"] = Value(2);
-  EXPECT_EQ(Value(obj).dump(), "{\"alpha\":2,\"zeta\":1}");
+  EXPECT_EQ(Value(obj).dump(), "{\"zeta\":1,\"alpha\":2}");
 }
 
 TEST(JsonDump, NestedStructures) {
@@ -129,6 +129,65 @@ TEST(JsonParse, HexPayloadTypicalSbiBody) {
 TEST(JsonValue, Equality) {
   EXPECT_EQ(parse("{\"a\":[1,2]}"), parse("{ \"a\" : [ 1 , 2 ] }"));
   EXPECT_NE(parse("{\"a\":[1,2]}"), parse("{\"a\":[1,3]}"));
+}
+
+// ---- Flat insertion-ordered Object semantics ----------------------------
+
+TEST(JsonObject, KeyOrderSurvivesParseDumpRoundTrip) {
+  // Deliberately non-alphabetical: a sorted map would reorder these.
+  const std::string text =
+      "{\"zeta\":1,\"alpha\":{\"nested_z\":true,\"nested_a\":false},"
+      "\"mid\":[{\"y\":0,\"x\":1}]}";
+  EXPECT_EQ(parse(text).dump(), text);
+}
+
+TEST(JsonObject, DuplicateKeyOverwritesInPlace) {
+  // Both through the API and off the wire, the last value wins but the
+  // key keeps its original position.
+  Object obj;
+  obj["first"] = Value(1);
+  obj["second"] = Value(2);
+  obj["first"] = Value(3);
+  EXPECT_EQ(obj.size(), 2u);
+  EXPECT_EQ(Value(obj).dump(), "{\"first\":3,\"second\":2}");
+
+  const Value parsed = parse("{\"a\":1,\"b\":2,\"a\":9}");
+  EXPECT_EQ(parsed.dump(), "{\"a\":9,\"b\":2}");
+}
+
+TEST(JsonObject, EqualityIsOrderSensitive) {
+  // Two objects that serialize to different documents must not compare
+  // equal — the flat map's == mirrors the bytes it produces.
+  EXPECT_NE(parse("{\"a\":1,\"b\":2}"), parse("{\"b\":2,\"a\":1}"));
+  EXPECT_EQ(parse("{\"a\":1,\"b\":2}"), parse("{\"a\":1,\"b\":2}"));
+}
+
+TEST(JsonObject, FindAndCountOnFlatStorage) {
+  Object obj;
+  obj["k1"] = Value(1);
+  obj["k2"] = Value("two");
+  EXPECT_EQ(obj.count("k1"), 1u);
+  EXPECT_EQ(obj.count("absent"), 0u);
+  EXPECT_EQ(obj.find("k2")->second.as_string(), "two");
+  EXPECT_EQ(obj.find("absent"), obj.end());
+  const Object& cobj = obj;
+  EXPECT_EQ(cobj.find("k1")->second.as_int(), 1);
+}
+
+TEST(JsonObject, DeeplyNestedObjectsRoundTrip) {
+  // 24 levels of single-key objects, keys descending so ordering bugs
+  // at any depth change the bytes.
+  std::string text;
+  for (int i = 23; i >= 0; --i) {
+    text += "{\"k" + std::to_string(i) + "\":";
+  }
+  text += "null";
+  text.append(24, '}');
+  const Value v = parse(text);
+  EXPECT_EQ(v.dump(), text);
+  const Value* cur = &v;
+  for (int i = 23; i >= 0; --i) cur = &cur->at("k" + std::to_string(i));
+  EXPECT_TRUE(cur->is_null());
 }
 
 }  // namespace
