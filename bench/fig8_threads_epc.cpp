@@ -3,12 +3,18 @@
 //
 // Sweeps sgx.max_threads in {4, 10, 50} and the EPC size in
 // {512M, 2G, 8G}, plus the non-SGX container baseline, and reports the
-// functional (L_F) and total (L_T) latency of the module. Paper: more
-// threads do not help a single-threaded server; EPC beyond 512 MB does
-// not help either, and 8 GB slightly *hurts* with a wider interquartile
-// range (paging).
+// functional (L_F) and total (L_T) latency of the module. Each
+// configuration is an independent simulation (own clock, module, bus),
+// so the six rows fan out over the shard pool and print in config
+// order — bit-identical to a sequential run. Paper: more threads do
+// not help a single-threaded server; EPC beyond 512 MB does not help
+// either, and 8 GB slightly *hurts* with a wider interquartile range
+// (paging).
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "bench/paka_harness.h"
+#include "sim/shard_pool.h"
 
 using namespace shield5g;
 
@@ -21,7 +27,12 @@ struct Config {
   std::uint64_t epc;
 };
 
-void run_config(const Config& config, int requests) {
+struct ConfigResult {
+  Samples lf_us;
+  Samples lt_us;
+};
+
+ConfigResult run_config(const Config& config, int requests) {
   paka::PakaOptions opts;
   opts.isolation = config.isolation;
   opts.max_threads = config.threads;
@@ -34,19 +45,18 @@ void run_config(const Config& config, int requests) {
   mb.service->server().reset_stats();
   for (int i = 0; i < requests; ++i) mb.request(req);
 
-  bench::subheading(config.label);
-  bench::print_dist_row("L_F (functional)",
-                        mb.service->server().lf_us(), "us");
-  bench::print_dist_row("L_T (total)", mb.service->server().lt_us(), "us");
+  return {mb.service->server().lf_us(), mb.service->server().lt_us()};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const int n = bench::iterations(argc, argv, 500);
+  const unsigned workers = sim::shard_workers();
   bench::heading(
       "FIG 8: thread count and EPC size sweep on the eUDM P-AKA module");
-  std::printf("  %d requests per configuration\n", n);
+  std::printf("  %d requests per configuration, %u shard worker%s\n", n,
+              workers, workers == 1 ? "" : "s");
 
   const Config configs[] = {
       {"SGX threads=4  EPC=512M", paka::Isolation::kSgx, 4, 512ULL << 20},
@@ -56,7 +66,16 @@ int main(int argc, char** argv) {
       {"SGX threads=50 EPC=8G", paka::Isolation::kSgx, 50, 8ULL << 30},
       {"Non-SGX (container)", paka::Isolation::kContainer, 4, 512ULL << 20},
   };
-  for (const Config& config : configs) run_config(config, n);
+
+  sim::ShardPool pool;
+  const std::vector<ConfigResult> results = pool.map(
+      std::size(configs),
+      [&configs, n](std::size_t i) { return run_config(configs[i], n); });
+  for (std::size_t i = 0; i < std::size(configs); ++i) {
+    bench::subheading(configs[i].label);
+    bench::print_dist_row("L_F (functional)", results[i].lf_us, "us");
+    bench::print_dist_row("L_T (total)", results[i].lt_us, "us");
+  }
 
   bench::paper_row("threads 4 -> 50", "no improvement (server is "
                    "single-threaded; 3 Gramine helpers + 1 worker)");

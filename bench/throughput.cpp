@@ -8,6 +8,13 @@
 // (crypto / codec / bus / scheduler) from the hot-stage probes, per
 // isolation mode.
 //
+// All (mode x repeat) runs go through load::run_sweep, so they fan out
+// across SHIELD5G_SHARD_WORKERS host threads. Stage attribution uses
+// the per-shard hot-stage deltas captured on the worker that ran each
+// case (buckets are thread-local), so the breakdown stays exact with
+// shards in flight. For uncontended per-run wall numbers on a busy or
+// small host, pin SHIELD5G_SHARD_WORKERS=1 — CI smoke does.
+//
 //   $ ./throughput [--smoke] [ue_count] [offered_load_per_s] [repeats] [out.json]
 //
 // Defaults: 600 UEs, 2000/s Poisson arrivals, 3 repeats, writing
@@ -17,7 +24,6 @@
 // does not dominate. The emitted JSON is re-parsed and schema-checked
 // before the process exits 0 — a malformed or incomplete report fails
 // the bench.
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -30,7 +36,8 @@
 #include "common/stats.h"
 #include "crypto/cpu_dispatch.h"
 #include "json/json.h"
-#include "load/generator.h"
+#include "load/sweep.h"
+#include "sim/shard_pool.h"
 #include "slice/slice.h"
 
 using namespace shield5g;
@@ -90,48 +97,28 @@ Options parse_args(int argc, char** argv) {
   return opt;
 }
 
-double now_ms() {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-/// One timed open-loop run against a fresh slice. Slice construction and
-/// subscriber provisioning stay outside the timed window; the TLS
-/// handshakes, AKA flows and scheduler drain are inside it.
-ModeResult run_mode(slice::IsolationMode mode, const Options& opt) {
+/// Folds one mode's repeats (a contiguous run of sweep results) into
+/// the reported medians. Wall time and stage deltas come from the
+/// per-case measurements taken on whichever worker ran the case.
+ModeResult fold_mode(slice::IsolationMode mode,
+                     const load::SweepResult* repeats, int count) {
   ModeResult result;
   result.mode = slice::isolation_mode_name(mode);
-
   Samples elapsed_ms;
   Samples rate;
-  for (int rep = 0; rep < opt.repeats; ++rep) {
-    slice::SliceConfig config;
-    config.mode = mode;
-    config.subscriber_count = opt.ue_count;
-    slice::Slice slice(config);
-    slice.create();
-
-    load::LoadConfig load_cfg;
-    load_cfg.ue_count = opt.ue_count;
-    load_cfg.arrivals.kind = load::ArrivalKind::kPoisson;
-    load_cfg.arrivals.rate_per_s = opt.rate_per_s;
-
-    hot_stage::reset();
-    const double t0 = now_ms();
-    load::LoadGenerator generator;
-    const load::LoadReport report = generator.run(slice, load_cfg);
-    const double t1 = now_ms();
-
-    result.registered = report.registered;
-    result.failed = report.failed;
-    elapsed_ms.add(t1 - t0);
-    if (t1 > t0) {
-      rate.add(static_cast<double>(report.registered) / ((t1 - t0) / 1e3));
+  for (int rep = 0; rep < count; ++rep) {
+    const load::SweepResult& r = repeats[rep];
+    result.registered = r.report.registered;
+    result.failed = r.report.failed;
+    elapsed_ms.add(r.run_wall_ms);
+    if (r.run_wall_ms > 0.0) {
+      rate.add(static_cast<double>(r.report.registered) /
+               (r.run_wall_ms / 1e3));
     }
     // Stage totals accumulate across repeats; shares stay meaningful.
     for (const HotStage stage : kStages) {
-      result.stage_ns[static_cast<int>(stage)] += hot_stage::total_ns(stage);
+      const int i = static_cast<int>(stage);
+      result.stage_ns[i] += r.stage_ns[i];
     }
   }
   result.elapsed_ms_median = elapsed_ms.median();
@@ -177,7 +164,7 @@ bool validate(const std::string& text) {
   }
   const json::Value* backend = field("backend");
   if (backend == nullptr || !backend->is_string()) return fail("backend");
-  for (const char* key : {"ue_count", "rate_per_s", "repeats",
+  for (const char* key : {"ue_count", "rate_per_s", "repeats", "workers",
                           "regs_per_s", "wall_ms"}) {
     const json::Value* v = field(key);
     if (v == nullptr || !v->is_number()) return fail(key);
@@ -221,25 +208,50 @@ bool validate(const std::string& text) {
 int main(int argc, char** argv) {
   const Options opt = parse_args(argc, argv);
   const char* backend = crypto::backend_name(crypto::active_backend());
+  const unsigned workers = sim::shard_workers();
 
   bench::heading("Wall-clock registration throughput");
-  std::printf("  backend=%s ue_count=%u rate=%.0f/s repeats=%d%s\n", backend,
-              opt.ue_count, opt.rate_per_s, opt.repeats,
+  std::printf("  backend=%s ue_count=%u rate=%.0f/s repeats=%d workers=%u%s\n",
+              backend, opt.ue_count, opt.rate_per_s, opt.repeats, workers,
               opt.smoke ? " (smoke)" : "");
   bench::print_note(
       "host time, not virtual time — every other bench reports the latter");
+  if (workers > 1) {
+    bench::print_note(
+        "shards run concurrently; per-run wall numbers include host "
+        "contention (SHIELD5G_SHARD_WORKERS=1 for uncontended timing)");
+  }
 
   hot_stage::set_enabled(true);
 
   const slice::IsolationMode modes[] = {slice::IsolationMode::kMonolithic,
                                         slice::IsolationMode::kContainer,
                                         slice::IsolationMode::kSgx};
+
+  // One flat sweep over every (mode, repeat); results stay grouped by
+  // mode because case order is preserved.
+  std::vector<load::SweepCase> cases;
+  for (const slice::IsolationMode mode : modes) {
+    for (int rep = 0; rep < opt.repeats; ++rep) {
+      load::SweepCase c;
+      c.label = std::string(slice::isolation_mode_name(mode)) + " rep=" +
+                std::to_string(rep);
+      c.slice.mode = mode;
+      c.slice.subscriber_count = opt.ue_count;
+      c.load.ue_count = opt.ue_count;
+      c.load.arrivals.kind = load::ArrivalKind::kPoisson;
+      c.load.arrivals.rate_per_s = opt.rate_per_s;
+      cases.push_back(std::move(c));
+    }
+  }
+  const std::vector<load::SweepResult> sweep = load::run_sweep(cases);
+
   std::vector<ModeResult> results;
   std::uint64_t total_stage_ns[kHotStageCount] = {};
   std::uint32_t total_registered = 0;
   double total_wall_ms = 0.0;
-  for (const slice::IsolationMode mode : modes) {
-    ModeResult r = run_mode(mode, opt);
+  for (std::size_t m = 0; m < std::size(modes); ++m) {
+    ModeResult r = fold_mode(modes[m], &sweep[m * opt.repeats], opt.repeats);
     std::printf("  %-11s %u/%u registered, %.1f ms, %.0f regs/s wall\n",
                 r.mode, r.registered, opt.ue_count, r.elapsed_ms_median,
                 r.regs_per_s);
@@ -279,6 +291,7 @@ int main(int argc, char** argv) {
   root["ue_count"] = json::Value(static_cast<std::uint64_t>(opt.ue_count));
   root["rate_per_s"] = json::Value(opt.rate_per_s);
   root["repeats"] = json::Value(static_cast<std::int64_t>(opt.repeats));
+  root["workers"] = json::Value(static_cast<std::uint64_t>(workers));
   root["regs_per_s"] = json::Value(headline_regs_per_s);
   root["wall_ms"] = json::Value(total_wall_ms);
   root["stage_ns"] = stage_object(total_stage_ns);

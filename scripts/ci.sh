@@ -12,11 +12,16 @@
 #   scripts/ci.sh asan        # AddressSanitizer over the unit suite
 #   scripts/ci.sh ubsan       # UBSanitizer over the unit suite
 #   scripts/ci.sh tsan        # ThreadSanitizer over the Monte Carlo
-#                             # host-thread driver (src/load/montecarlo.h)
+#                             # host-thread driver and the shard-pool
+#                             # shared state (comb cache, stats registry)
 #   scripts/ci.sh bench-smoke # tiny wall-clock throughput run: validate
 #                             # the BENCH_throughput.json schema, lint
 #                             # src/ + bench/, and pin the declassify
 #                             # audit surface
+#   scripts/ci.sh scale-smoke # shard-runner determinism: run the scaling
+#                             # bench at 1 and 2 workers and diff the
+#                             # per-case digests byte-for-byte against
+#                             # the sequential reference
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -52,8 +57,10 @@ case "$stage" in
     cmake --build "$build" --target throughput shield_lint -j "$jobs"
     out="$build/BENCH_throughput.json"
     # The binary self-validates the document before exiting 0; the greps
-    # below catch a stale or truncated file on top of that.
-    "$build/bench/throughput" --smoke 60 1000 1 "$out"
+    # below catch a stale or truncated file on top of that. One shard
+    # worker: smoke numbers stay uncontended and host-size independent.
+    SHIELD5G_SHARD_WORKERS=1 \
+      "$build/bench/throughput" --smoke 60 1000 1 "$out"
     grep -q '"schema":"shield5g.bench.throughput.v1"' "$out"
     grep -q '"regs_per_s"' "$out"
     grep -q '"stage_ns"' "$out"
@@ -68,6 +75,24 @@ case "$stage" in
       exit 1
     fi
     echo "bench-smoke: OK"
+    ;;
+  scale-smoke)
+    build="${BUILD_DIR:-$repo/build}"
+    cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$build" --target shard_scaling -j "$jobs"
+    out="$build/BENCH_scaling.json"
+    digests="$build/scale_digests"
+    rm -f "$digests"_*.txt
+    # The binary already fails on any digest mismatch; the byte-for-byte
+    # cmp below re-proves it from the emitted artifacts, so a bug in the
+    # binary's own comparison cannot mask a determinism break.
+    "$build/bench/shard_scaling" --smoke --workers 1,2 \
+        --digest "$digests" "$out"
+    grep -q '"schema":"shield5g.bench.shard_scaling.v1"' "$out"
+    grep -q '"deterministic":true' "$out"
+    cmp "${digests}_seq.txt" "${digests}_w1.txt"
+    cmp "${digests}_seq.txt" "${digests}_w2.txt"
+    echo "scale-smoke: OK"
     ;;
   *)
     build="${BUILD_DIR:-$repo/build}"

@@ -2,6 +2,12 @@
 // needed: nonce generation in the simulated core, latency jitter in the
 // cost models, and workload generation in the benches. A fixed seed makes
 // every experiment reproducible run-to-run.
+//
+// There is deliberately no global or thread-local stream: every consumer
+// owns an Rng instance seeded from its own configuration, so parallel
+// shard runs (sim/shard_pool.h) cannot bleed draws across shards — each
+// shard's streams are a pure function of that shard's seeds, whatever
+// thread it lands on.
 #pragma once
 
 #include <cstdint>

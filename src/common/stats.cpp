@@ -9,40 +9,71 @@
 namespace shield5g {
 
 namespace {
-std::mutex& counter_mutex() {
-  static std::mutex m;
-  return m;
+
+// The registry is sharded by name hash: parallel shard workers bump
+// counters concurrently (declassify audits, queue sheds), and a single
+// process-wide lock would serialize them. Sixteen independently locked
+// sub-maps cut that contention 16x while keeping the aggregate
+// deterministic — snapshot() merges shard-by-shard into one sorted map,
+// so the merged view is independent of which worker bumped what.
+constexpr std::size_t kCounterShards = 16;
+
+struct CounterShard {
+  std::mutex mutex;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+CounterShard* counter_shards() {
+  // Heap-allocated, never freed: counter_add must stay callable from
+  // thread-exit paths after static teardown.
+  static CounterShard* shards = new CounterShard[kCounterShards];
+  return shards;
 }
-std::map<std::string, std::uint64_t>& counter_map() {
-  static std::map<std::string, std::uint64_t> counters;
-  return counters;
+
+std::size_t shard_index(const std::string& name) noexcept {
+  // FNV-1a over the name; the low bits pick the shard.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : name) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001b3ULL;
+  }
+  return static_cast<std::size_t>(h % kCounterShards);
 }
+
 }  // namespace
 
 void counter_add(const std::string& name, std::uint64_t delta) noexcept {
   try {
-    const std::lock_guard<std::mutex> lock(counter_mutex());
-    counter_map()[name] += delta;
+    CounterShard& shard = counter_shards()[shard_index(name)];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.counters[name] += delta;
   } catch (...) {
     // Allocation failure while accounting must not take down a request.
   }
 }
 
 std::uint64_t counter_value(const std::string& name) noexcept {
-  const std::lock_guard<std::mutex> lock(counter_mutex());
-  const auto& counters = counter_map();
-  const auto it = counters.find(name);
-  return it == counters.end() ? 0 : it->second;
+  CounterShard& shard = counter_shards()[shard_index(name)];
+  const std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.counters.find(name);
+  return it == shard.counters.end() ? 0 : it->second;
 }
 
 void counters_reset() noexcept {
-  const std::lock_guard<std::mutex> lock(counter_mutex());
-  counter_map().clear();
+  for (std::size_t s = 0; s < kCounterShards; ++s) {
+    CounterShard& shard = counter_shards()[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.counters.clear();
+  }
 }
 
 std::map<std::string, std::uint64_t> counters_snapshot() {
-  const std::lock_guard<std::mutex> lock(counter_mutex());
-  return counter_map();
+  std::map<std::string, std::uint64_t> merged;
+  for (std::size_t s = 0; s < kCounterShards; ++s) {
+    CounterShard& shard = counter_shards()[s];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [name, value] : shard.counters) merged[name] += value;
+  }
+  return merged;
 }
 
 double Samples::mean() const {

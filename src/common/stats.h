@@ -16,9 +16,12 @@ namespace shield5g {
 // Used for auditing events that must be *countable* from tests and CI
 // rather than logged — most importantly every SecretBytes::declassify
 // (common/secret.h) keyed as secret.declassify.<reason>.{shielded,host}
-// plus secret.declassify.denied for gate violations. Thread-safe: the
-// Monte Carlo driver declassifies transport fields from many host
-// threads concurrently.
+// plus secret.declassify.denied for gate violations, and the NGAP-edge
+// queue.shed drop audit. Thread-safe and sharded by name hash: the
+// shard-pool sweep runner (sim/shard_pool.h) bumps counters from many
+// host workers concurrently, so the registry is split over sixteen
+// independently locked sub-maps; snapshots merge them into one sorted,
+// worker-count-independent view.
 // ---------------------------------------------------------------------
 
 /// Adds `delta` to the named counter (creating it at zero).

@@ -62,6 +62,11 @@ CryptoBackend active_backend() noexcept {
   const int forced = g_forced.load(std::memory_order_relaxed);
   if (forced == 1) return CryptoBackend::kScalar;
   if (forced == 2) return CryptoBackend::kAccelerated;
+  // One-time init is a C++11 magic static (as is features() above):
+  // shard-pool workers racing into the first call serialize on the
+  // guard and every later call is a plain load — TSan-clean, audited by
+  // the MonteCarlo.* thread workloads. Tests that force_backend() must
+  // do so before spawning workers; the forced flag itself is atomic.
   static const CryptoBackend resolved = resolve_default();
   return resolved;
 }

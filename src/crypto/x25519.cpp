@@ -1,6 +1,9 @@
 #include "crypto/x25519.h"
 
+#include <array>
+#include <atomic>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -61,29 +64,30 @@ X25519Key ladder(const std::uint8_t k[32], ByteView u) {
   return result;
 }
 
-// Per-thread cache of comb tables keyed by the 32-byte u-coordinate.
-// Registrations hammer a stable working set — the base point, the home
-// network's ECIES key, and every attached server's TLS identity — but
-// the identities are per-slice, so a process that builds several slices
-// (mass_registration runs three isolation modes back to back) cycles
-// through a few dozen repeated points. A point earns a table after
-// kBuildThreshold sightings; twist points are remembered as unliftable
-// so the lift is attempted once. Eviction is least-recently-used: a
-// finished slice's keys age out, one-shot ephemerals churn through the
-// tail, and live hot points stay resident whatever their age.
+// Comb-table cache, shared across every shard worker of a parallel
+// sweep. Registrations hammer a stable working set — the base point,
+// the home network's ECIES key, and every attached server's TLS
+// identity — and under the shard pool (sim/shard_pool.h) all workers
+// hammer the *same* points, so a table built once serves the process.
+//
+// Concurrency layout, from hot to cold:
+//  * Hit path: a fixed array of published slots, each an atomic pointer
+//    to an immutable entry (point + built table, or a remembered
+//    unliftable twist point). Readers scan count-then-slots with one
+//    acquire load and take no lock — the hit path is wait-free.
+//  * Miss path: sighting counts live in a small per-thread candidate
+//    LRU (the pre-PR design), so one-shot ephemeral points never touch
+//    shared state and never contend.
+//  * Build path: a point that crosses kBuildThreshold sightings in one
+//    thread takes the publish mutex, re-checks the shared slots (some
+//    other worker may have won the race), builds the ~60 KiB table
+//    exactly once per point process-wide, and release-publishes it.
+// Published entries are immutable until detail::x25519_cache_reset(),
+// a single-threaded test hook. When all slots fill (64 tables ≈ 4 MiB)
+// later points simply keep the ladder — candidates remember giving up.
 constexpr int kBuildThreshold = 4;
-constexpr std::size_t kMaxCacheEntries = 32;
-
-struct CacheEntry {
-  std::array<std::uint8_t, 32> u;
-  int uses = 0;
-  std::uint64_t last_use = 0;
-  bool unliftable = false;
-  detail::CombTablePtr table;
-};
-
-thread_local std::vector<CacheEntry> g_comb_cache;
-thread_local std::uint64_t g_comb_tick = 0;
+constexpr std::size_t kMaxCandidates = 32;
+constexpr std::size_t kSharedSlots = 64;
 
 bool same_u(const std::array<std::uint8_t, 32>& a, const std::uint8_t* b) {
   std::uint8_t acc = 0;
@@ -93,37 +97,96 @@ bool same_u(const std::array<std::uint8_t, 32>& a, const std::uint8_t* b) {
   return acc == 0;
 }
 
+struct SharedEntry {
+  std::array<std::uint8_t, 32> u{};
+  detail::CombTablePtr table;  // null = unliftable twist point, memoized
+};
+
+struct SharedCache {
+  std::array<std::atomic<const SharedEntry*>, kSharedSlots> slots{};
+  std::atomic<std::size_t> count{0};
+  std::mutex publish_mutex;
+};
+
+SharedCache& shared_cache() {
+  // Leaked on purpose: workers may run x25519 during late teardown.
+  static SharedCache* cache = new SharedCache;
+  return *cache;
+}
+
+// Wait-free reader: the release store on `count` orders the slot and
+// entry writes before it, so any slot below an acquired count is fully
+// published.
+const SharedEntry* shared_find(const std::uint8_t* u) {
+  SharedCache& cache = shared_cache();
+  const std::size_t n = cache.count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SharedEntry* entry = cache.slots[i].load(std::memory_order_relaxed);
+    if (entry != nullptr && same_u(entry->u, u)) return entry;
+  }
+  return nullptr;
+}
+
+// Builds and publishes the table for `u` (or its unliftable verdict).
+// Returns the published entry, or nullptr when the cache is full.
+const SharedEntry* shared_publish(const std::uint8_t* u) {
+  SharedCache& cache = shared_cache();
+  const std::lock_guard<std::mutex> lock(cache.publish_mutex);
+  if (const SharedEntry* raced = shared_find(u)) return raced;  // lost race
+  const std::size_t n = cache.count.load(std::memory_order_relaxed);
+  if (n >= kSharedSlots) return nullptr;
+  auto* entry = new SharedEntry;
+  std::memcpy(entry->u.data(), u, 32);
+  entry->table = detail::comb_build(u);  // null when the point won't lift
+  cache.slots[n].store(entry, std::memory_order_relaxed);
+  cache.count.store(n + 1, std::memory_order_release);
+  return entry;
+}
+
+// Per-thread sighting counts for points not (yet) published. Eviction
+// is least-recently-used: one-shot ephemerals churn through the tail
+// while repeated points accumulate uses and graduate to the shared
+// slots.
+struct Candidate {
+  std::array<std::uint8_t, 32> u;
+  int uses = 0;
+  std::uint64_t last_use = 0;
+  bool gave_up = false;  // shared cache was full at graduation time
+};
+
+thread_local std::vector<Candidate> t_candidates;
+thread_local std::uint64_t t_comb_tick = 0;
+
 // Returns the table to use for `u`, or nullptr to take the ladder.
 const detail::CombTable* comb_lookup(ByteView u) {
-  for (auto& entry : g_comb_cache) {
-    if (!same_u(entry.u, u.data())) continue;
-    entry.last_use = ++g_comb_tick;
-    if (entry.unliftable) return nullptr;
-    if (entry.table) return entry.table.get();
-    if (++entry.uses < kBuildThreshold) return nullptr;
-    entry.table = detail::comb_build(u.data());
-    if (!entry.table) {
-      entry.unliftable = true;
+  if (const SharedEntry* entry = shared_find(u.data())) {
+    return entry->table.get();
+  }
+  for (auto& cand : t_candidates) {
+    if (!same_u(cand.u, u.data())) continue;
+    cand.last_use = ++t_comb_tick;
+    if (cand.gave_up) return nullptr;
+    if (++cand.uses < kBuildThreshold) return nullptr;
+    const SharedEntry* entry = shared_publish(u.data());
+    if (entry == nullptr) {
+      cand.gave_up = true;
       return nullptr;
     }
-    return entry.table.get();
+    return entry->table.get();
   }
-  CacheEntry fresh;
+  Candidate fresh;
   std::memcpy(fresh.u.data(), u.data(), 32);
   fresh.uses = 1;
-  fresh.last_use = ++g_comb_tick;
-  if (g_comb_cache.size() < kMaxCacheEntries) {
-    g_comb_cache.push_back(std::move(fresh));
+  fresh.last_use = ++t_comb_tick;
+  if (t_candidates.size() < kMaxCandidates) {
+    t_candidates.push_back(fresh);
     return nullptr;
   }
-  // Full: replace the least-recently-used entry. Hot points refresh
-  // last_use on every sighting and stay pinned; a retired slice's
-  // tables and the one-shot ephemeral tail are the oldest entries.
-  CacheEntry* victim = &g_comb_cache.front();
-  for (auto& entry : g_comb_cache) {
-    if (entry.last_use < victim->last_use) victim = &entry;
+  Candidate* victim = &t_candidates.front();
+  for (auto& cand : t_candidates) {
+    if (cand.last_use < victim->last_use) victim = &cand;
   }
-  *victim = std::move(fresh);
+  *victim = fresh;
   return nullptr;
 }
 
@@ -200,9 +263,23 @@ bool x25519_comb_liftable(ByteView u) {
   return comb_build(u.data()) != nullptr;
 }
 
-void x25519_cache_reset() { g_comb_cache.clear(); }
+void x25519_cache_reset() {
+  // Test hook, single-threaded by contract: frees published entries,
+  // which is only safe while no other thread is inside comb_lookup.
+  t_candidates.clear();
+  SharedCache& cache = shared_cache();
+  const std::lock_guard<std::mutex> lock(cache.publish_mutex);
+  const std::size_t n = cache.count.load(std::memory_order_relaxed);
+  cache.count.store(0, std::memory_order_release);
+  for (std::size_t i = 0; i < n; ++i) {
+    delete cache.slots[i].load(std::memory_order_relaxed);
+    cache.slots[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
 
-std::size_t x25519_cache_size() { return g_comb_cache.size(); }
+std::size_t x25519_cache_size() {
+  return shared_cache().count.load(std::memory_order_acquire);
+}
 
 }  // namespace detail
 

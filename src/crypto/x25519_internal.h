@@ -20,10 +20,14 @@ X25519Key x25519_comb_forced(SecretView scalar, ByteView u);
 /// True when `u` lifts to edwards25519 (i.e. the comb can serve it).
 bool x25519_comb_liftable(ByteView u);
 
-/// Drops this thread's comb-table cache (tests reset between cases).
+/// Drops the process-wide shared comb-table cache and this thread's
+/// candidate sighting counts (tests reset between cases). Must be
+/// called while no other thread is evaluating x25519 — published
+/// entries are freed here and readers take no lock.
 void x25519_cache_reset();
 
-/// Number of comb tables currently cached on this thread.
+/// Number of comb-table entries currently published in the shared
+/// cache (unliftable verdicts included).
 std::size_t x25519_cache_size();
 
 }  // namespace shield5g::crypto::detail

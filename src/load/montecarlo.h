@@ -5,46 +5,32 @@
 // only fan the *independent* jobs out across cores. Results land in an
 // index-addressed vector, so the aggregate is byte-identical regardless
 // of thread count or completion order.
+//
+// Since the shard-runner PR this is a thin veneer over sim::ShardPool:
+// `threads = 0` resolves through SHIELD5G_SHARD_WORKERS before falling
+// back to hardware concurrency, and typed registration sweeps should
+// prefer load::run_sweep (load/sweep.h), which also captures queue
+// snapshots and per-shard stage profiles.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
-#include <thread>
 #include <vector>
+
+#include "sim/shard_pool.h"
 
 namespace shield5g::load {
 
-/// Runs `fn(i)` for i in [0, jobs) on up to `threads` host threads
-/// (0 = hardware concurrency) and returns the results in job order.
+/// Runs `fn(i)` for i in [0, jobs) on up to `threads` host workers
+/// (0 = SHIELD5G_SHARD_WORKERS, then hardware concurrency) and returns
+/// the results in job order.
 template <typename Fn>
 auto monte_carlo(std::size_t jobs, Fn fn, unsigned threads = 0)
     -> std::vector<decltype(fn(std::size_t{}))> {
   using Result = decltype(fn(std::size_t{}));
   std::vector<Result> results(jobs);
   if (jobs == 0) return results;
-
-  unsigned workers = threads != 0 ? threads : std::thread::hardware_concurrency();
-  if (workers == 0) workers = 1;
-  if (workers > jobs) workers = static_cast<unsigned>(jobs);
-
-  if (workers == 1) {
-    for (std::size_t i = 0; i < jobs; ++i) results[i] = fn(i);
-    return results;
-  }
-
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&results, &next, &fn, jobs] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= jobs) return;
-        results[i] = fn(i);
-      }
-    });
-  }
-  for (std::thread& t : pool) t.join();
+  sim::ShardPool pool(threads);
+  pool.run(jobs, [&results, &fn](std::size_t i) { results[i] = fn(i); });
   return results;
 }
 

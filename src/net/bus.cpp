@@ -29,6 +29,11 @@ Server::Server(std::string name, ExecutionEnv& env, const NetCosts& costs)
 void Server::reset_stats() {
   lf_us_.clear();
   lt_us_.clear();
+  // A measurement epoch starts against a cold admission queue too: in
+  // closed-loop use the clock has already advanced past every
+  // busy-until instant so this is a no-op, but back-to-back shard runs
+  // over a reused deployment must not inherit occupancy.
+  queue_.reset();
 }
 
 Server::ServeResult Server::serve_record(ByteView record_in,

@@ -51,6 +51,12 @@ class ServiceQueue {
   void configure(Config config);
   const Config& config() const noexcept { return config_; }
 
+  /// Clears occupancy and statistics without re-reading or touching the
+  /// configuration: the next run starts against a cold queue. Sweep
+  /// harnesses that reuse a deployment between shard runs call this
+  /// instead of configure(), which would also re-derive worker counts.
+  void reset();
+
   /// Admits (or sheds) a request arriving at `arrival`. On acceptance
   /// the chosen worker is reserved from the returned start instant; the
   /// caller must pair it with complete() once service finishes.

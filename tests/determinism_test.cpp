@@ -3,6 +3,9 @@
 // traces and summary statistics across independent runs. This is the
 // property every experiment in EXPERIMENTS.md leans on — without it the
 // load benches would not be reproducible.
+// The shard-pool sweeps extend the property across host threads: a
+// parallel sweep must be bit-identical to the sequential one at every
+// worker count (the ShardedSweep tests below).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -10,6 +13,7 @@
 
 #include "crypto/cpu_dispatch.h"
 #include "load/generator.h"
+#include "load/sweep.h"
 #include "slice/slice.h"
 
 namespace shield5g {
@@ -142,6 +146,98 @@ TEST(Determinism, TraceHashIndependentOfRecording) {
   const auto b = run_once(slice::IsolationMode::kContainer, 0xd5ee5ULL, cfg);
   EXPECT_EQ(a.trace_hash, b.trace_hash);
   EXPECT_TRUE(b.trace.empty());
+}
+
+// A small but heterogeneous sweep: every isolation mode, two rates,
+// two seeds — twelve independent shards with queueing engaged.
+std::vector<load::SweepCase> sharded_cases() {
+  std::vector<load::SweepCase> cases;
+  const slice::IsolationMode modes[] = {slice::IsolationMode::kMonolithic,
+                                        slice::IsolationMode::kContainer,
+                                        slice::IsolationMode::kSgx};
+  for (const slice::IsolationMode mode : modes) {
+    for (const double rate : {400.0, 2000.0}) {
+      for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+        load::SweepCase c;
+        c.label = std::string(slice::isolation_mode_name(mode)) + "/" +
+                  std::to_string(static_cast<int>(rate)) + "/" +
+                  std::to_string(seed);
+        c.slice.mode = mode;
+        c.slice.subscriber_count = 40;
+        c.slice.seed = 0xF00DULL + seed;
+        c.load.ue_count = 40;
+        c.load.arrivals.kind = load::ArrivalKind::kPoisson;
+        c.load.arrivals.rate_per_s = rate;
+        c.load.seed = 0xBEEFULL + seed;
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  return cases;
+}
+
+void expect_sweeps_identical(const std::vector<load::SweepResult>& a,
+                             const std::vector<load::SweepResult>& b,
+                             const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  // The digest is the contract the CI diff enforces; the per-field
+  // comparison below names the first diverging case when it breaks.
+  EXPECT_EQ(load::sweep_digest(a), load::sweep_digest(b)) << what;
+  const auto lines_a = load::sweep_digest_lines(a);
+  const auto lines_b = load::sweep_digest_lines(b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(lines_a[i], lines_b[i]) << what << ": case " << i;
+    EXPECT_EQ(a[i].report.trace_hash, b[i].report.trace_hash)
+        << what << ": case " << i;
+    EXPECT_EQ(a[i].report.setup_ms.values(), b[i].report.setup_ms.values())
+        << what << ": case " << i;
+    EXPECT_EQ(a[i].shed, b[i].shed) << what << ": case " << i;
+    ASSERT_EQ(a[i].queues.size(), b[i].queues.size()) << what;
+    for (std::size_t q = 0; q < a[i].queues.size(); ++q) {
+      EXPECT_EQ(a[i].queues[q].admitted, b[i].queues[q].admitted);
+      EXPECT_EQ(a[i].queues[q].rejected, b[i].queues[q].rejected);
+      EXPECT_EQ(a[i].queues[q].total_wait, b[i].queues[q].total_wait);
+    }
+  }
+}
+
+TEST(Determinism, ShardedSweepMatchesSequentialAtEveryWorkerCount) {
+  // The tentpole property: worker count is a pure wall-clock knob. The
+  // sequential reference (workers=1, inline, no pool) must be
+  // reproduced bit-for-bit by the threaded pool at 2 and 4 workers —
+  // even on a single core, where the threads interleave arbitrarily.
+  const std::vector<load::SweepCase> cases = sharded_cases();
+  const std::vector<load::SweepResult> sequential = load::run_sweep(cases, 1);
+  ASSERT_EQ(sequential.size(), cases.size());
+  for (const unsigned workers : {2u, 4u}) {
+    const std::vector<load::SweepResult> parallel =
+        load::run_sweep(cases, workers);
+    expect_sweeps_identical(sequential, parallel,
+                            workers == 2 ? "workers=2" : "workers=4");
+  }
+}
+
+TEST(Determinism, BackToBackSweepsStartCold) {
+  // Each case builds a fresh slice, and ServiceQueue::reset() clears
+  // occupancy between runs inside a slice — so repeating the same sweep
+  // in one process must not inherit warm queues, caches or counters
+  // from the previous round, sequentially or threaded.
+  const std::vector<load::SweepCase> cases = sharded_cases();
+  const std::vector<load::SweepResult> first = load::run_sweep(cases, 2);
+  const std::vector<load::SweepResult> second = load::run_sweep(cases, 2);
+  expect_sweeps_identical(first, second, "second round");
+  const std::vector<load::SweepResult> sequential = load::run_sweep(cases, 1);
+  expect_sweeps_identical(first, sequential, "sequential after threaded");
+}
+
+TEST(Determinism, SweepDigestDiscriminates) {
+  // The digest must move when anything deterministic moves, or the CI
+  // byte-for-byte diff proves nothing.
+  std::vector<load::SweepCase> cases = sharded_cases();
+  const std::uint64_t base = load::sweep_digest(load::run_sweep(cases, 1));
+  cases[0].load.seed ^= 1;
+  const std::uint64_t moved = load::sweep_digest(load::run_sweep(cases, 1));
+  EXPECT_NE(base, moved);
 }
 
 }  // namespace

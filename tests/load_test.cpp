@@ -180,5 +180,41 @@ TEST(QueueingSanity, EngineChargesQueueDelayPastSaturation) {
   EXPECT_GT(total_wait, 0u);
 }
 
+TEST(QueueingSanity, ResetStartsColdWithoutTouchingConfig) {
+  // Saturate a small queue, then reset(): configuration survives, but
+  // occupancy and statistics must clear so a back-to-back shard run
+  // starts against a cold queue — the guarantee sweep repeats lean on.
+  net::ServiceQueue queue(
+      net::ServiceQueue::Config{/*workers=*/2, /*capacity=*/3});
+  for (int i = 0; i < 10; ++i) {
+    const auto adm = queue.admit(1'000);
+    if (adm.accepted) queue.complete(adm.worker, adm.start + 1'000'000);
+  }
+  ASSERT_GT(queue.admitted(), 0u);
+  ASSERT_GT(queue.rejected(), 0u);
+  ASSERT_GT(queue.queued(), 0u);
+  ASSERT_GT(queue.depth(2'000), 0u);
+
+  queue.reset();
+
+  EXPECT_EQ(queue.config().workers, 2u);
+  EXPECT_EQ(queue.config().capacity, 3u);
+  EXPECT_EQ(queue.admitted(), 0u);
+  EXPECT_EQ(queue.rejected(), 0u);
+  EXPECT_EQ(queue.queued(), 0u);
+  EXPECT_EQ(queue.total_wait(), 0u);
+  EXPECT_EQ(queue.max_depth(), 0u);
+  EXPECT_EQ(queue.depth(2'000), 0u);
+  EXPECT_TRUE(queue.wait_us().values().empty());
+
+  // Cold admission: even an arrival *before* the old busy-until
+  // horizon starts immediately on worker 0 with zero wait.
+  const auto adm = queue.admit(2'000);
+  ASSERT_TRUE(adm.accepted);
+  EXPECT_EQ(adm.worker, 0u);
+  EXPECT_EQ(adm.start, 2'000u);
+  EXPECT_EQ(queue.queued(), 0u);
+}
+
 }  // namespace
 }  // namespace shield5g

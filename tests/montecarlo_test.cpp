@@ -1,18 +1,25 @@
 // Monte Carlo host-thread driver (src/load/montecarlo.h): determinism
-// independent of thread count, and thread-safety of the declassify
-// audit counters it hammers. This is the workload the TSan CI stage
-// (scripts/ci.sh tsan) runs under -fsanitize=thread.
+// independent of thread count, and thread-safety of the shared mutable
+// state the shard runner exposes — the declassify audit counters, the
+// sharded stats registry, and the process-wide X25519 comb-table cache.
+// This is the workload the TSan CI stage (scripts/ci.sh tsan) runs
+// under -fsanitize=thread; every test here keeps the MonteCarlo prefix
+// so that stage's -R '^MonteCarlo' filter picks it up.
 #include "load/montecarlo.h"
 
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/secret.h"
 #include "common/stats.h"
+#include "crypto/cpu_dispatch.h"
 #include "crypto/kdf.h"
+#include "crypto/x25519.h"
+#include "crypto/x25519_internal.h"
 
 namespace shield5g {
 namespace {
@@ -50,6 +57,99 @@ TEST(MonteCarlo, DeclassifyCountersAccumulateAcrossThreads) {
 TEST(MonteCarlo, ZeroJobsAndImplicitThreadCount) {
   EXPECT_TRUE(load::monte_carlo(0, job).empty());
   EXPECT_EQ(load::monte_carlo(3, job).size(), 3u);
+}
+
+class ForcedBackend {
+ public:
+  explicit ForcedBackend(crypto::CryptoBackend backend) {
+    crypto::force_backend(backend);
+  }
+  ~ForcedBackend() { crypto::clear_forced_backend(); }
+};
+
+// A fixed set of curve points every thread keeps revisiting: the base
+// point plus a handful of public keys (always valid u-coordinates).
+// Revisits push the per-thread sighting counters past the publish
+// threshold on many threads at once, so the once-per-point table
+// builds and the lock-free hit path race against each other — the
+// exact pattern shard workers produce on a shared deployment key.
+std::vector<Bytes> comb_hammer_points() {
+  std::vector<Bytes> points;
+  points.push_back(Bytes(32, 0));
+  points.back()[0] = 9;  // the X25519 base point: the hottest entry
+  Rng rng(0xC04BULL);
+  for (int i = 0; i < 5; ++i) {
+    const SecretBytes scalar(rng.bytes(32));
+    const crypto::X25519Key pub = crypto::x25519_public(scalar);
+    points.emplace_back(pub.begin(), pub.end());
+  }
+  return points;
+}
+
+std::uint64_t comb_job(const std::vector<Bytes>& points, std::size_t seed) {
+  Rng rng(static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ULL + 1);
+  const SecretBytes scalar(rng.bytes(32));
+  std::uint64_t acc = 0;
+  // Six passes per point: past the build threshold within one job.
+  for (int pass = 0; pass < 6; ++pass) {
+    for (const Bytes& u : points) {
+      const crypto::X25519Key key = crypto::x25519(scalar, u);
+      for (std::uint8_t byte : key) acc = acc * 131 + byte;
+    }
+  }
+  return acc;
+}
+
+TEST(MonteCarlo, SharedCombCacheIsRaceFreeAndThreadCountInvariant) {
+  // Pin the comb path on before any worker spawns (dispatch contract),
+  // and reset the shared cache only while single-threaded.
+  ForcedBackend pin(crypto::CryptoBackend::kAccelerated);
+  const std::vector<Bytes> points = comb_hammer_points();
+
+  crypto::detail::x25519_cache_reset();
+  const auto serial = load::monte_carlo(
+      32, [&points](std::size_t i) { return comb_job(points, i); }, 1);
+  const std::size_t serial_cache = crypto::detail::x25519_cache_size();
+
+  crypto::detail::x25519_cache_reset();
+  const auto parallel = load::monte_carlo(
+      32, [&points](std::size_t i) { return comb_job(points, i); }, 8);
+  const std::size_t parallel_cache = crypto::detail::x25519_cache_size();
+
+  // Same keys regardless of which thread built or reused each table.
+  EXPECT_EQ(serial, parallel);
+  // Every hammered point ends up published exactly once — concurrent
+  // builders must dedupe, and hits must not re-publish.
+  EXPECT_EQ(serial_cache, points.size());
+  EXPECT_EQ(parallel_cache, points.size());
+  crypto::detail::x25519_cache_reset();
+}
+
+TEST(MonteCarlo, ShardedCounterRegistryAccumulatesAcrossThreads) {
+  counters_reset();
+  // 24 distinct names spread across the registry's internal shards,
+  // bumped from 8 threads, plus one name every thread fights over.
+  (void)load::monte_carlo(
+      96,
+      [](std::size_t i) {
+        counter_add("mc.shard." + std::to_string(i % 24));
+        counter_add("mc.contended", 3);
+        return i;
+      },
+      8);
+  for (int n = 0; n < 24; ++n) {
+    EXPECT_EQ(counter_value("mc.shard." + std::to_string(n)), 4u)
+        << "name " << n;
+  }
+  EXPECT_EQ(counter_value("mc.contended"), 96u * 3u);
+  // The merged snapshot must agree with the per-name reads.
+  const auto snapshot = counters_snapshot();
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : snapshot) {
+    if (name.rfind("mc.", 0) == 0) total += value;
+  }
+  EXPECT_EQ(total, 96u + 96u * 3u);
+  counters_reset();
 }
 
 }  // namespace

@@ -1,10 +1,15 @@
-// Virtual clock and discrete-event scheduler tests.
+// Virtual clock, discrete-event scheduler and shard-pool tests.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "sim/clock.h"
 #include "sim/scheduler.h"
+#include "sim/shard_pool.h"
 
 namespace shield5g::sim {
 namespace {
@@ -225,6 +230,123 @@ TEST(ClockSpan, DestructorRewindsWhenNotClosed) {
     EXPECT_EQ(clock.now(), 623u);
   }
   EXPECT_EQ(clock.now(), 500u);
+}
+
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, /*overwrite=*/1);
+    }
+  }
+  ~ScopedEnv() { ::unsetenv(name_); }
+
+ private:
+  const char* name_;
+};
+
+TEST(ShardWorkers, ExplicitRequestBeatsEnvironment) {
+  ScopedEnv env("SHIELD5G_SHARD_WORKERS", "7");
+  EXPECT_EQ(shard_workers(3), 3u);
+  EXPECT_EQ(shard_workers(), 7u);
+}
+
+TEST(ShardWorkers, BadEnvironmentFallsBackToHardware) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned expect = hw == 0 ? 1u : (hw < 256 ? hw : 256u);
+  {
+    ScopedEnv env("SHIELD5G_SHARD_WORKERS", "0");
+    EXPECT_EQ(shard_workers(), expect);
+  }
+  {
+    ScopedEnv env("SHIELD5G_SHARD_WORKERS", "nope");
+    EXPECT_EQ(shard_workers(), expect);
+  }
+  {
+    ScopedEnv env("SHIELD5G_SHARD_WORKERS", nullptr);
+    EXPECT_EQ(shard_workers(), expect);
+  }
+}
+
+TEST(ShardWorkers, AbsurdCountsAreClamped) {
+  ScopedEnv env("SHIELD5G_SHARD_WORKERS", "999999");
+  EXPECT_EQ(shard_workers(), 256u);
+  EXPECT_EQ(shard_workers(100000), 256u);
+}
+
+TEST(ShardPool, MapReturnsResultsInJobOrder) {
+  ShardPool pool(4);
+  EXPECT_EQ(pool.workers(), 4u);
+  const std::vector<std::size_t> out =
+      pool.map(100, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i) << "job " << i;
+  }
+}
+
+TEST(ShardPool, RunExecutesEveryJobExactlyOnce) {
+  ShardPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.run(64, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "job " << i;
+  }
+}
+
+TEST(ShardPool, PoolIsReusableAcrossRuns) {
+  // Back-to-back batches on one pool: a stale worker from the first
+  // batch must not claim or double-run jobs of the second.
+  ShardPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> ran{0};
+    pool.run(17, [&ran](std::size_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 17) << "round " << round;
+  }
+}
+
+TEST(ShardPool, SingleWorkerRunsInlineOnCaller) {
+  // workers=1 is the sequential reference path: no pool threads touch
+  // the jobs, so thread-hostile callers see today's behavior.
+  ShardPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(5);
+  pool.run(5, [&seen, caller](std::size_t i) { seen[i] = caller; });
+  for (const std::thread::id id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ShardPool, FirstExceptionPropagatesAfterDrain) {
+  ShardPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.run(32,
+               [&ran](std::size_t i) {
+                 ran.fetch_add(1, std::memory_order_relaxed);
+                 if (i == 5) throw std::runtime_error("shard 5 failed");
+               }),
+      std::runtime_error);
+  // The batch drains before rethrow — no job is abandoned mid-flight.
+  EXPECT_EQ(ran.load(), 32);
+  // The pool survives a failed batch.
+  std::atomic<int> again{0};
+  pool.run(8, [&again](std::size_t) {
+    again.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(again.load(), 8);
+}
+
+TEST(ShardPool, ZeroJobsIsANoop) {
+  ShardPool pool(4);
+  bool touched = false;
+  pool.run(0, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+  EXPECT_TRUE(pool.map(0, [](std::size_t i) { return i; }).empty());
 }
 
 }  // namespace
