@@ -35,7 +35,7 @@ struct ChainSetup {
     ausf_vnf = std::make_unique<net::Server>("ausf", vnf_env, bus.costs());
     ausf_vnf->router().add(
         net::Method::kPost, "/nausf-auth/v1/he-av",
-        [this](const net::HttpRequest& req, const net::PathParams&) {
+        [this](const net::RequestView& req, const net::PathParams&) {
           const auto av_body = json::parse(req.body);
           const auto se = bus.request("ausf", "eausf-aka",
                                       se_request_from(av_body), &vnf_env);
@@ -64,7 +64,7 @@ struct ChainSetup {
     net::HttpRequest handoff;
     handoff.method = net::Method::kPost;
     handoff.path = "/nausf-auth/v1/he-av";
-    handoff.headers["content-type"] = "application/json";
+    handoff.headers.set("content-type", "application/json");
     handoff.body = av.response.body;
     bus.request("udm", "ausf", handoff);
     *messages = 6;

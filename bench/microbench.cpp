@@ -4,6 +4,7 @@
 // real wall-clock throughput of the from-scratch implementations.
 #include <benchmark/benchmark.h>
 
+#include "common/buffer_pool.h"
 #include "common/rng.h"
 #include "crypto/aes128.h"
 #include "crypto/ecies.h"
@@ -14,6 +15,7 @@
 #include "crypto/suci.h"
 #include "crypto/x25519.h"
 #include "json/json.h"
+#include "net/http.h"
 #include "net/tls.h"
 #include "nf/aka_core.h"
 #include "nf/nas.h"
@@ -133,6 +135,90 @@ void BM_NasEncodeDecode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_NasEncodeDecode);
+
+// ---------------------------------------------------------------------
+// Wire-path benches: the zero-copy pipeline (pooled buffer ->
+// serialize_into -> in-place TLS -> aliasing parse) against the owning
+// copy path it replaced. Same bytes on the wire either way; only the
+// allocation and memmove traffic differs.
+// ---------------------------------------------------------------------
+
+net::HttpRequest make_sbi_request() {
+  net::HttpRequest req;
+  req.method = net::Method::kPost;
+  req.path = "/nausf-auth/v1/ue-authentications";
+  req.headers.set("content-type", "application/json");
+  req.headers.set("accept", "application/json");
+  req.body =
+      "{\"servingNetworkName\":\"5G:mnc001.mcc001.3gppnetwork.org\","
+      "\"supiOrSuci\":\"suci-0-001-01-0000-0-0-0000000001\"}";
+  return req;
+}
+
+void BM_HttpSerializeParseCopy(benchmark::State& state) {
+  const net::HttpRequest req = make_sbi_request();
+  for (auto _ : state) {
+    const Bytes wire = req.serialize();
+    benchmark::DoNotOptimize(net::HttpRequest::parse(wire));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(req.serialized_size()));
+}
+BENCHMARK(BM_HttpSerializeParseCopy);
+
+void BM_HttpSerializeParseZeroCopy(benchmark::State& state) {
+  const net::HttpRequest req = make_sbi_request();
+  const std::size_t wire_size = req.serialized_size();
+  for (auto _ : state) {
+    PooledBuffer buf = BufferPool::local().acquire(
+        net::TlsSession::kRecordOverhead + wire_size, 5);
+    req.serialize_into(buf);
+    benchmark::DoNotOptimize(net::RequestView::parse(buf.view()));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire_size));
+}
+BENCHMARK(BM_HttpSerializeParseZeroCopy);
+
+void BM_TlsRecordRoundTripInPlace(benchmark::State& state) {
+  Rng rng(8);
+  const net::TlsIdentity id = net::TlsIdentity::generate(rng);
+  Bytes hello;
+  net::TlsSession client =
+      net::TlsSession::client_connect(id.key.public_key, rng, hello);
+  Bytes server_hello;
+  auto server = net::TlsSession::server_accept(id.key, hello, server_hello);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Bytes payload = rng.bytes(n);
+  for (auto _ : state) {
+    PooledBuffer buf =
+        BufferPool::local().acquire(net::TlsSession::kRecordOverhead + n, 5);
+    buf.append(payload);
+    client.protect_in_place(buf);
+    benchmark::DoNotOptimize(server->unprotect_in_place(buf));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TlsRecordRoundTripInPlace)->Arg(256)->Arg(4096);
+
+void BM_PoolAcquireRelease(benchmark::State& state) {
+  BufferPool& pool = BufferPool::local();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const BufferPool::Stats before = BufferPool::thread_stats();
+  for (auto _ : state) {
+    PooledBuffer buf = pool.acquire(n, 5);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  const BufferPool::Stats after = BufferPool::thread_stats();
+  const double acquires =
+      static_cast<double>((after.hits - before.hits) +
+                          (after.misses - before.misses));
+  if (acquires > 0.0) {
+    state.counters["hit_rate"] =
+        static_cast<double>(after.hits - before.hits) / acquires;
+  }
+}
+BENCHMARK(BM_PoolAcquireRelease)->Arg(256)->Arg(8192)->Arg(65536);
 
 void BM_TlsRecordRoundTrip(benchmark::State& state) {
   Rng rng(8);

@@ -24,14 +24,17 @@
 // does not dominate. The emitted JSON is re-parsed and schema-checked
 // before the process exits 0 — a malformed or incomplete report fails
 // the bench.
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/buffer_pool.h"
 #include "common/hot_stage.h"
 #include "common/stats.h"
 #include "crypto/cpu_dispatch.h"
@@ -41,6 +44,35 @@
 #include "slice/slice.h"
 
 using namespace shield5g;
+
+// ---------------------------------------------------------------------
+// Global allocation counting: every scalar/array operator new bumps a
+// relaxed atomic, so the bench can report heap allocations per
+// registration. CI pins a ceiling on the number — the zero-copy wire
+// path (pooled records, interned headers, id-keyed bus tables) is what
+// keeps it flat as payloads grow.
+// ---------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
@@ -126,6 +158,39 @@ ModeResult fold_mode(slice::IsolationMode mode,
   return result;
 }
 
+/// Heap allocations per registration on a warm wire path, measured on
+/// the main thread (worker pools are thread-local, so the measurement
+/// thread must be the running thread). Pass 0 warms this thread's
+/// buffer pool and allocator arenas; pass 1 runs a fresh slice and is
+/// the one counted. Slice construction/provisioning is excluded — only
+/// LoadGenerator::run is inside the counting window.
+double measure_allocs_per_reg(bool smoke) {
+  slice::SliceConfig cfg;
+  cfg.mode = slice::IsolationMode::kContainer;
+  const std::uint32_t ues = smoke ? 60 : 200;
+  cfg.subscriber_count = ues;
+  load::LoadConfig load;
+  load.ue_count = ues;
+  load.arrivals.kind = load::ArrivalKind::kPoisson;
+  load.arrivals.rate_per_s = 2000.0;
+
+  double out = 0.0;
+  for (int pass = 0; pass < 2; ++pass) {
+    slice::Slice slice(cfg);
+    slice.create();
+    load::LoadGenerator generator;
+    const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    const load::LoadReport report = generator.run(slice, load);
+    const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+    if (pass == 1 && report.registered > 0) {
+      out = static_cast<double>(after - before) /
+            static_cast<double>(report.registered);
+    }
+  }
+  BufferPool::publish_thread_stats();
+  return out;
+}
+
 json::Value stage_object(const std::uint64_t ns[kHotStageCount]) {
   json::Object obj;
   for (const HotStage stage : kStages) {
@@ -171,6 +236,18 @@ bool validate(const std::string& text) {
   }
   const json::Value* smoke = field("smoke");
   if (smoke == nullptr || !smoke->is_bool()) return fail("smoke");
+
+  const json::Value* pool = field("wire_pool");
+  if (pool == nullptr || !pool->is_object()) return fail("wire_pool");
+  for (const char* key : {"hit", "miss", "oversize", "bytes"}) {
+    const json::Object& p = pool->as_object();
+    const auto it = p.find(key);
+    if (it == p.end() || !it->second.is_number()) {
+      return fail("wire_pool field");
+    }
+  }
+  const json::Value* allocs = field("allocs_per_reg");
+  if (allocs == nullptr || !allocs->is_number()) return fail("allocs_per_reg");
 
   const json::Value* modes = field("modes");
   if (modes == nullptr || !modes->is_array() || modes->as_array().empty()) {
@@ -277,6 +354,20 @@ int main(int argc, char** argv) {
   }
   hot_stage::set_enabled(false);
 
+  const double allocs_per_reg = measure_allocs_per_reg(opt.smoke);
+  const std::uint64_t pool_hits = counter_value("wire.pool.hit");
+  const std::uint64_t pool_misses = counter_value("wire.pool.miss");
+  const std::uint64_t pool_total = pool_hits + pool_misses;
+  std::printf("  wire pool: %llu hits / %llu misses (%.1f%% hit rate), "
+              "%.1f allocs/registration warm\n",
+              static_cast<unsigned long long>(pool_hits),
+              static_cast<unsigned long long>(pool_misses),
+              pool_total > 0
+                  ? 100.0 * static_cast<double>(pool_hits) /
+                        static_cast<double>(pool_total)
+                  : 0.0,
+              allocs_per_reg);
+
   const double headline_regs_per_s =
       total_wall_ms > 0.0
           ? static_cast<double>(total_registered) / (total_wall_ms / 1e3)
@@ -295,6 +386,15 @@ int main(int argc, char** argv) {
   root["regs_per_s"] = json::Value(headline_regs_per_s);
   root["wall_ms"] = json::Value(total_wall_ms);
   root["stage_ns"] = stage_object(total_stage_ns);
+  {
+    json::Object pool_obj;
+    pool_obj["hit"] = json::Value(pool_hits);
+    pool_obj["miss"] = json::Value(pool_misses);
+    pool_obj["oversize"] = json::Value(counter_value("wire.pool.oversize"));
+    pool_obj["bytes"] = json::Value(counter_value("wire.pool.bytes"));
+    root["wire_pool"] = json::Value(std::move(pool_obj));
+  }
+  root["allocs_per_reg"] = json::Value(allocs_per_reg);
   json::Array mode_entries;
   for (const ModeResult& r : results) {
     json::Object entry;

@@ -64,6 +64,22 @@ case "$stage" in
     grep -q '"schema":"shield5g.bench.throughput.v1"' "$out"
     grep -q '"regs_per_s"' "$out"
     grep -q '"stage_ns"' "$out"
+    # Zero-copy wire path: the pooled-buffer fast path must actually be
+    # taken (hits dwarf misses once the per-thread arenas are warm), and
+    # the steady-state allocation rate must not creep back up. The
+    # ceiling is ~15% above the measured 1173 allocs/registration so
+    # only a real regression trips it, not run-to-run noise.
+    python3 - "$out" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+pool = doc["wire_pool"]
+if pool["hit"] < 1000 or pool["hit"] < 100 * max(pool["miss"], 1):
+    sys.exit(f"bench-smoke: wire pool not hot: {pool}")
+if doc["allocs_per_reg"] > 1350:
+    sys.exit(f"bench-smoke: allocs_per_reg regressed: {doc['allocs_per_reg']}")
+print(f"bench-smoke: wire_pool {pool['hit']} hits / {pool['miss']} misses, "
+      f"{doc['allocs_per_reg']:.0f} allocs/reg")
+EOF
     "$build/tools/shield_lint/shield_lint" "$repo/src" "$repo/bench"
     # The secret-taint audit surface must not grow: exactly the blessed
     # declassify call sites (sbi.h hex dump, UDM provisioning + unseal).

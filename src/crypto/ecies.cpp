@@ -68,8 +68,9 @@ EciesCiphertext EciesCiphertext::deserialize(ByteView data,
 
 EciesCiphertext ecies_encrypt(ByteView receiver_public, ByteView plaintext,
                               ByteView ephemeral_random) {
-  const X25519KeyPair eph = x25519_keypair(ephemeral_random);
-  const X25519Key shared = x25519(eph.private_key, receiver_public);
+  X25519Key shared;
+  const X25519KeyPair eph =
+      x25519_keypair_shared(ephemeral_random, receiver_public, shared);
   const DerivedKeys keys = derive_keys(shared, eph.public_key);
 
   EciesCiphertext ct;

@@ -11,9 +11,11 @@ namespace shield5g::crypto {
 
 namespace {
 
-// Core with the message supplied as up to two parts; pads live on the
-// stack and are wiped before returning.
-Bytes hmac_core(ByteView key, ByteView part1, const ByteView* part2) {
+// Core with the message supplied as up to two parts; writes the full
+// 32-byte MAC to `out` without allocating. Pads live on the stack and
+// are wiped before returning.
+void hmac_core_into(ByteView key, ByteView part1, const ByteView* part2,
+                    std::uint8_t* out) {
   constexpr std::size_t kBlock = Sha256::kBlockSize;
 
   std::array<std::uint8_t, kBlock> k0{};
@@ -39,10 +41,16 @@ Bytes hmac_core(ByteView key, ByteView part1, const ByteView* part2) {
   Sha256 outer;
   outer.update(pad).update(ByteView(inner_digest));
   const auto mac = outer.finalize();
+  std::memcpy(out, mac.data(), mac.size());
 
   secure_zero(k0.data(), k0.size());
   secure_zero(pad.data(), pad.size());
-  return Bytes(mac.begin(), mac.end());
+}
+
+Bytes hmac_core(ByteView key, ByteView part1, const ByteView* part2) {
+  Bytes mac(Sha256::kDigestSize);
+  hmac_core_into(key, part1, part2, mac.data());
+  return mac;
 }
 
 }  // namespace
@@ -72,6 +80,17 @@ Bytes hmac_sha256_trunc(ByteView key, ByteView part1, ByteView part2,
   Bytes mac = hmac_core(key, part1, &part2);
   mac.resize(n);
   return mac;
+}
+
+void hmac_sha256_trunc_into(ByteView key, ByteView part1, ByteView part2,
+                            std::uint8_t* out, std::size_t n) {
+  if (n > Sha256::kDigestSize) {
+    throw std::invalid_argument("hmac_sha256_trunc_into: n > 32");
+  }
+  std::array<std::uint8_t, Sha256::kDigestSize> mac;
+  hmac_core_into(key, part1, &part2, mac.data());
+  std::memcpy(out, mac.data(), n);
+  secure_zero(mac.data(), mac.size());
 }
 
 }  // namespace shield5g::crypto

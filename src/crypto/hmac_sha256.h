@@ -23,4 +23,10 @@ Bytes hmac_sha256_trunc(ByteView key, ByteView data, std::size_t n);
 Bytes hmac_sha256_trunc(ByteView key, ByteView part1, ByteView part2,
                         std::size_t n);
 
+/// Writes the first `n` bytes of HMAC-SHA-256(key, part1 || part2) to
+/// `out` without allocating (the TLS record layer writes the tag
+/// straight into the record tail of a pooled buffer).
+void hmac_sha256_trunc_into(ByteView key, ByteView part1, ByteView part2,
+                            std::uint8_t* out, std::size_t n);
+
 }  // namespace shield5g::crypto

@@ -27,8 +27,9 @@ void clamp(std::uint8_t k[32], SecretView scalar) {
   k[31] |= 64;
 }
 
-// RFC 7748 Montgomery ladder over the shared fe25519 arithmetic.
-X25519Key ladder(const std::uint8_t k[32], ByteView u) {
+// RFC 7748 Montgomery ladder over the shared fe25519 arithmetic,
+// stopping short of the final inversion: u = num/den.
+void ladder_fraction(const std::uint8_t k[32], ByteView u, Fe& num, Fe& den) {
   const Fe x1 = fe_load(u.data());
   Fe x2{1, 0, 0, 0, 0}, z2{0, 0, 0, 0, 0};
   Fe x3 = x1, z3{1, 0, 0, 0, 0};
@@ -57,8 +58,14 @@ X25519Key ladder(const std::uint8_t k[32], ByteView u) {
   }
   fe_cswap(swap, x2, x3);
   fe_cswap(swap, z2, z3);
+  num = x2;
+  den = z2;
+}
 
-  const Fe out = fe_mul(x2, fe_invert(z2));
+X25519Key ladder(const std::uint8_t k[32], ByteView u) {
+  Fe num, den;
+  ladder_fraction(k, u, num, den);
+  const Fe out = fe_mul(num, fe_invert(den));
   X25519Key result{};
   fe_store(result.data(), out);
   return result;
@@ -190,6 +197,19 @@ const detail::CombTable* comb_lookup(ByteView u) {
   return nullptr;
 }
 
+// One scalar multiplication up to (not including) its final inversion,
+// taking the comb fast path when a table exists for `u`.
+void mult_fraction(const std::uint8_t k[32], ByteView u, Fe& num, Fe& den) {
+  const detail::CombTable* table =
+      active_backend() == CryptoBackend::kAccelerated ? comb_lookup(u)
+                                                      : nullptr;
+  if (table != nullptr) {
+    detail::comb_eval_fraction(*table, k, num, den);
+  } else {
+    ladder_fraction(k, u, num, den);
+  }
+}
+
 }  // namespace
 
 X25519Key x25519(SecretView scalar, ByteView u) {
@@ -201,17 +221,49 @@ X25519Key x25519(SecretView scalar, ByteView u) {
   std::uint8_t k[32];
   clamp(k, scalar);
 
-  X25519Key result;
-  const detail::CombTable* table =
-      active_backend() == CryptoBackend::kAccelerated ? comb_lookup(u)
-                                                      : nullptr;
-  if (table != nullptr) {
-    detail::comb_eval(*table, k, result.data());
-  } else {
-    result = ladder(k, u);
-  }
+  Fe num, den;
+  mult_fraction(k, u, num, den);
+  X25519Key result{};
+  fe_store(result.data(), fe_mul(num, fe_invert(den)));
   secure_zero(k, sizeof(k));
   return result;
+}
+
+X25519KeyPair x25519_keypair_shared(ByteView random32, ByteView peer_public,
+                                    X25519Key& shared_out) {
+  if (random32.size() != 32 || peer_public.size() != 32) {
+    throw std::invalid_argument("x25519_keypair_shared: need 32-byte inputs");
+  }
+  ScopedStage timer(HotStage::kCrypto);
+  op_counts().x25519_ops += 2;  // two scalar mults, charged as always
+
+  X25519KeyPair kp;
+  kp.private_key = Secret<kX25519KeySize>(random32);
+  std::uint8_t k[32];
+  clamp(k, kp.private_key);
+
+  std::uint8_t base[32] = {9};
+  Fe n1, d1, n2, d2;
+  mult_fraction(k, ByteView(base, 32), n1, d1);
+  mult_fraction(k, peer_public, n2, d2);
+  secure_zero(k, sizeof(k));
+
+  // Batched inversion, zero-safe: a zero denominator (low-order peer
+  // point) must yield u = 0 exactly as the unfused path's
+  // fe_invert(0) = 0 does, without poisoning the other result.
+  const std::uint64_t zero1 = fe_is_zero(d1) ? 1 : 0;
+  const std::uint64_t zero2 = fe_is_zero(d2) ? 1 : 0;
+  Fe d1s = d1, d2s = d2;
+  fe_cmov(d1s, fe_one(), zero1);
+  fe_cmov(d2s, fe_one(), zero2);
+  const Fe inv_all = fe_invert(fe_mul(d1s, d2s));
+  Fe r1 = fe_mul(n1, fe_mul(inv_all, d2s));
+  Fe r2 = fe_mul(n2, fe_mul(inv_all, d1s));
+  fe_cmov(r1, fe_zero(), zero1);
+  fe_cmov(r2, fe_zero(), zero2);
+  fe_store(kp.public_key.data(), r1);
+  fe_store(shared_out.data(), r2);
+  return kp;
 }
 
 X25519Key x25519_public(SecretView scalar) {

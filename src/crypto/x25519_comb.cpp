@@ -224,8 +224,8 @@ CombTablePtr comb_build(const std::uint8_t* u32) {
   return table;
 }
 
-void comb_eval(const CombTable& table, const std::uint8_t* scalar32,
-               std::uint8_t* out_u32) {
+void comb_eval_fraction(const CombTable& table, const std::uint8_t* scalar32,
+                        Fe& num, Fe& den) {
   std::int8_t digits[64];
   signed_digits(scalar32, digits);
 
@@ -248,11 +248,19 @@ void comb_eval(const CombTable& table, const std::uint8_t* scalar32,
     fe_cmov(sel.t2d, nt2d, neg);
     acc = ext_madd(acc, sel);
   }
-  // Back to Montgomery: u = (Z+Y)/(Z-Y). fe_invert(0) = 0, so the
-  // identity (and any Z-Y = 0 degeneracy) maps to u = 0 exactly like
-  // the ladder's x2 * invert(0).
-  const Fe u = fe_mul(fe_add(acc.z, acc.y), fe_invert(fe_sub(acc.z, acc.y)));
-  fe_store(out_u32, u);
+  // Back to Montgomery: u = (Z+Y)/(Z-Y), left as a fraction so callers
+  // can batch the inversion across multiple evaluations.
+  num = fe_add(acc.z, acc.y);
+  den = fe_sub(acc.z, acc.y);
+}
+
+void comb_eval(const CombTable& table, const std::uint8_t* scalar32,
+               std::uint8_t* out_u32) {
+  Fe num, den;
+  comb_eval_fraction(table, scalar32, num, den);
+  // fe_invert(0) = 0, so the identity (and any Z-Y = 0 degeneracy) maps
+  // to u = 0 exactly like the ladder's x2 * invert(0).
+  fe_store(out_u32, fe_mul(num, fe_invert(den)));
 }
 
 }  // namespace shield5g::crypto::detail

@@ -19,6 +19,7 @@
 
 #include "common/bytes.h"
 #include "common/secret.h"
+#include "crypto/fe25519.h"
 
 namespace shield5g::crypto::detail {
 
@@ -40,5 +41,12 @@ CombTablePtr comb_build(const std::uint8_t* u32);
 /// clamped. Output matches the Montgomery ladder bit for bit.
 void comb_eval(const CombTable& table, const std::uint8_t* scalar32,
                std::uint8_t* out_u32);
+
+/// comb_eval up to (but not including) the final field inversion:
+/// u = num/den. Lets callers that perform several scalar mults batch
+/// the inversions (Montgomery's trick) — den may be zero for the
+/// degenerate cases where comb_eval would canonicalize u to 0.
+void comb_eval_fraction(const CombTable& table, const std::uint8_t* scalar32,
+                        fe25519::Fe& num, fe25519::Fe& den);
 
 }  // namespace shield5g::crypto::detail

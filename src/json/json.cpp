@@ -50,14 +50,16 @@ Object& Value::as_object() {
   return std::get<Object>(data_);
 }
 
-const Value& Value::at(const std::string& key) const {
+const Value& Value::at(std::string_view key) const {
   const auto& obj = as_object();
   const auto it = obj.find(key);
-  if (it == obj.end()) throw std::runtime_error("json: missing key " + key);
+  if (it == obj.end()) {
+    throw std::runtime_error("json: missing key " + std::string(key));
+  }
   return it->second;
 }
 
-std::optional<std::string> Value::get_string(const std::string& key) const {
+std::optional<std::string> Value::get_string(std::string_view key) const {
   if (!is_object()) return std::nullopt;
   const auto& obj = std::get<Object>(data_);
   const auto it = obj.find(key);
@@ -65,7 +67,7 @@ std::optional<std::string> Value::get_string(const std::string& key) const {
   return it->second.as_string();
 }
 
-std::optional<std::int64_t> Value::get_int(const std::string& key) const {
+std::optional<std::int64_t> Value::get_int(std::string_view key) const {
   if (!is_object()) return std::nullopt;
   const auto& obj = std::get<Object>(data_);
   const auto it = obj.find(key);
@@ -73,11 +75,11 @@ std::optional<std::int64_t> Value::get_int(const std::string& key) const {
   return it->second.as_int();
 }
 
-bool Value::has(const std::string& key) const {
+bool Value::has(std::string_view key) const {
   return is_object() && std::get<Object>(data_).count(key) > 0;
 }
 
-Value& Value::operator[](const std::string& key) {
+Value& Value::operator[](std::string_view key) {
   if (is_null()) data_ = Object{};
   return as_object()[key];
 }
@@ -150,7 +152,7 @@ void dump_value(const Value& v, std::string& out) {
 
 class Parser {
  public:
-  explicit Parser(const std::string& text) : text_(text) {}
+  explicit Parser(std::string_view text) : text_(text) {}
 
   Value parse_document() {
     skip_ws();
@@ -224,7 +226,7 @@ class Parser {
       std::string key = parse_string();
       skip_ws();
       expect(':');
-      obj[std::move(key)] = parse_value();
+      obj.insert_move(std::move(key)) = parse_value();
       skip_ws();
       const char c = next();
       if (c == '}') break;
@@ -321,7 +323,7 @@ class Parser {
     return Value(d);
   }
 
-  const std::string& text_;
+  const std::string_view text_;
   std::size_t pos_ = 0;
 };
 
@@ -335,7 +337,7 @@ std::string Value::dump() const {
   return out;
 }
 
-Value parse(const std::string& text) {
+Value parse(std::string_view text) {
   ScopedStage timer(HotStage::kCodec);
   return Parser(text).parse_document();
 }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -53,13 +54,18 @@ class Object {
   std::size_t size() const;
   void reserve(std::size_t n);
 
-  iterator find(const std::string& key);
-  const_iterator find(const std::string& key) const;
-  std::size_t count(const std::string& key) const;
+  iterator find(std::string_view key);
+  const_iterator find(std::string_view key) const;
+  std::size_t count(std::string_view key) const;
 
   /// Returns the value for `key`, appending a null entry when absent.
-  Value& operator[](const std::string& key);
-  Value& operator[](std::string&& key);
+  /// Lookups take string_view so literal keys never materialize a
+  /// temporary std::string.
+  Value& operator[](std::string_view key);
+  /// Lookup-or-append that moves the key on insertion (the parser's
+  /// path; a std::string&& operator[] overload would be ambiguous with
+  /// the string_view one for literal arguments).
+  Value& insert_move(std::string&& key);
 
   bool operator==(const Object& other) const;
 
@@ -104,14 +110,14 @@ class Value {
   Object& as_object();
 
   /// Object field lookup; throws if not an object or key missing.
-  const Value& at(const std::string& key) const;
+  const Value& at(std::string_view key) const;
   /// Returns nullopt when the value is not an object or lacks the key.
-  std::optional<std::string> get_string(const std::string& key) const;
-  std::optional<std::int64_t> get_int(const std::string& key) const;
-  bool has(const std::string& key) const;
+  std::optional<std::string> get_string(std::string_view key) const;
+  std::optional<std::int64_t> get_int(std::string_view key) const;
+  bool has(std::string_view key) const;
 
   /// Mutating object index (creates the key).
-  Value& operator[](const std::string& key);
+  Value& operator[](std::string_view key);
 
   /// Compact serialization, object fields in insertion order.
   std::string dump() const;
@@ -134,32 +140,32 @@ inline bool Object::empty() const { return items_.empty(); }
 inline std::size_t Object::size() const { return items_.size(); }
 inline void Object::reserve(std::size_t n) { items_.reserve(n); }
 
-inline Object::iterator Object::find(const std::string& key) {
+inline Object::iterator Object::find(std::string_view key) {
   for (auto it = items_.begin(); it != items_.end(); ++it) {
     if (it->first == key) return it;
   }
   return items_.end();
 }
 
-inline Object::const_iterator Object::find(const std::string& key) const {
+inline Object::const_iterator Object::find(std::string_view key) const {
   for (auto it = items_.begin(); it != items_.end(); ++it) {
     if (it->first == key) return it;
   }
   return items_.end();
 }
 
-inline std::size_t Object::count(const std::string& key) const {
+inline std::size_t Object::count(std::string_view key) const {
   return find(key) == items_.end() ? 0 : 1;
 }
 
-inline Value& Object::operator[](const std::string& key) {
+inline Value& Object::operator[](std::string_view key) {
   const auto it = find(key);
   if (it != items_.end()) return it->second;
-  items_.emplace_back(key, Value());
+  items_.emplace_back(std::string(key), Value());
   return items_.back().second;
 }
 
-inline Value& Object::operator[](std::string&& key) {
+inline Value& Object::insert_move(std::string&& key) {
   const auto it = find(key);
   if (it != items_.end()) return it->second;
   items_.emplace_back(std::move(key), Value());
@@ -172,6 +178,6 @@ inline bool Object::operator==(const Object& other) const {
 
 /// Strict parser. Throws std::runtime_error with a position-annotated
 /// message on malformed input. Object field order is preserved.
-Value parse(const std::string& text);
+Value parse(std::string_view text);
 
 }  // namespace shield5g::json

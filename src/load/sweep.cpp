@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/buffer_pool.h"
 #include "sim/shard_pool.h"
 
 namespace shield5g::load {
@@ -37,6 +38,9 @@ SweepResult run_case(const SweepCase& c) {
   }
   out.queues = queue_snapshots(slice);
   for (const QueueSnapshot& q : out.queues) out.shed += q.rejected;
+  // Fold this worker's pool stats into the wire.pool.* counters. Global
+  // counters never feed case_digest, so this is digest-neutral.
+  BufferPool::publish_thread_stats();
   return out;
 }
 

@@ -36,7 +36,7 @@ void Server::reset_stats() {
   queue_.reset();
 }
 
-Server::ServeResult Server::serve_record(ByteView record_in,
+Server::ServeResult Server::serve_record(PooledBuffer record_in,
                                          TlsSession& session,
                                          sim::VirtualClock& clock,
                                          Rng& jitter) {
@@ -57,12 +57,14 @@ Server::ServeResult Server::serve_record(ByteView record_in,
     env_->syscall(Sys::kRecv, in_bytes / profile_.recv_chunks);
   }
   crypto::OpMeter tls_in;
-  auto plain = session.unprotect(record_in);
+  const bool opened = session.unprotect_in_place(record_in);
   env_->compute(costs_->tls_record_fixed + tls_in.ns(costs_->primitives));
-  if (!plain) return result;
+  if (!opened) return result;
 
-  auto request = HttpRequest::parse(*plain);
-  env_->compute(costs_->http_parse_ns(plain->size()));
+  // Zero-copy parse: path/headers/body alias the decrypted record,
+  // which stays alive (and untouched) until the handler returns.
+  const auto request = RequestView::parse(record_in.view());
+  env_->compute(costs_->http_parse_ns(record_in.size()));
   if (!request) return result;
 
   // ---- L_F window: the AKA function itself -------------------------
@@ -78,11 +80,16 @@ Server::ServeResult Server::serve_record(ByteView record_in,
   env_->compute(costs_->json_dump_ns(response.body.size()));
   result.l_f = clock.now() - lf_start;
 
-  // Serialize, protect and send the response.
-  const Bytes wire = response.serialize();
+  // Serialize straight into a pooled record (TLS headroom reserved),
+  // protect in place, send.
+  const std::size_t out_size = response.serialized_size();
+  PooledBuffer wire = BufferPool::local().acquire(
+      TlsSession::kRecordOverhead + out_size, 5);
+  response.serialize_into(wire);
   env_->compute(costs_->http_ser_ns(wire.size()));
   crypto::OpMeter tls_out;
-  result.record_out = session.protect(wire);
+  session.protect_in_place(wire);
+  result.record_out = std::move(wire);
   env_->compute(costs_->tls_record_fixed + tls_out.ns(costs_->primitives));
   for (std::uint32_t i = 0; i < profile_.send_chunks; ++i) {
     env_->syscall(Sys::kSend, result.record_out.size() / profile_.send_chunks);
@@ -99,22 +106,39 @@ Server::ServeResult Server::serve_record(ByteView record_in,
 Bus::Bus(sim::VirtualClock& clock, NetCosts costs, std::uint64_t seed)
     : clock_(clock), costs_(costs), rng_(seed), ambient_client_(clock) {}
 
+std::uint32_t Bus::intern(std::string_view name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  names_.emplace_back(name);
+  const auto id = static_cast<std::uint32_t>(servers_.size());
+  ids_.emplace(std::string_view(names_.back()), id);
+  servers_.emplace_back();
+  return id;
+}
+
+std::optional<std::uint32_t> Bus::lookup(
+    std::string_view name) const noexcept {
+  const auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
 void Bus::attach(Server& server) {
-  if (servers_.count(server.name()) != 0) {
+  const std::uint32_t id = intern(server.name());
+  if (servers_[id].server != nullptr) {
     throw std::logic_error("Bus: duplicate server name " + server.name());
   }
-  servers_.emplace(server.name(),
-                   Attachment{&server, TlsIdentity::generate(rng_)});
+  servers_[id] = Attachment{&server, TlsIdentity::generate(rng_)};
 }
 
-void Bus::detach(const std::string& name) {
+void Bus::detach(std::string_view name) {
   drop_connections(name);
-  servers_.erase(name);
+  if (const auto id = lookup(name)) servers_[*id].server = nullptr;
 }
 
-Server* Bus::find(const std::string& name) noexcept {
-  const auto it = servers_.find(name);
-  return it == servers_.end() ? nullptr : it->second.server;
+Server* Bus::find(std::string_view name) noexcept {
+  const auto id = lookup(name);
+  return id ? servers_[*id].server : nullptr;
 }
 
 double Bus::jitter() { return rng_.lognormal(1.0, costs_.jitter_sigma); }
@@ -142,7 +166,7 @@ Bus::Connection Bus::open_connection(Attachment& target,
   Connection conn;
   Bytes hello;
   crypto::OpMeter client_ops;
-  conn.client = std::make_unique<TlsSession>(
+  conn.client.emplace(
       TlsSession::client_connect(target.identity.key.public_key, rng_, hello));
   client_env.compute(client_ops.ns(costs_.primitives));
   client_env.syscall(Sys::kSend, hello.size());
@@ -157,21 +181,26 @@ Bus::Connection Bus::open_connection(Attachment& target,
   if (!server_session) {
     throw std::runtime_error("Bus: TLS handshake failed");
   }
-  conn.server = std::make_unique<TlsSession>(std::move(*server_session));
+  conn.server.emplace(std::move(*server_session));
   server.env().syscall(Sys::kSend, server_hello.size());
   clock_.advance(bridge_ns(server_hello.size()));
   client_env.syscall(Sys::kRecv, server_hello.size());
   return conn;
 }
 
-Bus::Exchange Bus::request(const std::string& from, const std::string& to,
+Bus::Exchange Bus::request(std::string_view from, std::string_view to,
                            const HttpRequest& req, ExecutionEnv* client_env) {
   ScopedStage timer(HotStage::kBus);
-  const auto it = servers_.find(to);
-  if (it == servers_.end()) {
-    throw std::runtime_error("Bus: no server attached as '" + to + "'");
+  const auto to_id = lookup(to);
+  if (!to_id || servers_[*to_id].server == nullptr) {
+    throw std::runtime_error("Bus: no server attached as '" +
+                             std::string(to) + "'");
   }
-  Attachment& target = it->second;
+  // Intern the client label (keep-alive only) BEFORE taking the
+  // attachment reference: intern() may grow servers_ and reallocate.
+  std::uint64_t conn_key = 0;
+  if (keep_alive_) conn_key = connection_key(intern(from), *to_id);
+  Attachment& target = servers_[*to_id];
   Server& server = *target.server;
   ExecutionEnv& client = client_env != nullptr ? *client_env : ambient_client_;
 
@@ -188,32 +217,39 @@ Bus::Exchange Bus::request(const std::string& from, const std::string& to,
   Connection one_shot;
   Connection* conn = nullptr;
   if (keep_alive_) {
-    auto cit = connections_.find(std::make_pair(from, to));
+    auto cit = connections_.find(conn_key);
     if (cit == connections_.end()) {
-      cit = connections_
-                .emplace(std::make_pair(from, to),
-                         open_connection(target, client))
+      cit = connections_.emplace(conn_key, open_connection(target, client))
                 .first;
     }
     conn = &cit->second;
   } else {
     // Stale cached sessions (keep-alive toggled off mid-run) must not
-    // be reused later; the map is normally empty here.
-    if (!connections_.empty()) connections_.erase(std::make_pair(from, to));
+    // be reused later; the map is normally empty here. lookup() never
+    // interns, so one-shot client labels stay out of the id tables.
+    if (!connections_.empty()) {
+      if (const auto from_id = lookup(from)) {
+        connections_.erase(connection_key(*from_id, *to_id));
+      }
+    }
     one_shot = open_connection(target, client);
     conn = &one_shot;
   }
 
-  // Client: serialize, protect, send.
-  const Bytes wire = req.serialize();
-  client.compute(costs_.http_ser_ns(wire.size()));
+  // Client: serialize into a pooled record with TLS headroom, protect
+  // in place, send. The payload is written exactly once and encrypted
+  // where it sits.
+  PooledBuffer record = BufferPool::local().acquire(
+      TlsSession::kRecordOverhead + req.serialized_size(), 5);
+  req.serialize_into(record);
+  client.compute(costs_.http_ser_ns(record.size()));
   crypto::OpMeter client_tls;
-  Bytes record = conn->client->protect(wire);
+  conn->client->protect_in_place(record);
   client.compute(costs_.tls_record_fixed + client_tls.ns(costs_.primitives));
   client.syscall(Sys::kSend, record.size());
   if (faults_.corrupt_record_prob > 0 &&
       rng_.uniform01() < faults_.corrupt_record_prob) {
-    record[rng_.uniform(record.size())] ^= 0x01;  // bit flip in flight
+    record.data()[rng_.uniform(record.size())] ^= 0x01;  // bit flip in flight
     ++faults_injected_;
   }
   clock_.advance(bridge_ns(record.size()));
@@ -236,8 +272,10 @@ Bus::Exchange Bus::request(const std::string& from, const std::string& to,
   exchange.queue_ns = adm.start - arrival;
   if (exchange.queue_ns > 0) clock_.advance(exchange.queue_ns);
 
-  // Server pipeline.
-  auto served = server.serve_record(record, *conn->server, clock_, rng_);
+  // Server pipeline; the request record moves in, the response record
+  // moves out — no copies cross the bridge.
+  auto served =
+      server.serve_record(std::move(record), *conn->server, clock_, rng_);
   server.queue().complete(adm.worker, clock_.now());
   exchange.l_f = served.l_f;
   exchange.l_t = served.l_t;
@@ -247,7 +285,9 @@ Bus::Exchange Bus::request(const std::string& from, const std::string& to,
     return exchange;
   }
 
-  // Response back over the bridge; client receive path.
+  // Response back over the bridge; client receive path (decrypt in
+  // place, parse views, materialize the owning response once at the
+  // API boundary).
   if (faults_.drop_response_prob > 0 &&
       rng_.uniform01() < faults_.drop_response_prob) {
     ++faults_injected_;
@@ -259,16 +299,16 @@ Bus::Exchange Bus::request(const std::string& from, const std::string& to,
   clock_.advance(bridge_ns(served.record_out.size()));
   client.syscall(Sys::kRecv, served.record_out.size());
   crypto::OpMeter client_tls_in;
-  auto resp_plain = conn->client->unprotect(served.record_out);
+  const bool resp_open = conn->client->unprotect_in_place(served.record_out);
   client.compute(costs_.tls_record_fixed +
                  client_tls_in.ns(costs_.primitives));
-  if (!resp_plain) {
+  if (!resp_open) {
     exchange.response = HttpResponse::error(500, "record verify failed");
     exchange.response_ns = clock_.now() - start;
     return exchange;
   }
-  auto response = HttpResponse::parse(*resp_plain);
-  client.compute(costs_.http_parse_ns(resp_plain->size()));
+  const auto response = ResponseView::parse(served.record_out.view());
+  client.compute(costs_.http_parse_ns(served.record_out.size()));
   if (!response) {
     exchange.response = HttpResponse::error(500, "malformed response");
     exchange.response_ns = clock_.now() - start;
@@ -280,22 +320,24 @@ Bus::Exchange Bus::request(const std::string& from, const std::string& to,
     server.env().syscall(Sys::kClose);
   }
 
-  exchange.response = std::move(*response);
+  exchange.response = HttpResponse::materialize(*response);
   exchange.transport_ok = true;
   exchange.response_ns = clock_.now() - start;
   return exchange;
 }
 
 std::optional<crypto::X25519Key> Bus::server_identity(
-    const std::string& name) const {
-  const auto it = servers_.find(name);
-  if (it == servers_.end()) return std::nullopt;
-  return it->second.identity.key.public_key;
+    std::string_view name) const {
+  const auto id = lookup(name);
+  if (!id || servers_[*id].server == nullptr) return std::nullopt;
+  return servers_[*id].identity.key.public_key;
 }
 
-void Bus::drop_connections(const std::string& server_name) {
-  std::erase_if(connections_, [&server_name](const auto& entry) {
-    return entry.first.second == server_name;
+void Bus::drop_connections(std::string_view server_name) {
+  const auto id = lookup(server_name);
+  if (!id) return;
+  std::erase_if(connections_, [to = *id](const auto& entry) {
+    return static_cast<std::uint32_t>(entry.first & 0xffffffffu) == to;
   });
 }
 

@@ -12,12 +12,14 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
+#include <deque>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "crypto/cost.h"
@@ -116,14 +118,18 @@ class Server {
   void rebind_env(ExecutionEnv& env) noexcept { env_ = &env; }
 
   struct ServeResult {
-    Bytes record_out;  // TLS-protected response
+    PooledBuffer record_out;  // TLS-protected response
     sim::Nanos l_f = 0;
     sim::Nanos l_t = 0;
     bool ok = false;
   };
 
-  /// Runs the full server-side pipeline for one protected request.
-  ServeResult serve_record(ByteView record_in, TlsSession& session,
+  /// Runs the full server-side pipeline for one protected request. The
+  /// record buffer is consumed: it is decrypted in place, the parsed
+  /// request views alias it while the handler runs, and its slab goes
+  /// back to the thread's pool on return. The response comes back as a
+  /// pooled record the same way.
+  ServeResult serve_record(PooledBuffer record_in, TlsSession& session,
                            sim::VirtualClock& clock, Rng& jitter);
 
   /// Latency samples in microseconds, accumulated per request.
@@ -157,8 +163,8 @@ class Bus {
 
   /// Attaches a server; a TLS identity is generated for it.
   void attach(Server& server);
-  void detach(const std::string& name);
-  Server* find(const std::string& name) noexcept;
+  void detach(std::string_view name);
+  Server* find(std::string_view name) noexcept;
 
   /// Keep-alive policy: when false (the default, matching OAI's
   /// one-shot libcurl clients), every request performs a TCP connect
@@ -180,7 +186,7 @@ class Bus {
   /// Pinned TLS public key of an attached server (what a client
   /// certificate check — or an RA-TLS quote — must bind to).
   std::optional<crypto::X25519Key> server_identity(
-      const std::string& name) const;
+      std::string_view name) const;
 
   struct Exchange {
     HttpResponse response;
@@ -194,21 +200,35 @@ class Bus {
   /// Performs one request from `from` (an arbitrary client label) to
   /// the server attached as `to`. `client_env` charges the client-side
   /// work; pass nullptr for an ambient host client.
-  Exchange request(const std::string& from, const std::string& to,
+  Exchange request(std::string_view from, std::string_view to,
                    const HttpRequest& req, ExecutionEnv* client_env = nullptr);
 
   /// Drops cached connections to a server (server restart).
-  void drop_connections(const std::string& server_name);
+  void drop_connections(std::string_view server_name);
 
  private:
+  // Attached service names are interned to dense 32-bit ids once; from
+  // then on every request resolves servers and cached connections
+  // through id-keyed flat tables — no string-pair keys, no per-request
+  // temporary strings, no tree walks.
   struct Attachment {
-    Server* server;
+    Server* server = nullptr;  // null = id known but nothing attached
     TlsIdentity identity;
   };
   struct Connection {
-    std::unique_ptr<TlsSession> client;
-    std::unique_ptr<TlsSession> server;
+    std::optional<TlsSession> client;
+    std::optional<TlsSession> server;
   };
+
+  /// Id for `name`, creating one (and an empty attachment slot) if new.
+  std::uint32_t intern(std::string_view name);
+  /// Id for `name` if it was ever interned; never inserts, so one-shot
+  /// client labels do not grow the tables.
+  std::optional<std::uint32_t> lookup(std::string_view name) const noexcept;
+  static std::uint64_t connection_key(std::uint32_t from,
+                                      std::uint32_t to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
 
   Connection open_connection(Attachment& target, ExecutionEnv& client_env);
   sim::Nanos bridge_ns(std::size_t bytes);
@@ -220,8 +240,10 @@ class Bus {
   bool keep_alive_ = false;
   FaultPlan faults_;
   std::uint64_t faults_injected_ = 0;
-  std::map<std::string, Attachment> servers_;
-  std::map<std::pair<std::string, std::string>, Connection> connections_;
+  std::deque<std::string> names_;  // stable storage behind ids_ keys
+  std::unordered_map<std::string_view, std::uint32_t> ids_;
+  std::vector<Attachment> servers_;  // indexed by interned id
+  std::unordered_map<std::uint64_t, Connection> connections_;
   HostEnv ambient_client_;
 };
 

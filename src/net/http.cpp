@@ -1,7 +1,8 @@
 #include "net/http.h"
 
 #include <charconv>
-#include <string_view>
+#include <cstring>
+#include <stdexcept>
 
 #include "common/hot_stage.h"
 
@@ -11,64 +12,117 @@ namespace {
 
 constexpr std::string_view kCrlf = "\r\n";
 
-void append(Bytes& out, std::string_view s) {
-  out.insert(out.end(), s.begin(), s.end());
+// Literals the SBI repeats on essentially every message. A Ref whose
+// offset has the high bit set indexes this table instead of the
+// per-message arena, so storing these strings allocates nothing.
+constexpr std::string_view kIntern[] = {
+    "content-type",
+    "application/json",
+    "content-length",
+    "accept",
+};
+constexpr std::uint32_t kInternBit = 0x8000'0000u;
+
+struct Digits {
+  char buf[24];
+  std::size_t len;
+};
+
+Digits format_size(std::size_t value) noexcept {
+  Digits d;
+  const auto res = std::to_chars(d.buf, d.buf + sizeof(d.buf), value);
+  d.len = static_cast<std::size_t>(res.ptr - d.buf);
+  return d;
 }
 
-// Serialized header block size, so the wire buffer is reserved exactly
-// once (ostringstream's chunked growth used to dominate the serializer
-// profile).
-std::size_t headers_size(const std::map<std::string, std::string>& headers,
-                         std::size_t body_size) {
+std::uint8_t* write_str(std::uint8_t* out, std::string_view s) noexcept {
+  if (!s.empty()) std::memcpy(out, s.data(), s.size());
+  return out + s.size();
+}
+
+// Serialized header block size, so the wire buffer is sized exactly
+// once; the writer below must stay in lockstep with it.
+std::size_t headers_wire_size(const Headers& headers,
+                              std::size_t body_size) noexcept {
   std::size_t n = 0;
-  for (const auto& [k, v] : headers) n += k.size() + 2 + v.size() + 2;
-  char digits[24];
-  const auto res =
-      std::to_chars(digits, digits + sizeof(digits), body_size);
-  n += 16 + static_cast<std::size_t>(res.ptr - digits) + 2;  // content-length
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    const Headers::View e = headers.entry(i);
+    n += e.key.size() + 2 + e.value.size() + 2;
+  }
+  n += 16 + format_size(body_size).len + 2;  // content-length: N\r\n
   return n;
 }
 
-void append_headers(Bytes& out,
-                    const std::map<std::string, std::string>& headers,
-                    std::size_t body_size) {
-  for (const auto& [k, v] : headers) {
-    append(out, k);
-    append(out, ": ");
-    append(out, v);
-    append(out, kCrlf);
+std::uint8_t* write_headers(std::uint8_t* out, const Headers& headers,
+                            std::size_t body_size) noexcept {
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    const Headers::View e = headers.entry(i);
+    out = write_str(out, e.key);
+    out = write_str(out, ": ");
+    out = write_str(out, e.value);
+    out = write_str(out, kCrlf);
   }
-  append(out, "content-length: ");
-  char digits[24];
-  const auto res =
-      std::to_chars(digits, digits + sizeof(digits), body_size);
-  append(out, std::string_view(digits,
-                               static_cast<std::size_t>(res.ptr - digits)));
-  append(out, kCrlf);
+  out = write_str(out, "content-length: ");
+  const Digits d = format_size(body_size);
+  out = write_str(out, std::string_view(d.buf, d.len));
+  out = write_str(out, kCrlf);
+  return out;
 }
 
-struct ParsedHead {
+std::uint8_t* write_request(std::uint8_t* out,
+                            const HttpRequest& req) noexcept {
+  out = write_str(out, method_name(req.method));
+  out = write_str(out, " ");
+  out = write_str(out, req.path);
+  out = write_str(out, " HTTP/1.1\r\n");
+  out = write_headers(out, req.headers, req.body.size());
+  out = write_str(out, kCrlf);
+  out = write_str(out, req.body);
+  return out;
+}
+
+std::uint8_t* write_response(std::uint8_t* out,
+                             const HttpResponse& resp) noexcept {
+  const std::string_view reason = resp.status < 300 ? "OK" : "Error";
+  const Digits status = format_size(static_cast<std::size_t>(resp.status));
+  out = write_str(out, "HTTP/1.1 ");
+  out = write_str(out, std::string_view(status.buf, status.len));
+  out = write_str(out, " ");
+  out = write_str(out, reason);
+  out = write_str(out, kCrlf);
+  out = write_headers(out, resp.headers, resp.body.size());
+  out = write_str(out, kCrlf);
+  out = write_str(out, resp.body);
+  return out;
+}
+
+struct ParsedHeadView {
   std::string_view start_line;
-  std::map<std::string, std::string> headers;
-  std::string body;
+  HeaderViews headers;
+  std::string_view body;
 };
 
-// Parses straight off the wire view: no whole-message copy, no
-// istringstream; only the retained pieces (header strings, body) are
-// materialized.
-std::optional<ParsedHead> parse_common(ByteView wire) {
+// Parses straight off the wire view: every produced string_view aliases
+// the record buffer. The framing content-length header is verified
+// against the body length and excluded from the header list (the old
+// map parser erased it after checking; duplicates beyond the first were
+// already dropped by first-wins insertion, so excluding all occurrences
+// is behavior-identical).
+std::optional<ParsedHeadView> parse_common_view(ByteView wire) {
   const std::string_view text(reinterpret_cast<const char*>(wire.data()),
                               wire.size());
   const std::size_t head_end = text.find("\r\n\r\n");
   if (head_end == std::string_view::npos) return std::nullopt;
 
-  ParsedHead out;
+  ParsedHeadView out;
   std::string_view head = text.substr(0, head_end);
   const std::size_t line_end = head.find(kCrlf);
   out.start_line = head.substr(0, line_end);
   head = line_end == std::string_view::npos ? std::string_view()
                                             : head.substr(line_end + 2);
 
+  bool have_length = false;
+  std::string_view length_text;
   while (!head.empty()) {
     const std::size_t eol = head.find(kCrlf);
     const std::string_view line =
@@ -77,22 +131,27 @@ std::optional<ParsedHead> parse_common(ByteView wire) {
                                          : head.substr(eol + 2);
     const std::size_t colon = line.find(':');
     if (colon == std::string_view::npos) return std::nullopt;
+    const std::string_view key = line.substr(0, colon);
     std::string_view value = line.substr(colon + 1);
     while (!value.empty() && value.front() == ' ') value.remove_prefix(1);
-    out.headers.emplace(std::string(line.substr(0, colon)),
-                        std::string(value));
+    if (key == "content-length") {
+      if (!have_length) {
+        have_length = true;
+        length_text = value;
+      }
+      continue;
+    }
+    out.headers.add(key, value);
   }
 
-  out.body.assign(text.substr(head_end + 4));
-  const auto it = out.headers.find("content-length");
-  if (it != out.headers.end()) {
+  out.body = text.substr(head_end + 4);
+  if (have_length) {
     std::size_t want = 0;
-    const char* first = it->second.data();
-    const char* last = first + it->second.size();
+    const char* first = length_text.data();
+    const char* last = first + length_text.size();
     const auto [ptr, ec] = std::from_chars(first, last, want);
     if (ec != std::errc() || ptr != last) return std::nullopt;
     if (out.body.size() != want) return std::nullopt;
-    out.headers.erase(it);
   }
   return out;
 }
@@ -115,6 +174,17 @@ bool split_tokens(std::string_view line, std::string_view* tokens,
   return count == n;
 }
 
+// The shared header set of HttpResponse::json/error: fully interned, so
+// the per-response copy performs no allocation.
+const Headers& json_headers() {
+  static const Headers headers = [] {
+    Headers h;
+    h.set("content-type", "application/json");
+    return h;
+  }();
+  return headers;
+}
+
 }  // namespace
 
 const char* method_name(Method m) noexcept {
@@ -128,71 +198,153 @@ const char* method_name(Method m) noexcept {
   return "GET";
 }
 
-Bytes HttpRequest::serialize() const {
-  ScopedStage timer(HotStage::kCodec);
-  const std::string_view method_str = method_name(method);
-  Bytes out;
-  out.reserve(method_str.size() + 1 + path.size() + 11 +
-              headers_size(headers, body.size()) + 2 + body.size());
-  append(out, method_str);
-  append(out, " ");
-  append(out, path);
-  append(out, " HTTP/1.1");
-  append(out, kCrlf);
-  append_headers(out, headers, body.size());
-  append(out, kCrlf);
-  append(out, body);
-  return out;
+// ---------------------------------------------------------------- Headers
+
+std::string_view Headers::resolve(Ref ref) const noexcept {
+  if (ref.off & kInternBit) return kIntern[ref.off & ~kInternBit];
+  return std::string_view(storage_).substr(ref.off, ref.len);
 }
 
-std::optional<HttpRequest> HttpRequest::parse(ByteView wire) {
+Headers::Ref Headers::encode(std::string_view text) {
+  for (std::uint32_t i = 0; i < std::size(kIntern); ++i) {
+    if (kIntern[i] == text) {
+      return Ref{kInternBit | i, static_cast<std::uint32_t>(text.size())};
+    }
+  }
+  const auto off = static_cast<std::uint32_t>(storage_.size());
+  storage_.append(text);
+  return Ref{off, static_cast<std::uint32_t>(text.size())};
+}
+
+std::size_t Headers::lower_bound(std::string_view key) const noexcept {
+  const Entry* e = entries();
+  std::size_t i = 0;
+  while (i < count_ && resolve(e[i].key) < key) ++i;
+  return i;
+}
+
+void Headers::insert_at(std::size_t index, Entry entry) {
+  if (!overflow_.empty()) {
+    overflow_.insert(overflow_.begin() + static_cast<std::ptrdiff_t>(index),
+                     entry);
+  } else if (count_ == kInline) {
+    overflow_.reserve(kInline * 2);
+    overflow_.assign(inline_, inline_ + kInline);
+    overflow_.insert(overflow_.begin() + static_cast<std::ptrdiff_t>(index),
+                     entry);
+  } else {
+    for (std::size_t i = count_; i > index; --i) inline_[i] = inline_[i - 1];
+    inline_[index] = entry;
+  }
+  ++count_;
+}
+
+void Headers::set(std::string_view key, std::string_view value) {
+  const std::size_t idx = lower_bound(key);
+  if (idx < count_ && resolve(entries()[idx].key) == key) {
+    entries()[idx].value = encode(value);
+    return;
+  }
+  const Entry entry{encode(key), encode(value)};
+  insert_at(idx, entry);
+}
+
+bool Headers::add_if_absent(std::string_view key, std::string_view value) {
+  const std::size_t idx = lower_bound(key);
+  if (idx < count_ && resolve(entries()[idx].key) == key) return false;
+  const Entry entry{encode(key), encode(value)};
+  insert_at(idx, entry);
+  return true;
+}
+
+bool Headers::erase(std::string_view key) {
+  const std::size_t idx = lower_bound(key);
+  if (idx >= count_ || resolve(entries()[idx].key) != key) return false;
+  if (!overflow_.empty()) {
+    overflow_.erase(overflow_.begin() + static_cast<std::ptrdiff_t>(idx));
+  } else {
+    for (std::size_t i = idx + 1; i < count_; ++i) inline_[i - 1] = inline_[i];
+  }
+  --count_;
+  return true;
+}
+
+std::optional<std::string_view> Headers::find(
+    std::string_view key) const noexcept {
+  const std::size_t idx = lower_bound(key);
+  if (idx >= count_ || resolve(entries()[idx].key) != key) return std::nullopt;
+  return resolve(entries()[idx].value);
+}
+
+std::string_view Headers::at(std::string_view key) const {
+  const auto value = find(key);
+  if (!value) throw std::out_of_range("Headers::at: no such key");
+  return *value;
+}
+
+bool Headers::contains(std::string_view key) const noexcept {
+  return find(key).has_value();
+}
+
+Headers::View Headers::entry(std::size_t i) const noexcept {
+  const Entry& e = entries()[i];
+  return View{resolve(e.key), resolve(e.value)};
+}
+
+// ------------------------------------------------------------ HeaderViews
+
+void HeaderViews::add(std::string_view key, std::string_view value) {
+  if (count_ < kInline) {
+    items_[count_++] = Item{key, value};
+    return;
+  }
+  if (overflow_.empty()) {
+    overflow_.reserve(kInline * 2);
+    overflow_.assign(items_, items_ + kInline);
+  }
+  overflow_.push_back(Item{key, value});
+  ++count_;
+}
+
+std::optional<std::string_view> HeaderViews::find(
+    std::string_view key) const noexcept {
+  for (std::size_t i = 0; i < count_; ++i) {
+    const Item& item = (*this)[i];
+    if (item.key == key) return item.value;
+  }
+  return std::nullopt;
+}
+
+bool HeaderViews::contains(std::string_view key) const noexcept {
+  return find(key).has_value();
+}
+
+// ----------------------------------------------------------- view parsers
+
+std::optional<RequestView> RequestView::parse(ByteView wire) {
   ScopedStage timer(HotStage::kCodec);
-  auto head = parse_common(wire);
+  auto head = parse_common_view(wire);
   if (!head) return std::nullopt;
   std::string_view tokens[3];
   if (!split_tokens(head->start_line, tokens, 3)) return std::nullopt;
   const std::string_view method_str = tokens[0];
 
-  HttpRequest req;
+  RequestView req;
   if (method_str == "GET") req.method = Method::kGet;
   else if (method_str == "POST") req.method = Method::kPost;
   else if (method_str == "PUT") req.method = Method::kPut;
   else if (method_str == "DELETE") req.method = Method::kDelete;
   else if (method_str == "PATCH") req.method = Method::kPatch;
   else return std::nullopt;
-  req.path.assign(tokens[1]);
+  req.path = tokens[1];
   req.headers = std::move(head->headers);
-  req.body = std::move(head->body);
+  req.body = head->body;
   return req;
 }
 
-Bytes HttpResponse::serialize() const {
+std::optional<ResponseView> ResponseView::parse(ByteView wire) {
   ScopedStage timer(HotStage::kCodec);
-  const std::string_view reason = status < 300 ? "OK" : "Error";
-  char status_digits[16];
-  const auto res = std::to_chars(status_digits,
-                                 status_digits + sizeof(status_digits),
-                                 status);
-  const std::string_view status_str(
-      status_digits, static_cast<std::size_t>(res.ptr - status_digits));
-
-  Bytes out;
-  out.reserve(9 + status_str.size() + 1 + reason.size() + 2 +
-              headers_size(headers, body.size()) + 2 + body.size());
-  append(out, "HTTP/1.1 ");
-  append(out, status_str);
-  append(out, " ");
-  append(out, reason);
-  append(out, kCrlf);
-  append_headers(out, headers, body.size());
-  append(out, kCrlf);
-  append(out, body);
-  return out;
-}
-
-std::optional<HttpResponse> HttpResponse::parse(ByteView wire) {
-  ScopedStage timer(HotStage::kCodec);
-  auto head = parse_common(wire);
+  auto head = parse_common_view(wire);
   if (!head) return std::nullopt;
   // Start line: "HTTP/1.1 <status> <reason...>"; the reason phrase may
   // itself contain spaces, so only the first two tokens are split off.
@@ -210,23 +362,104 @@ std::optional<HttpResponse> HttpResponse::parse(ByteView wire) {
   const auto [ptr, ec] = std::from_chars(first, last, status);
   if (ec != std::errc() || ptr != last || first == last) return std::nullopt;
 
-  HttpResponse resp;
+  ResponseView resp;
   resp.status = status;
   resp.headers = std::move(head->headers);
-  resp.body = std::move(head->body);
+  resp.body = head->body;
   return resp;
 }
 
-HttpResponse HttpResponse::json(int status, const std::string& body) {
+// ------------------------------------------------------------ HttpRequest
+
+std::size_t HttpRequest::serialized_size() const noexcept {
+  const std::string_view method_str = method_name(method);
+  return method_str.size() + 1 + path.size() + 9 + 2 +
+         headers_wire_size(headers, body.size()) + 2 + body.size();
+}
+
+void HttpRequest::serialize_into(PooledBuffer& out) const {
+  ScopedStage timer(HotStage::kCodec);
+  write_request(out.grow(serialized_size()), *this);
+}
+
+Bytes HttpRequest::serialize() const {
+  ScopedStage timer(HotStage::kCodec);
+  Bytes out(serialized_size());
+  write_request(out.data(), *this);
+  return out;
+}
+
+std::optional<HttpRequest> HttpRequest::parse(ByteView wire) {
+  const auto view = RequestView::parse(wire);
+  if (!view) return std::nullopt;
+  return materialize(*view);
+}
+
+HttpRequest HttpRequest::materialize(const RequestView& view) {
+  HttpRequest req;
+  req.method = view.method;
+  req.path.assign(view.path);
+  for (std::size_t i = 0; i < view.headers.size(); ++i) {
+    const HeaderViews::Item& item = view.headers[i];
+    req.headers.add_if_absent(item.key, item.value);
+  }
+  req.body.assign(view.body);
+  return req;
+}
+
+// ----------------------------------------------------------- HttpResponse
+
+std::size_t HttpResponse::serialized_size() const noexcept {
+  const std::string_view reason = status < 300 ? "OK" : "Error";
+  return 9 + format_size(static_cast<std::size_t>(status)).len + 1 +
+         reason.size() + 2 + headers_wire_size(headers, body.size()) + 2 +
+         body.size();
+}
+
+void HttpResponse::serialize_into(PooledBuffer& out) const {
+  ScopedStage timer(HotStage::kCodec);
+  write_response(out.grow(serialized_size()), *this);
+}
+
+Bytes HttpResponse::serialize() const {
+  ScopedStage timer(HotStage::kCodec);
+  Bytes out(serialized_size());
+  write_response(out.data(), *this);
+  return out;
+}
+
+std::optional<HttpResponse> HttpResponse::parse(ByteView wire) {
+  const auto view = ResponseView::parse(wire);
+  if (!view) return std::nullopt;
+  return materialize(*view);
+}
+
+HttpResponse HttpResponse::materialize(const ResponseView& view) {
+  HttpResponse resp;
+  resp.status = view.status;
+  for (std::size_t i = 0; i < view.headers.size(); ++i) {
+    const HeaderViews::Item& item = view.headers[i];
+    resp.headers.add_if_absent(item.key, item.value);
+  }
+  resp.body.assign(view.body);
+  return resp;
+}
+
+HttpResponse HttpResponse::json(int status, std::string body) {
   HttpResponse resp;
   resp.status = status;
-  resp.headers["content-type"] = "application/json";
-  resp.body = body;
+  resp.headers = json_headers();
+  resp.body = std::move(body);
   return resp;
 }
 
-HttpResponse HttpResponse::error(int status, const std::string& detail) {
-  return json(status, "{\"error\":\"" + detail + "\"}");
+HttpResponse HttpResponse::error(int status, std::string_view detail) {
+  std::string body;
+  body.reserve(detail.size() + 12);
+  body += "{\"error\":\"";
+  body += detail;
+  body += "\"}";
+  return json(status, std::move(body));
 }
 
 }  // namespace shield5g::net

@@ -3,13 +3,27 @@
 // Messages are really serialized to wire bytes (and parsed back), so TLS
 // record sizes, syscall byte counts and bridge transfer costs all derive
 // from genuine message lengths rather than guesses.
+//
+// The wire format is fixed by the two-clocks contract (DESIGN.md §11):
+// start line, headers sorted by key ("k: v\r\n"), a trailing
+// "content-length: N\r\n", blank line, body. The representation behind
+// it is free to change, and has: headers live in a flat sorted array of
+// interned-or-arena string references (`Headers`) instead of a
+// std::map, serialization writes straight into a pooled wire buffer
+// (`serialize_into`), and the server-side parser (`RequestView` /
+// `ResponseView`) aliases the decrypted record instead of copying it.
+// The owning serialize()/parse() API survives for tests and ad-hoc
+// callers, implemented over the same cores so the bytes are identical
+// by construction.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/bytes.h"
 
 namespace shield5g::net {
@@ -18,26 +32,149 @@ enum class Method { kGet, kPost, kPut, kDelete, kPatch };
 
 const char* method_name(Method m) noexcept;
 
+/// Flat header collection with std::map semantics on the wire: entries
+/// stay sorted by key, set() overwrites, parse inserts first-wins.
+/// Keys/values matching the SBI's recurring literals ("content-type",
+/// "application/json", ...) are interned — storing them costs no
+/// allocation at all; anything else is appended to a small per-message
+/// arena. The common one-header message therefore builds, copies and
+/// destroys without touching the heap.
+class Headers {
+ public:
+  struct View {
+    std::string_view key;
+    std::string_view value;
+  };
+
+  /// Insert-or-overwrite (the map operator[]= of old call sites).
+  void set(std::string_view key, std::string_view value);
+  /// Insert unless present (parse-side duplicate policy: first wins).
+  /// Returns true when inserted.
+  bool add_if_absent(std::string_view key, std::string_view value);
+  /// Removes a key if present; returns true when something was erased.
+  bool erase(std::string_view key);
+
+  /// Value lookup; returns std::nullopt when absent.
+  std::optional<std::string_view> find(std::string_view key) const noexcept;
+  /// Value lookup; throws std::out_of_range when absent.
+  std::string_view at(std::string_view key) const;
+  bool contains(std::string_view key) const noexcept;
+
+  std::size_t size() const noexcept { return count_; }
+  bool empty() const noexcept { return count_ == 0; }
+  /// i-th entry in key-sorted order.
+  View entry(std::size_t i) const noexcept;
+
+ private:
+  // A Ref is either an intern-table id (high bit set) or an offset into
+  // storage_. Offsets, not pointers, so the arena may grow freely.
+  struct Ref {
+    std::uint32_t off = 0;
+    std::uint32_t len = 0;
+  };
+  struct Entry {
+    Ref key;
+    Ref value;
+  };
+  static constexpr std::size_t kInline = 4;
+
+  std::string_view resolve(Ref ref) const noexcept;
+  Ref encode(std::string_view text);
+  const Entry* entries() const noexcept {
+    return overflow_.empty() ? inline_ : overflow_.data();
+  }
+  Entry* entries() noexcept {
+    return overflow_.empty() ? inline_ : overflow_.data();
+  }
+  /// First index whose key is >= `key` (entries are key-sorted).
+  std::size_t lower_bound(std::string_view key) const noexcept;
+  void insert_at(std::size_t index, Entry entry);
+
+  Entry inline_[kInline] = {};
+  std::vector<Entry> overflow_;  // engaged only past kInline entries
+  std::size_t count_ = 0;
+  std::string storage_;
+};
+
+/// Borrowed header list produced by the zero-copy parser: every view
+/// aliases the record buffer it was parsed from and is valid only while
+/// that buffer lives. Wire order is preserved; get() returns the first
+/// occurrence (the retained one under the old map's first-wins rule).
+class HeaderViews {
+ public:
+  struct Item {
+    std::string_view key;
+    std::string_view value;
+  };
+
+  void add(std::string_view key, std::string_view value);
+  std::optional<std::string_view> find(std::string_view key) const noexcept;
+  bool contains(std::string_view key) const noexcept;
+  std::size_t size() const noexcept { return count_; }
+  const Item& operator[](std::size_t i) const noexcept {
+    return count_ <= kInline ? items_[i] : overflow_[i];
+  }
+
+ private:
+  static constexpr std::size_t kInline = 8;
+  Item items_[kInline] = {};
+  std::vector<Item> overflow_;  // engaged only past kInline items
+  std::size_t count_ = 0;
+};
+
+/// A parsed request aliasing the (decrypted, in-place) record buffer —
+/// nothing is copied out of the record. The framing content-length is
+/// consumed during parsing and never appears among the headers, exactly
+/// like the old map-based parser erased it.
+struct RequestView {
+  Method method = Method::kGet;
+  std::string_view path;
+  HeaderViews headers;
+  std::string_view body;
+
+  static std::optional<RequestView> parse(ByteView wire);
+};
+
+struct ResponseView {
+  int status = 200;
+  HeaderViews headers;
+  std::string_view body;
+
+  static std::optional<ResponseView> parse(ByteView wire);
+};
+
 struct HttpRequest {
   Method method = Method::kGet;
   std::string path;
-  std::map<std::string, std::string> headers;
+  Headers headers;
   std::string body;
 
+  /// Exact wire size of serialize()/serialize_into() output.
+  std::size_t serialized_size() const noexcept;
+  /// Appends the wire bytes at the buffer's cursor (the buffer must
+  /// have serialized_size() of tailroom — acquire it that way).
+  void serialize_into(PooledBuffer& out) const;
   Bytes serialize() const;
   static std::optional<HttpRequest> parse(ByteView wire);
+  /// Owning copy of a zero-copy parse result.
+  static HttpRequest materialize(const RequestView& view);
 };
 
 struct HttpResponse {
   int status = 200;
-  std::map<std::string, std::string> headers;
+  Headers headers;
   std::string body;
 
+  std::size_t serialized_size() const noexcept;
+  void serialize_into(PooledBuffer& out) const;
   Bytes serialize() const;
   static std::optional<HttpResponse> parse(ByteView wire);
+  static HttpResponse materialize(const ResponseView& view);
 
-  static HttpResponse json(int status, const std::string& body);
-  static HttpResponse error(int status, const std::string& detail);
+  /// Both helpers share one static interned header set (content-type:
+  /// application/json) — copying it never allocates.
+  static HttpResponse json(int status, std::string body);
+  static HttpResponse error(int status, std::string_view detail);
 };
 
 }  // namespace shield5g::net

@@ -1,6 +1,7 @@
 #include "net/tls.h"
 
 #include <array>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/hot_stage.h"
@@ -30,10 +31,59 @@ std::array<std::uint8_t, 8> seq_bytes(std::uint64_t seq) {
 }
 
 TlsDirection make_direction(const Bytes& material, std::size_t off) {
-  const ByteView view(material);
-  return TlsDirection{crypto::Aes128Ctx(view.subspan(off, 16)),
-                      slice_bytes(view, off + 16, 16),
-                      slice_bytes(view, off + 32, 32), 0};
+  TlsDirection dir{crypto::Aes128Ctx(ByteView(material).subspan(off, 16)),
+                   {}, {}, 0};
+  std::memcpy(dir.base_iv.data(), material.data() + off + 16, 16);
+  std::memcpy(dir.mac_key.data(), material.data() + off + 32, 32);
+  return dir;
+}
+
+// Seals one record: `record` points at 5 + n + 16 writable bytes with
+// the n plaintext bytes supplied by `src` (which may alias record + 5 —
+// the CTR xor is index-aligned, so encrypting in place is safe). The
+// MAC is written straight into the record tail, so sealing allocates
+// nothing. Both protect() and protect_in_place() run through here,
+// which is what makes their wire bytes identical by construction.
+void seal_record(TlsDirection& dir, const std::uint8_t* src,
+                 std::uint8_t* record, std::size_t n) {
+  const auto icb = direction_icb(dir);
+  const std::size_t len = n + 16;
+  record[0] = 0x17;  // application data
+  record[1] = 0x03;
+  record[2] = 0x03;
+  record[3] = static_cast<std::uint8_t>(len >> 8);
+  record[4] = static_cast<std::uint8_t>(len & 0xff);
+  dir.ctx.ctr_xor(icb, ByteView(src, n), record + 5);
+
+  const auto seq = seq_bytes(dir.seq);
+  crypto::hmac_sha256_trunc_into(dir.mac_key, seq,
+                                 ByteView(record + 5, n), record + 5 + n, 16);
+  ++dir.seq;
+}
+
+// Header + MAC validation shared by both unprotect paths; returns the
+// plaintext length without touching `dir.seq` (bumped by the caller
+// only after the whole open succeeds).
+std::optional<std::size_t> check_record(const TlsDirection& dir,
+                                        ByteView record) {
+  if (record.size() < TlsSession::kRecordOverhead) return std::nullopt;
+  // Validate the record header (type + version); these bytes are not
+  // covered by the MAC, so they must be checked explicitly.
+  if (record[0] != 0x17 || record[1] != 0x03 || record[2] != 0x03) {
+    return std::nullopt;
+  }
+  const std::size_t len = (static_cast<std::size_t>(record[3]) << 8) |
+                          record[4];
+  if (record.size() != 5 + len || len < 16) return std::nullopt;
+  const ByteView ciphertext = record.subspan(5, len - 16);
+  const ByteView mac = record.subspan(5 + len - 16, 16);
+
+  const auto seq = seq_bytes(dir.seq);
+  std::array<std::uint8_t, 16> expected;
+  crypto::hmac_sha256_trunc_into(dir.mac_key, seq, ciphertext,
+                                 expected.data(), 16);
+  if (!ct_equal(ByteView(expected), mac)) return std::nullopt;
+  return ciphertext.size();
 }
 
 }  // namespace
@@ -54,8 +104,9 @@ TlsSession::TlsSession(const Bytes& material, bool is_client)
 
 TlsSession TlsSession::client_connect(ByteView server_public, Rng& rng,
                                       Bytes& hello_out) {
-  const auto eph = crypto::x25519_keypair(rng.bytes(32));
-  const auto shared = crypto::x25519(eph.private_key, server_public);
+  crypto::X25519Key shared;
+  const auto eph =
+      crypto::x25519_keypair_shared(rng.bytes(32), server_public, shared);
   hello_out = concat({ByteView(eph.public_key)});
   hello_out.resize(32 + kHelloPadding, 0x5a);  // modeled cert payload
   return TlsSession(shared, eph.public_key, /*is_client=*/true);
@@ -73,52 +124,40 @@ std::optional<TlsSession> TlsSession::server_accept(
 
 Bytes TlsSession::protect(ByteView plaintext) {
   ScopedStage timer(HotStage::kCrypto);
-  const auto icb = direction_icb(send_);
-  const std::size_t len = plaintext.size() + 16;
-
-  Bytes record;
-  record.reserve(5 + len);
-  record.push_back(0x17);  // application data
-  record.push_back(0x03);
-  record.push_back(0x03);
-  record.push_back(static_cast<std::uint8_t>(len >> 8));
-  record.push_back(static_cast<std::uint8_t>(len & 0xff));
-  record.resize(5 + plaintext.size());
-  send_.ctx.ctr_xor(icb, plaintext, record.data() + 5);
-
-  const auto seq = seq_bytes(send_.seq);
-  const ByteView ciphertext(record.data() + 5, plaintext.size());
-  const Bytes mac =
-      crypto::hmac_sha256_trunc(send_.mac_key, seq, ciphertext, 16);
-  ++send_.seq;
-  record.insert(record.end(), mac.begin(), mac.end());
+  Bytes record(5 + plaintext.size() + 16);
+  seal_record(send_, plaintext.data(), record.data(), plaintext.size());
   return record;
+}
+
+void TlsSession::protect_in_place(PooledBuffer& buf) {
+  ScopedStage timer(HotStage::kCrypto);
+  const std::size_t n = buf.size();
+  buf.prepend(5);
+  buf.grow(16);
+  seal_record(send_, buf.data() + 5, buf.data(), n);
 }
 
 std::optional<Bytes> TlsSession::unprotect(ByteView record) {
   ScopedStage timer(HotStage::kCrypto);
-  if (record.size() < kRecordOverhead) return std::nullopt;
-  // Validate the record header (type + version); these bytes are not
-  // covered by the MAC, so they must be checked explicitly.
-  if (record[0] != 0x17 || record[1] != 0x03 || record[2] != 0x03) {
-    return std::nullopt;
-  }
-  const std::size_t len = (static_cast<std::size_t>(record[3]) << 8) |
-                          record[4];
-  if (record.size() != 5 + len || len < 16) return std::nullopt;
-  const ByteView ciphertext = record.subspan(5, len - 16);
-  const ByteView mac = record.subspan(5 + len - 16, 16);
-
-  const auto seq = seq_bytes(recv_.seq);
-  const Bytes expected =
-      crypto::hmac_sha256_trunc(recv_.mac_key, seq, ciphertext, 16);
-  if (!ct_equal(expected, mac)) return std::nullopt;
-
+  const auto n = check_record(recv_, record);
+  if (!n) return std::nullopt;
   const auto icb = direction_icb(recv_);
   ++recv_.seq;
-  Bytes plaintext(ciphertext.size());
-  recv_.ctx.ctr_xor(icb, ciphertext, plaintext.data());
+  Bytes plaintext(*n);
+  recv_.ctx.ctr_xor(icb, record.subspan(5, *n), plaintext.data());
   return plaintext;
+}
+
+bool TlsSession::unprotect_in_place(PooledBuffer& buf) {
+  ScopedStage timer(HotStage::kCrypto);
+  const auto n = check_record(recv_, buf.view());
+  if (!n) return false;
+  const auto icb = direction_icb(recv_);
+  ++recv_.seq;
+  recv_.ctx.ctr_xor(icb, ByteView(buf.data() + 5, *n), buf.data() + 5);
+  buf.chop(16);
+  buf.chop_front(5);
+  return true;
 }
 
 }  // namespace shield5g::net

@@ -9,9 +9,11 @@
 // chains are modeled as handshake payload bytes, not parsed X.509).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 
+#include "common/buffer_pool.h"
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "crypto/aes128.h"
@@ -28,11 +30,13 @@ struct TlsIdentity {
 };
 
 /// One direction's record-protection state. The AES schedule is
-/// expanded once at session setup and reused for every record.
+/// expanded once at session setup and reused for every record. Key
+/// material lives in fixed arrays so building a session never touches
+/// the heap beyond the KDF output itself.
 struct TlsDirection {
-  crypto::Aes128Ctx ctx;  // expanded 128-bit record key
-  Bytes base_iv;          // 16 bytes
-  Bytes mac_key;          // 32 bytes
+  crypto::Aes128Ctx ctx;                  // expanded 128-bit record key
+  std::array<std::uint8_t, 16> base_iv{};
+  std::array<std::uint8_t, 32> mac_key{};
   std::uint64_t seq = 0;
 };
 
@@ -57,6 +61,19 @@ class TlsSession {
 
   /// Verifies and decrypts one record from the peer.
   std::optional<Bytes> unprotect(ByteView record);
+
+  /// In-place variant over a pooled wire buffer: the payload (the
+  /// plaintext) is encrypted where it sits, the record header is
+  /// prepended into headroom and the MAC appended into tailroom. The
+  /// buffer must have been acquired with >= 5 bytes of headroom and
+  /// keep >= 16 bytes of tailroom. Wire bytes are identical to
+  /// protect() by construction (shared sealing core).
+  void protect_in_place(PooledBuffer& buf);
+
+  /// In-place verify + decrypt: on success the payload window shrinks
+  /// to the plaintext (framing chopped off) and true is returned; on a
+  /// malformed or forged record the buffer is left untouched.
+  bool unprotect_in_place(PooledBuffer& buf);
 
   static constexpr std::size_t kRecordOverhead = 5 + 16;
   /// Modeled certificate/extension payload in each hello.

@@ -17,7 +17,7 @@ void Ausf::register_routes() {
   // Nausf_UEAuthentication_Authenticate: phase 1 of 5G-AKA.
   router.add(
       net::Method::kPost, "/nausf-auth/v1/ue-authentications",
-      [this](const net::HttpRequest& req, const net::PathParams&) {
+      [this](const net::RequestView& req, const net::PathParams&) {
         const auto body = parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto snn = body->get_string("servingNetworkName");
@@ -104,7 +104,7 @@ void Ausf::register_routes() {
   router.add(
       net::Method::kPut,
       "/nausf-auth/v1/ue-authentications/:ctxId/5g-aka-confirmation",
-      [this](const net::HttpRequest& req, const net::PathParams& params) {
+      [this](const net::RequestView& req, const net::PathParams& params) {
         const auto it = contexts_.find(params.at("ctxId"));
         if (it == contexts_.end()) {
           return net::HttpResponse::error(404, "unknown auth context");
@@ -142,7 +142,7 @@ void Ausf::register_routes() {
 
   // Resynchronisation pass-through to the UDM.
   router.add(net::Method::kPost, "/nausf-auth/v1/resync",
-             [this](const net::HttpRequest& req, const net::PathParams&) {
+             [this](const net::RequestView& req, const net::PathParams&) {
                auto fwd = call(config_.udm_service,
                                json_post("/nudm-ueau/v1/resync",
                                          parse_body(req.body)

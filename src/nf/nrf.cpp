@@ -13,7 +13,7 @@ void Nrf::register_routes() {
 
   router.add(
       net::Method::kPut, "/nnrf-nfm/v1/nf-instances/:id",
-      [this](const net::HttpRequest& req, const net::PathParams& params) {
+      [this](const net::RequestView& req, const net::PathParams& params) {
         const auto body = parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto type = body->get_string("nfType");
@@ -23,11 +23,11 @@ void Nrf::register_routes() {
         }
         const std::string& id = params.at("id");
         profiles_[id] = NfProfile{id, *type, *service};
-        return net::HttpResponse::json(201, req.body);
+        return net::HttpResponse::json(201, std::string(req.body));
       });
 
   router.add(net::Method::kGet, "/nnrf-disc/v1/nf-instances/:targetType",
-             [this](const net::HttpRequest&, const net::PathParams& params) {
+             [this](const net::RequestView&, const net::PathParams& params) {
                const std::string& target = params.at("targetType");
                json::Array instances;
                for (const auto& [id, profile] : profiles_) {
@@ -48,7 +48,7 @@ void Nrf::register_routes() {
              });
 
   router.add(net::Method::kDelete, "/nnrf-nfm/v1/nf-instances/:id",
-             [this](const net::HttpRequest&, const net::PathParams& params) {
+             [this](const net::RequestView&, const net::PathParams& params) {
                profiles_.erase(params.at("id"));
                return net::HttpResponse::json(204, "");
              });

@@ -5,6 +5,7 @@
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/bytes.h"
 #include "common/hex.h"
@@ -32,7 +33,7 @@ inline json::Value secret_hex_field(SecretView secret, DeclassifyReason reason,
 /// Fetches a hex-encoded key field straight into tainted storage, so
 /// the plaintext never sits in an untracked Bytes value at the caller.
 inline std::optional<SecretBytes> secret_hex_bytes(const json::Value& obj,
-                                                   const std::string& key) {
+                                                   std::string_view key) {
   const auto str = obj.get_string(key);
   if (!str) return std::nullopt;
   try {
@@ -44,7 +45,7 @@ inline std::optional<SecretBytes> secret_hex_bytes(const json::Value& obj,
 
 /// Fetches a hex-encoded byte field; nullopt when absent or malformed.
 inline std::optional<Bytes> hex_bytes(const json::Value& obj,
-                                      const std::string& key) {
+                                      std::string_view key) {
   const auto str = obj.get_string(key);
   if (!str) return std::nullopt;
   try {
@@ -55,32 +56,31 @@ inline std::optional<Bytes> hex_bytes(const json::Value& obj,
 }
 
 /// Builds a JSON POST request.
-inline net::HttpRequest json_post(const std::string& path,
-                                  const json::Value& body) {
+inline net::HttpRequest json_post(std::string path, const json::Value& body) {
   net::HttpRequest req;
   req.method = net::Method::kPost;
-  req.path = path;
-  req.headers["content-type"] = "application/json";
+  req.path = std::move(path);
+  req.headers.set("content-type", "application/json");
   req.body = body.dump();
   return req;
 }
 
-inline net::HttpRequest json_put(const std::string& path,
-                                 const json::Value& body) {
-  net::HttpRequest req = json_post(path, body);
+inline net::HttpRequest json_put(std::string path, const json::Value& body) {
+  net::HttpRequest req = json_post(std::move(path), body);
   req.method = net::Method::kPut;
   return req;
 }
 
-inline net::HttpRequest sbi_get(const std::string& path) {
+inline net::HttpRequest sbi_get(std::string path) {
   net::HttpRequest req;
   req.method = net::Method::kGet;
-  req.path = path;
+  req.path = std::move(path);
   return req;
 }
 
-/// Parses a JSON body; nullopt on malformed input.
-inline std::optional<json::Value> parse_body(const std::string& body) {
+/// Parses a JSON body; nullopt on malformed input. Accepts any view —
+/// the zero-copy RequestView::body aliasing the record included.
+inline std::optional<json::Value> parse_body(std::string_view body) {
   try {
     return json::parse(body);
   } catch (const std::exception&) {

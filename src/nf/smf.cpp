@@ -14,7 +14,7 @@ void Smf::register_routes() {
 
   router.add(
       net::Method::kPost, "/nsmf-pdusession/v1/sm-contexts",
-      [this](const net::HttpRequest& req, const net::PathParams&) {
+      [this](const net::RequestView& req, const net::PathParams&) {
         const auto body = parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto supi = body->get_string("supi");
@@ -43,7 +43,7 @@ void Smf::register_routes() {
 
   router.add(
       net::Method::kDelete, "/nsmf-pdusession/v1/sm-contexts/:supi/:id",
-      [this](const net::HttpRequest&, const net::PathParams& params) {
+      [this](const net::RequestView&, const net::PathParams& params) {
         const std::string key = params.at("supi") + "/" + params.at("id");
         const auto it = contexts_.find(key);
         if (it == contexts_.end()) {

@@ -47,7 +47,7 @@ void Udm::register_routes() {
   // Nudm_UEAuthentication_Get: generate the HE AV.
   router.add(
       net::Method::kPost, "/nudm-ueau/v1/generate-auth-data",
-      [this](const net::HttpRequest& req, const net::PathParams&) {
+      [this](const net::RequestView& req, const net::PathParams&) {
         const auto body = parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto snn = body->get_string("servingNetworkName");
@@ -136,7 +136,7 @@ void Udm::register_routes() {
 
   // Nudm_UEAuthentication_ResultConfirmation.
   router.add(net::Method::kPost, "/nudm-ueau/v1/:supi/auth-events",
-             [this](const net::HttpRequest&, const net::PathParams&) {
+             [this](const net::RequestView&, const net::PathParams&) {
                ++auth_events_;
                return net::HttpResponse::json(201, "{}");
              });
@@ -144,7 +144,7 @@ void Udm::register_routes() {
   // Resynchronisation: verify AUTS and write SQNms back to the UDR.
   router.add(
       net::Method::kPost, "/nudm-ueau/v1/resync",
-      [this](const net::HttpRequest& req, const net::PathParams&) {
+      [this](const net::RequestView& req, const net::PathParams&) {
         const auto body = parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto supi = resolve_identity(*body);

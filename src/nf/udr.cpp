@@ -27,7 +27,7 @@ void Udr::register_routes() {
   router.add(
       net::Method::kGet,
       "/nudr-dr/v1/subscription-data/:supi/authentication-subscription",
-      [this](const net::HttpRequest&, const net::PathParams& params) {
+      [this](const net::RequestView&, const net::PathParams& params) {
         const auto it = records_.find(Supi{params.at("supi")});
         if (it == records_.end()) {
           return net::HttpResponse::error(404, "unknown SUPI");
@@ -50,7 +50,7 @@ void Udr::register_routes() {
   // Atomic SQN advance for a fresh authentication vector.
   router.add(net::Method::kPost,
              "/nudr-dr/v1/subscription-data/:supi/sqn-advance",
-             [this](const net::HttpRequest&, const net::PathParams& params) {
+             [this](const net::RequestView&, const net::PathParams& params) {
                const auto it = records_.find(Supi{params.at("supi")});
                if (it == records_.end()) {
                  return net::HttpResponse::error(404, "unknown SUPI");
@@ -64,7 +64,7 @@ void Udr::register_routes() {
   // Resynchronisation write-back of the UE's SQNms.
   router.add(
       net::Method::kPut, "/nudr-dr/v1/subscription-data/:supi/sqn",
-      [this](const net::HttpRequest& req, const net::PathParams& params) {
+      [this](const net::RequestView& req, const net::PathParams& params) {
         const auto it = records_.find(Supi{params.at("supi")});
         if (it == records_.end()) {
           return net::HttpResponse::error(404, "unknown SUPI");
@@ -83,7 +83,7 @@ void Udr::register_routes() {
   // Provisioning over the SBI (used by examples/tests).
   router.add(
       net::Method::kPut, "/nudr-dr/v1/subscription-data/:supi",
-      [this](const net::HttpRequest& req, const net::PathParams& params) {
+      [this](const net::RequestView& req, const net::PathParams& params) {
         const auto body = parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         auto k = secret_hex_bytes(*body, "k");

@@ -16,7 +16,7 @@ void EamfAkaService::register_routes() {
   // SUPI and ABBA binding parameters ride along as transport fields).
   router.add(
       net::Method::kPost, "/paka/v1/derive-kamf",
-      [this](const net::HttpRequest& req, const net::PathParams&) {
+      [this](const net::RequestView& req, const net::PathParams&) {
         const auto body = nf::parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto kseaf = nf::secret_hex_bytes(*body, "kseaf");
@@ -34,7 +34,7 @@ void EamfAkaService::register_routes() {
       });
 
   router.add(net::Method::kGet, "/paka/v1/health",
-             [](const net::HttpRequest&, const net::PathParams&) {
+             [](const net::RequestView&, const net::PathParams&) {
                return net::HttpResponse::json(200, "{\"status\":\"ok\"}");
              });
 }

@@ -16,7 +16,7 @@ void EausfAkaService::register_routes() {
   // (Table I row "eAUSF").
   router.add(
       net::Method::kPost, "/paka/v1/derive-se",
-      [this](const net::HttpRequest& req, const net::PathParams&) {
+      [this](const net::RequestView& req, const net::PathParams&) {
         const auto body = nf::parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto rand = nf::hex_bytes(*body, "rand");
@@ -40,7 +40,7 @@ void EausfAkaService::register_routes() {
       });
 
   router.add(net::Method::kGet, "/paka/v1/health",
-             [](const net::HttpRequest&, const net::PathParams&) {
+             [](const net::RequestView&, const net::PathParams&) {
                return net::HttpResponse::json(200, "{\"status\":\"ok\"}");
              });
 }

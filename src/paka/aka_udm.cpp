@@ -85,7 +85,7 @@ void EudmAkaService::register_routes() {
   // f1 + f2345 + K_AUSF + AUTN (Table I row "UDM").
   router.add(
       net::Method::kPost, "/paka/v1/generate-av",
-      [this](const net::HttpRequest& req, const net::PathParams&) {
+      [this](const net::RequestView& req, const net::PathParams&) {
         const auto body = nf::parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto supi = body->get_string("supi");
@@ -120,7 +120,7 @@ void EudmAkaService::register_routes() {
   // f1* / f5* resynchronisation verification.
   router.add(
       net::Method::kPost, "/paka/v1/resync",
-      [this](const net::HttpRequest& req, const net::PathParams&) {
+      [this](const net::RequestView& req, const net::PathParams&) {
         const auto body = nf::parse_body(req.body);
         if (!body) return net::HttpResponse::error(400, "bad json");
         const auto supi = body->get_string("supi");
@@ -145,7 +145,7 @@ void EudmAkaService::register_routes() {
       });
 
   router.add(net::Method::kGet, "/paka/v1/health",
-             [](const net::HttpRequest&, const net::PathParams&) {
+             [](const net::RequestView&, const net::PathParams&) {
                return net::HttpResponse::json(200, "{\"status\":\"ok\"}");
              });
 }

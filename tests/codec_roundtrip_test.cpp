@@ -9,8 +9,10 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/rng.h"
 #include "json/json.h"
+#include "net/http.h"
 #include "nf/nas.h"
 
 namespace shield5g {
@@ -185,6 +187,190 @@ TEST(JsonRoundTrip, RandomKeyOrderIsPreservedExactly) {
       ++pos;
     }
     EXPECT_EQ(reparsed.dump(), text) << "iteration " << i;
+  }
+}
+
+// ---- HTTP ---------------------------------------------------------------
+
+const net::Method kMethods[] = {net::Method::kGet, net::Method::kPost,
+                                net::Method::kPut, net::Method::kDelete,
+                                net::Method::kPatch};
+
+std::string random_token(Rng& rng, std::size_t max_len) {
+  static const char alphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789-";
+  std::string s;
+  const std::uint64_t len = 1 + rng.uniform(max_len);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    s.push_back(alphabet[rng.uniform(sizeof(alphabet) - 1)]);
+  }
+  return s;
+}
+
+std::string random_body(Rng& rng) {
+  // Arbitrary bytes, including NUL and CRLF: content-length framing must
+  // carry anything.
+  std::string s;
+  const std::uint64_t len = rng.uniform(200);
+  for (std::uint64_t i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>(rng.uniform(256)));
+  }
+  return s;
+}
+
+void fill_random_headers(Rng& rng, net::Headers& headers) {
+  // Mix of interned SBI literals and arbitrary arena-backed keys.
+  if (rng.uniform(2) == 1) headers.set("content-type", "application/json");
+  if (rng.uniform(2) == 1) headers.set("accept", "application/json");
+  const std::uint64_t extra = rng.uniform(6);
+  for (std::uint64_t i = 0; i < extra; ++i) {
+    headers.set(random_token(rng, 16), random_token(rng, 32));
+  }
+}
+
+net::HttpRequest random_request(Rng& rng) {
+  net::HttpRequest req;
+  req.method = kMethods[rng.uniform(std::size(kMethods))];
+  req.path = "/" + random_token(rng, 12) + "/v1/" + random_token(rng, 24);
+  fill_random_headers(rng, req.headers);
+  req.body = random_body(rng);
+  return req;
+}
+
+TEST(HttpRoundTrip, RandomRequestsParseMaterializeSerializeIdentically) {
+  Rng rng(0x177b5eedULL);
+  for (int i = 0; i < kIterations; ++i) {
+    const net::HttpRequest req = random_request(rng);
+    const Bytes wire = req.serialize();
+
+    // Owning parser round-trips.
+    const auto owned = net::HttpRequest::parse(wire);
+    ASSERT_TRUE(owned.has_value()) << "iteration " << i;
+    EXPECT_EQ(owned->serialize(), wire) << "iteration " << i;
+
+    // Zero-copy parser aliases the same bytes; materializing the views
+    // and re-serializing must reproduce the wire exactly.
+    const auto view = net::RequestView::parse(wire);
+    ASSERT_TRUE(view.has_value()) << "iteration " << i;
+    EXPECT_EQ(view->method, req.method) << "iteration " << i;
+    EXPECT_EQ(view->path, req.path) << "iteration " << i;
+    EXPECT_EQ(view->body, req.body) << "iteration " << i;
+    EXPECT_EQ(net::HttpRequest::materialize(*view).serialize(), wire)
+        << "iteration " << i;
+  }
+}
+
+TEST(HttpRoundTrip, RandomResponsesParseMaterializeSerializeIdentically) {
+  Rng rng(0x5e5b5eedULL);
+  for (int i = 0; i < kIterations; ++i) {
+    net::HttpResponse rsp;
+    rsp.status = 100 + static_cast<int>(rng.uniform(500));
+    fill_random_headers(rng, rsp.headers);
+    rsp.body = random_body(rng);
+    const Bytes wire = rsp.serialize();
+
+    const auto owned = net::HttpResponse::parse(wire);
+    ASSERT_TRUE(owned.has_value()) << "iteration " << i;
+    EXPECT_EQ(owned->serialize(), wire) << "iteration " << i;
+
+    const auto view = net::ResponseView::parse(wire);
+    ASSERT_TRUE(view.has_value()) << "iteration " << i;
+    EXPECT_EQ(view->status, rsp.status) << "iteration " << i;
+    EXPECT_EQ(view->body, rsp.body) << "iteration " << i;
+    EXPECT_EQ(net::HttpResponse::materialize(*view).serialize(), wire)
+        << "iteration " << i;
+  }
+}
+
+TEST(HttpRoundTrip, SerializeIntoMatchesSerializeByteForByte) {
+  Rng rng(0x0ddc0b5eULL);
+  for (int i = 0; i < kIterations / 4; ++i) {
+    const net::HttpRequest req = random_request(rng);
+    const Bytes wire = req.serialize();
+    auto buf = BufferPool::local().acquire(req.serialized_size());
+    req.serialize_into(buf);
+    ASSERT_EQ(buf.size(), wire.size()) << "iteration " << i;
+    EXPECT_EQ(Bytes(buf.view().begin(), buf.view().end()), wire)
+        << "iteration " << i;
+  }
+}
+
+TEST(HttpParser, TruncatedAndMutatedWireNeverCrashes) {
+  // Every strict prefix of a valid request either parses to a message
+  // whose re-serialization is shorter than the original (early body cut
+  // can still frame) or is rejected — it must never throw or read past
+  // the buffer. Random single-byte mutations likewise.
+  Rng rng(0x7 + 0xf1122edULL);
+  for (int i = 0; i < 300; ++i) {
+    const net::HttpRequest req = random_request(rng);
+    const Bytes wire = req.serialize();
+    const std::uint64_t cut = rng.uniform(wire.size());
+    const ByteView prefix(wire.data(), cut);
+    ASSERT_NO_THROW({
+      const auto view = net::RequestView::parse(prefix);
+      if (view.has_value()) {
+        EXPECT_LE(view->body.size(), prefix.size());
+      }
+    }) << "iteration " << i << " cut " << cut;
+
+    Bytes mutated = wire;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.uniform(255));
+    ASSERT_NO_THROW(net::RequestView::parse(mutated)) << "iteration " << i;
+    ASSERT_NO_THROW(net::HttpRequest::parse(mutated)) << "iteration " << i;
+  }
+}
+
+TEST(HttpParser, DuplicateHeadersFirstWins) {
+  const std::string wire =
+      "GET /x HTTP/1.1\r\n"
+      "accept: first\r\n"
+      "accept: second\r\n"
+      "content-length: 0\r\n"
+      "\r\n";
+  const ByteView view(reinterpret_cast<const std::uint8_t*>(wire.data()),
+                      wire.size());
+  const auto parsed = net::RequestView::parse(view);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->headers.find("accept").value_or(""), "first");
+  const net::HttpRequest owned = net::HttpRequest::materialize(*parsed);
+  EXPECT_EQ(owned.headers.at("accept"), "first");
+}
+
+TEST(HttpRoundTrip, HeaderInsertionOrderDoesNotChangeWire) {
+  // The wire sorts headers by key, so permuting set() order must give
+  // byte-identical output.
+  net::HttpRequest a;
+  a.method = net::Method::kPost;
+  a.path = "/p";
+  a.headers.set("zeta", "1");
+  a.headers.set("accept", "application/json");
+  a.headers.set("content-type", "application/json");
+  a.body = "{}";
+
+  net::HttpRequest b;
+  b.method = net::Method::kPost;
+  b.path = "/p";
+  b.headers.set("content-type", "application/json");
+  b.headers.set("accept", "application/json");
+  b.headers.set("zeta", "1");
+  b.body = "{}";
+  EXPECT_EQ(a.serialize(), b.serialize());
+}
+
+TEST(HttpRoundTrip, EmptyAndLargeBodiesRoundTrip) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{64},
+                              std::size_t{65536}}) {
+    net::HttpRequest req;
+    req.method = net::Method::kPost;
+    req.path = "/bulk";
+    req.headers.set("content-type", "application/json");
+    req.body.assign(n, 'x');
+    const Bytes wire = req.serialize();
+    const auto view = net::RequestView::parse(wire);
+    ASSERT_TRUE(view.has_value()) << "body size " << n;
+    EXPECT_EQ(view->body.size(), n);
+    EXPECT_EQ(net::HttpRequest::materialize(*view).serialize(), wire)
+        << "body size " << n;
   }
 }
 

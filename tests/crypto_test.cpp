@@ -417,6 +417,43 @@ TEST_P(X25519Agreement, BothSidesAgree) {
 INSTANTIATE_TEST_SUITE_P(RandomKeys, X25519Agreement,
                          ::testing::Range<std::uint64_t>(200, 212));
 
+TEST(X25519, FusedKeypairSharedMatchesSeparateCalls) {
+  Rng rng(77);
+  const auto peer = x25519_keypair(rng.bytes(32));
+  // Repeat one peer point past the comb build threshold so the fused
+  // path is exercised on both backends (ladder first, comb once hot).
+  for (int i = 0; i < 8; ++i) {
+    const Bytes random = rng.bytes(32);
+    const auto separate_kp = x25519_keypair(random);
+    const auto separate_shared =
+        x25519(separate_kp.private_key, peer.public_key);
+    X25519Key fused_shared;
+    const auto fused_kp =
+        x25519_keypair_shared(random, peer.public_key, fused_shared);
+    EXPECT_EQ(hex_encode(fused_kp.public_key),
+              hex_encode(separate_kp.public_key));
+    EXPECT_EQ(hex_encode(fused_shared), hex_encode(separate_shared));
+    const auto fused_priv = fused_kp.private_key.unsafe_bytes();
+    EXPECT_EQ(Bytes(fused_priv.begin(), fused_priv.end()), random);
+  }
+}
+
+TEST(X25519, FusedKeypairSharedDegeneratePeer) {
+  // Low-order peer u = 0: the shared secret canonicalizes to zero
+  // (fe_invert(0) = 0 semantics) while the public key stays correct.
+  Rng rng(78);
+  const Bytes zero_u(32, 0x00);
+  const Bytes random = rng.bytes(32);
+  const auto separate_kp = x25519_keypair(random);
+  const auto separate_shared = x25519(separate_kp.private_key, zero_u);
+  X25519Key fused_shared;
+  const auto fused_kp = x25519_keypair_shared(random, zero_u, fused_shared);
+  EXPECT_EQ(hex_encode(fused_kp.public_key),
+            hex_encode(separate_kp.public_key));
+  EXPECT_EQ(hex_encode(fused_shared), hex_encode(separate_shared));
+  for (auto byte : fused_shared) EXPECT_EQ(byte, 0);
+}
+
 // ---------------------------------------------------------------------
 // ECIES Profile A + SUCI
 // ---------------------------------------------------------------------

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.h"
 #include "common/rng.h"
 #include "common/secret.h"
 #include "common/stats.h"
@@ -123,6 +124,69 @@ TEST(MonteCarlo, SharedCombCacheIsRaceFreeAndThreadCountInvariant) {
   EXPECT_EQ(serial_cache, points.size());
   EXPECT_EQ(parallel_cache, points.size());
   crypto::detail::x25519_cache_reset();
+}
+
+// Wire-path pool hammer: every worker thread churns its thread-local
+// slab pool (all size classes plus the oversize fall-through) with live
+// nested borrows, the prepend/chop framing moves the TLS path uses, and
+// a per-job fold into the shared wire.pool.* counters. The pools
+// themselves are thread-local by contract; the race surface under TSan
+// is the counter registry fold and the allocator underneath.
+std::uint64_t pool_job(std::size_t seed) {
+  Rng rng(static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ULL + 7);
+  BufferPool& pool = BufferPool::local();
+  // Mid-class sizes plus one past the largest class (oversize path).
+  const std::size_t wants[] = {96, 600, 4000, 20000, 140000};
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 40; ++i) {
+    PooledBuffer buf = pool.acquire(wants[rng.uniform(5)] + 21, 21);
+    const std::size_t n = 1 + rng.uniform(64);
+    std::uint8_t* out = buf.grow(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      out[b] = static_cast<std::uint8_t>(seed + b);
+    }
+    buf.prepend(5);  // record header in the headroom, then strip it
+    for (int h = 0; h < 5; ++h) buf.data()[h] = 0xee;
+    buf.chop_front(5);
+    // A nested borrow while the first slab is live: the classes must
+    // not hand out the same slab twice.
+    PooledBuffer inner = pool.acquire(256, 5);
+    inner.append(buf.view());
+    EXPECT_NE(inner.data(), buf.data());
+    for (std::size_t b = 0; b < n; ++b) acc = acc * 131 + buf.data()[b];
+    for (std::size_t b = 0; b < n; ++b) {
+      EXPECT_EQ(inner.data()[b], buf.data()[b]);
+    }
+  }
+  BufferPool::publish_thread_stats();
+  return acc;
+}
+
+TEST(MonteCarlo, BufferPoolHammerIsRaceFreeAndThreadCountInvariant) {
+  BufferPool::publish_thread_stats();  // flush stale main-thread deltas
+  counters_reset();
+  const auto serial = load::monte_carlo(96, pool_job, 1);
+  const std::uint64_t serial_acquires =
+      counter_value("wire.pool.hit") + counter_value("wire.pool.miss");
+  const std::uint64_t serial_bytes = counter_value("wire.pool.bytes");
+
+  counters_reset();
+  const auto parallel = load::monte_carlo(96, pool_job, 8);
+  const std::uint64_t parallel_acquires =
+      counter_value("wire.pool.hit") + counter_value("wire.pool.miss");
+
+  // Payload contents (and so the fold of every slab's bytes) must not
+  // depend on which thread ran which job.
+  EXPECT_EQ(serial, parallel);
+  // Hit/miss split differs per thread (each warms its own pool), but
+  // total acquires and requested bytes are workload properties.
+  EXPECT_EQ(serial_acquires, parallel_acquires);
+  EXPECT_EQ(serial_acquires, 96u * 40u * 2u);
+  EXPECT_EQ(counter_value("wire.pool.bytes"), serial_bytes);
+  // The oversize class is deterministic too: it only depends on the
+  // requested capacities, never on pool warmth.
+  EXPECT_GT(counter_value("wire.pool.oversize"), 0u);
+  counters_reset();
 }
 
 TEST(MonteCarlo, ShardedCounterRegistryAccumulatesAcrossThreads) {

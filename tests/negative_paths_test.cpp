@@ -29,7 +29,7 @@ class NegativeFixture : public ::testing::Test {
     net::HttpRequest req;
     req.method = net::Method::kPost;
     req.path = path;
-    req.headers["content-type"] = "application/json";
+    req.headers.set("content-type", "application/json");
     req.body = body;
     return slice_->bus().request("test", to, req).response.status;
   }

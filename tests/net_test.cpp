@@ -21,7 +21,7 @@ TEST(Http, RequestRoundTrip) {
   HttpRequest req;
   req.method = Method::kPost;
   req.path = "/paka/v1/generate-av";
-  req.headers["content-type"] = "application/json";
+  req.headers.set("content-type", "application/json");
   req.body = "{\"rand\":\"00\"}";
   const auto parsed = HttpRequest::parse(req.serialize());
   ASSERT_TRUE(parsed.has_value());
@@ -78,11 +78,11 @@ TEST(Http, EmptyBodyAllowed) {
 TEST(RouterTest, ExactAndParameterisedRoutes) {
   Router router;
   router.add(Method::kGet, "/health",
-             [](const HttpRequest&, const PathParams&) {
+             [](const RequestView&, const PathParams&) {
                return HttpResponse::json(200, "{}");
              });
   router.add(Method::kGet, "/subscribers/:supi/data",
-             [](const HttpRequest&, const PathParams& params) {
+             [](const RequestView&, const PathParams& params) {
                return HttpResponse::json(200,
                                          "{\"supi\":\"" + params.at("supi") +
                                              "\"}");
@@ -102,7 +102,7 @@ TEST(RouterTest, ExactAndParameterisedRoutes) {
 TEST(RouterTest, NotFoundAndMethodNotAllowed) {
   Router router;
   router.add(Method::kGet, "/only-get",
-             [](const HttpRequest&, const PathParams&) {
+             [](const RequestView&, const PathParams&) {
                return HttpResponse::json(200, "{}");
              });
   HttpRequest req;
@@ -117,7 +117,7 @@ TEST(RouterTest, NotFoundAndMethodNotAllowed) {
 TEST(RouterTest, SegmentCountMustMatch) {
   Router router;
   router.add(Method::kGet, "/a/:x",
-             [](const HttpRequest&, const PathParams&) {
+             [](const RequestView&, const PathParams&) {
                return HttpResponse::json(200, "{}");
              });
   HttpRequest req;
@@ -218,8 +218,8 @@ class BusFixture : public ::testing::Test {
     server_ = std::make_unique<Server>("echo", env_, bus_.costs());
     server_->router().add(
         Method::kPost, "/echo",
-        [](const HttpRequest& req, const PathParams&) {
-          return HttpResponse::json(200, req.body);
+        [](const RequestView& req, const PathParams&) {
+          return HttpResponse::json(200, std::string(req.body));
         });
     bus_.attach(*server_);
   }
