@@ -38,6 +38,7 @@
 #include "common/hot_stage.h"
 #include "common/stats.h"
 #include "crypto/cpu_dispatch.h"
+#include "crypto/op_count.h"
 #include "json/json.h"
 #include "load/sweep.h"
 #include "sim/shard_pool.h"
@@ -158,15 +159,26 @@ ModeResult fold_mode(slice::IsolationMode mode,
   return result;
 }
 
-/// Heap allocations per registration on a warm wire path, measured on
-/// the main thread (worker pools are thread-local, so the measurement
-/// thread must be the running thread). Pass 0 warms this thread's
-/// buffer pool and allocator arenas; pass 1 runs a fresh slice and is
-/// the one counted. Slice construction/provisioning is excluded — only
-/// LoadGenerator::run is inside the counting window.
-double measure_allocs_per_reg(bool smoke) {
+struct PerRegCosts {
+  double allocs = 0.0;
+  double x25519 = 0.0;
+};
+
+/// Heap allocations and X25519 scalar mults per registration on a warm
+/// wire path, measured on the main thread (worker pools and the op
+/// counters are thread-local, so the measurement thread must be the
+/// running thread). Pass 0 warms this thread's buffer pool and
+/// allocator arenas; pass 1 runs a fresh slice and is the one counted.
+/// Slice construction/provisioning is excluded — only
+/// LoadGenerator::run is inside the counting window. Resumption and the
+/// ephemeral pool are on, matching the sweep above: the X25519 figure
+/// is what pins the "warm exchanges do zero scalar mults" property at
+/// workload scale.
+PerRegCosts measure_per_reg_costs(bool smoke) {
   slice::SliceConfig cfg;
   cfg.mode = slice::IsolationMode::kContainer;
+  cfg.tls_resumption = true;
+  cfg.eph_pool = true;
   const std::uint32_t ues = smoke ? 60 : 200;
   cfg.subscriber_count = ues;
   load::LoadConfig load;
@@ -174,17 +186,21 @@ double measure_allocs_per_reg(bool smoke) {
   load.arrivals.kind = load::ArrivalKind::kPoisson;
   load.arrivals.rate_per_s = 2000.0;
 
-  double out = 0.0;
+  PerRegCosts out;
   for (int pass = 0; pass < 2; ++pass) {
     slice::Slice slice(cfg);
     slice.create();
     load::LoadGenerator generator;
     const std::uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+    const std::uint64_t mults_before = crypto::op_counts().x25519_ops;
     const load::LoadReport report = generator.run(slice, load);
     const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+    const std::uint64_t mults_after = crypto::op_counts().x25519_ops;
     if (pass == 1 && report.registered > 0) {
-      out = static_cast<double>(after - before) /
-            static_cast<double>(report.registered);
+      out.allocs = static_cast<double>(after - before) /
+                   static_cast<double>(report.registered);
+      out.x25519 = static_cast<double>(mults_after - mults_before) /
+                   static_cast<double>(report.registered);
     }
   }
   BufferPool::publish_thread_stats();
@@ -248,6 +264,29 @@ bool validate(const std::string& text) {
   }
   const json::Value* allocs = field("allocs_per_reg");
   if (allocs == nullptr || !allocs->is_number()) return fail("allocs_per_reg");
+
+  const json::Value* resume = field("tls_resume");
+  if (resume == nullptr || !resume->is_object()) return fail("tls_resume");
+  for (const char* key : {"hit", "miss", "reject"}) {
+    const json::Object& r = resume->as_object();
+    const auto it = r.find(key);
+    if (it == r.end() || !it->second.is_number()) {
+      return fail("tls_resume field");
+    }
+  }
+  const json::Value* eph = field("x25519_pool");
+  if (eph == nullptr || !eph->is_object()) return fail("x25519_pool");
+  for (const char* key : {"hit", "refill"}) {
+    const json::Object& e = eph->as_object();
+    const auto it = e.find(key);
+    if (it == e.end() || !it->second.is_number()) {
+      return fail("x25519_pool field");
+    }
+  }
+  for (const char* key : {"resumption_rate", "x25519_per_reg"}) {
+    const json::Value* v = field(key);
+    if (v == nullptr || !v->is_number()) return fail(key);
+  }
 
   const json::Value* modes = field("modes");
   if (modes == nullptr || !modes->is_array() || modes->as_array().empty()) {
@@ -315,6 +354,10 @@ int main(int argc, char** argv) {
                 std::to_string(rep);
       c.slice.mode = mode;
       c.slice.subscriber_count = opt.ue_count;
+      // Wall-clock bench, not the bit-identity oracle: run with the
+      // resumption + precompute fast path the deployments would use.
+      c.slice.tls_resumption = true;
+      c.slice.eph_pool = true;
       c.load.ue_count = opt.ue_count;
       c.load.arrivals.kind = load::ArrivalKind::kPoisson;
       c.load.arrivals.rate_per_s = opt.rate_per_s;
@@ -354,7 +397,7 @@ int main(int argc, char** argv) {
   }
   hot_stage::set_enabled(false);
 
-  const double allocs_per_reg = measure_allocs_per_reg(opt.smoke);
+  const PerRegCosts per_reg = measure_per_reg_costs(opt.smoke);
   const std::uint64_t pool_hits = counter_value("wire.pool.hit");
   const std::uint64_t pool_misses = counter_value("wire.pool.miss");
   const std::uint64_t pool_total = pool_hits + pool_misses;
@@ -366,7 +409,29 @@ int main(int argc, char** argv) {
                   ? 100.0 * static_cast<double>(pool_hits) /
                         static_cast<double>(pool_total)
                   : 0.0,
-              allocs_per_reg);
+              per_reg.allocs);
+
+  // Resumption + precompute effectiveness across everything this
+  // process ran (the sweep plus both per-reg passes).
+  const std::uint64_t resume_hits = counter_value("tls.resume.hit");
+  const std::uint64_t resume_misses = counter_value("tls.resume.miss");
+  const std::uint64_t resume_rejects = counter_value("tls.resume.reject");
+  const std::uint64_t handshakes = resume_hits + resume_misses + resume_rejects;
+  const double resumption_rate =
+      handshakes > 0
+          ? static_cast<double>(resume_hits) / static_cast<double>(handshakes)
+          : 0.0;
+  std::printf("  tls resumption: %llu hits / %llu misses / %llu rejects "
+              "(%.1f%% resumed), %.2f scalar mults/registration\n",
+              static_cast<unsigned long long>(resume_hits),
+              static_cast<unsigned long long>(resume_misses),
+              static_cast<unsigned long long>(resume_rejects),
+              100.0 * resumption_rate, per_reg.x25519);
+  std::printf("  x25519 pool: %llu hits / %llu generated in refills\n",
+              static_cast<unsigned long long>(
+                  counter_value("x25519.pool.hit")),
+              static_cast<unsigned long long>(
+                  counter_value("x25519.pool.refill")));
 
   const double headline_regs_per_s =
       total_wall_ms > 0.0
@@ -394,7 +459,22 @@ int main(int argc, char** argv) {
     pool_obj["bytes"] = json::Value(counter_value("wire.pool.bytes"));
     root["wire_pool"] = json::Value(std::move(pool_obj));
   }
-  root["allocs_per_reg"] = json::Value(allocs_per_reg);
+  root["allocs_per_reg"] = json::Value(per_reg.allocs);
+  {
+    json::Object resume_obj;
+    resume_obj["hit"] = json::Value(resume_hits);
+    resume_obj["miss"] = json::Value(resume_misses);
+    resume_obj["reject"] = json::Value(resume_rejects);
+    root["tls_resume"] = json::Value(std::move(resume_obj));
+  }
+  root["resumption_rate"] = json::Value(resumption_rate);
+  {
+    json::Object eph_obj;
+    eph_obj["hit"] = json::Value(counter_value("x25519.pool.hit"));
+    eph_obj["refill"] = json::Value(counter_value("x25519.pool.refill"));
+    root["x25519_pool"] = json::Value(std::move(eph_obj));
+  }
+  root["x25519_per_reg"] = json::Value(per_reg.x25519);
   json::Array mode_entries;
   for (const ModeResult& r : results) {
     json::Object entry;

@@ -66,11 +66,9 @@ EciesCiphertext EciesCiphertext::deserialize(ByteView data,
   return ct;
 }
 
-EciesCiphertext ecies_encrypt(ByteView receiver_public, ByteView plaintext,
-                              ByteView ephemeral_random) {
-  X25519Key shared;
-  const X25519KeyPair eph =
-      x25519_keypair_shared(ephemeral_random, receiver_public, shared);
+namespace {
+EciesCiphertext encrypt_with(const X25519KeyPair& eph, const X25519Key& shared,
+                             ByteView plaintext) {
   const DerivedKeys keys = derive_keys(shared, eph.public_key);
 
   EciesCiphertext ct;
@@ -79,6 +77,21 @@ EciesCiphertext ecies_encrypt(ByteView receiver_public, ByteView plaintext,
   ct.mac_tag =
       hmac_sha256_trunc(keys.mac_key.unsafe_bytes(), ct.ciphertext, kMacTagLen);
   return ct;
+}
+}  // namespace
+
+EciesCiphertext ecies_encrypt(ByteView receiver_public, ByteView plaintext,
+                              ByteView ephemeral_random) {
+  X25519Key shared;
+  const X25519KeyPair eph =
+      x25519_keypair_shared(ephemeral_random, receiver_public, shared);
+  return encrypt_with(eph, shared, plaintext);
+}
+
+EciesCiphertext ecies_encrypt(ByteView receiver_public, ByteView plaintext,
+                              const X25519KeyPair& ephemeral) {
+  const X25519Key shared = x25519(ephemeral.private_key, receiver_public);
+  return encrypt_with(ephemeral, shared, plaintext);
 }
 
 std::optional<Bytes> ecies_decrypt(SecretView receiver_private,

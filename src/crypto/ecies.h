@@ -39,6 +39,13 @@ Bytes x963_kdf(SecretView shared_secret, ByteView shared_info,
 EciesCiphertext ecies_encrypt(ByteView receiver_public, ByteView plaintext,
                               ByteView ephemeral_random);
 
+/// Variant consuming a pregenerated ephemeral key pair (see
+/// crypto/eph_pool.h): skips the fixed-base multiplication and pays
+/// only the shared-secret mult against the receiver key. Output is
+/// identical to the entropy variant fed the same ephemeral scalar.
+EciesCiphertext ecies_encrypt(ByteView receiver_public, ByteView plaintext,
+                              const X25519KeyPair& ephemeral);
+
 /// Decrypts; returns nullopt if the MAC tag does not verify. The
 /// receiver's private scalar is the home-network secret.
 std::optional<Bytes> ecies_decrypt(SecretView receiver_private,

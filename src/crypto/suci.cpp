@@ -84,9 +84,11 @@ std::optional<Suci> Suci::from_string(const std::string& s) {
   return suci;
 }
 
-Suci conceal_supi(const std::string& mcc, const std::string& mnc,
-                  const std::string& msin, SuciScheme scheme,
-                  ByteView hn_public, ByteView ephemeral_random) {
+namespace {
+template <typename Ephemeral>
+Suci conceal_supi_impl(const std::string& mcc, const std::string& mnc,
+                       const std::string& msin, SuciScheme scheme,
+                       ByteView hn_public, const Ephemeral& ephemeral) {
   if (!all_digits(mcc) || !all_digits(mnc) || !all_digits(msin)) {
     throw std::invalid_argument("conceal_supi: non-digit identifier");
   }
@@ -106,13 +108,26 @@ Suci conceal_supi(const std::string& mcc, const std::string& mnc,
       suci.scheme_output = plaintext;
       break;
     case SuciScheme::kProfileA: {
-      const EciesCiphertext ct =
-          ecies_encrypt(hn_public, plaintext, ephemeral_random);
+      const EciesCiphertext ct = ecies_encrypt(hn_public, plaintext, ephemeral);
       suci.scheme_output = ct.serialize();
       break;
     }
   }
   return suci;
+}
+}  // namespace
+
+Suci conceal_supi(const std::string& mcc, const std::string& mnc,
+                  const std::string& msin, SuciScheme scheme,
+                  ByteView hn_public, ByteView ephemeral_random) {
+  return conceal_supi_impl(mcc, mnc, msin, scheme, hn_public,
+                           ephemeral_random);
+}
+
+Suci conceal_supi(const std::string& mcc, const std::string& mnc,
+                  const std::string& msin, SuciScheme scheme,
+                  ByteView hn_public, const X25519KeyPair& ephemeral) {
+  return conceal_supi_impl(mcc, mnc, msin, scheme, hn_public, ephemeral);
 }
 
 std::optional<std::string> deconceal_suci(const Suci& suci,

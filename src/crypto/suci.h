@@ -13,6 +13,7 @@
 
 #include "common/bytes.h"
 #include "common/secret.h"
+#include "crypto/x25519.h"
 
 namespace shield5g::crypto {
 
@@ -41,6 +42,13 @@ struct Suci {
 Suci conceal_supi(const std::string& mcc, const std::string& mnc,
                   const std::string& msin, SuciScheme scheme,
                   ByteView hn_public, ByteView ephemeral_random);
+
+/// Variant consuming a pregenerated ephemeral key pair from the
+/// precompute pool (crypto/eph_pool.h): identical output for the same
+/// ephemeral scalar, one scalar mult instead of two.
+Suci conceal_supi(const std::string& mcc, const std::string& mnc,
+                  const std::string& msin, SuciScheme scheme,
+                  ByteView hn_public, const X25519KeyPair& ephemeral);
 
 /// SIDF side: recovers the SUPI string "<mcc><mnc><msin>".
 /// Returns nullopt on MAC failure or malformed scheme output.

@@ -113,7 +113,8 @@ class Engine {
       sessions_.push_back(std::make_unique<UeSession>(
           *this, i,
           ran::UeDevice(slice_.subscriber(i),
-                        slice_.config().seed ^ (0x0eULL + i)),
+                        slice_.config().seed ^ (0x0eULL + i),
+                        slice_.eph_pool()),
           config_.with_pdu));
       UeSession* session = sessions_.back().get();
       scheduler_.at(run_start_ + schedule[i], [session] { session->start(); });

@@ -128,7 +128,13 @@ void Bus::attach(Server& server) {
   if (servers_[id].server != nullptr) {
     throw std::logic_error("Bus: duplicate server name " + server.name());
   }
-  servers_[id] = Attachment{&server, TlsIdentity::generate(rng_)};
+  servers_[id] = Attachment{&server, TlsIdentity::generate(rng_), nullptr};
+  if (resumption_) {
+    // The ticket master key only draws from the bus RNG under
+    // resumption, so the legacy RNG stream stays bit-identical.
+    servers_[id].issuer = std::make_unique<TicketIssuer>(
+        SecretView(rng_.bytes(32)), ticket_lifetime_ns_);
+  }
 }
 
 void Bus::detach(std::string_view name) {
@@ -150,7 +156,8 @@ sim::Nanos Bus::bridge_ns(std::size_t bytes) {
 }
 
 Bus::Connection Bus::open_connection(Attachment& target,
-                                     ExecutionEnv& client_env) {
+                                     ExecutionEnv& client_env,
+                                     TicketState* tickets) {
   Server& server = *target.server;
   // TCP handshake: one bridge round trip.
   client_env.syscall(Sys::kSocket);
@@ -159,15 +166,91 @@ Bus::Connection Bus::open_connection(Attachment& target,
   server.env().syscall(Sys::kAccept);
   clock_.advance(bridge_ns(60));
 
-  // TLS handshake: ClientHello (with the client's ephemeral key and
-  // modeled cert payload) out, ServerHello/Finished back. Key agreement
-  // executes for real on both sides and is charged to each side's
-  // environment.
   Connection conn;
+
+  if (!resumption_ || target.issuer == nullptr) {
+    // Legacy TLS handshake: ClientHello (with the client's ephemeral
+    // key and modeled cert payload) out, ServerHello/Finished back. Key
+    // agreement executes for real on both sides and is charged to each
+    // side's environment. This path is the bit-identity oracle: bytes,
+    // RNG draws and charges are frozen.
+    Bytes hello;
+    crypto::OpMeter client_ops;
+    conn.client.emplace(TlsSession::client_connect(
+        target.identity.key.public_key, rng_, hello));
+    client_env.compute(client_ops.ns(costs_.primitives));
+    client_env.syscall(Sys::kSend, hello.size());
+    clock_.advance(bridge_ns(hello.size()));
+
+    server.env().syscall(Sys::kRecv, hello.size());
+    Bytes server_hello;
+    crypto::OpMeter server_ops;
+    auto server_session =
+        TlsSession::server_accept(target.identity.key, hello, server_hello);
+    server.env().compute(server_ops.ns(costs_.primitives));
+    if (!server_session) {
+      throw std::runtime_error("Bus: TLS handshake failed");
+    }
+    conn.server.emplace(std::move(*server_session));
+    server.env().syscall(Sys::kSend, server_hello.size());
+    clock_.advance(bridge_ns(server_hello.size()));
+    client_env.syscall(Sys::kRecv, server_hello.size());
+    return conn;
+  }
+
+  const auto now_ns = static_cast<std::uint64_t>(clock_.now());
+
+  // Resumed handshake when a ticket for this (client, server) pair is
+  // cached: zero scalar mults on both sides, fresh record keys from the
+  // KDF, and a chained next ticket in the reply.
+  if (tickets != nullptr && !tickets->ticket.empty()) {
+    Bytes hello;
+    crypto::OpMeter client_ops;
+    auto resumed = TlsSession::client_resume(tickets->secret, tickets->ticket,
+                                             rng_, hello);
+    client_env.compute(client_ops.ns(costs_.primitives));
+    client_env.syscall(Sys::kSend, hello.size());
+    clock_.advance(bridge_ns(hello.size()));
+
+    server.env().syscall(Sys::kRecv, hello.size());
+    Bytes server_hello;
+    crypto::OpMeter server_ops;
+    auto accept = TlsSession::server_accept_resumable(
+        target.identity.key, hello, *target.issuer, now_ns, rng_,
+        server_hello);
+    server.env().compute(server_ops.ns(costs_.primitives));
+    server.env().syscall(Sys::kSend, server_hello.size());
+    clock_.advance(bridge_ns(server_hello.size()));
+    client_env.syscall(Sys::kRecv, server_hello.size());
+
+    if (accept.resumed && accept.session) {
+      counter_add("tls.resume.hit");
+      conn.client.emplace(std::move(resumed.session));
+      conn.server.emplace(std::move(*accept.session));
+      if (auto next = TlsSession::hello_ticket(server_hello)) {
+        tickets->ticket = std::move(*next);
+        tickets->secret = resumed.resumption_secret;
+      } else {
+        tickets->ticket.clear();  // defensive: never reuse a dead chain
+      }
+      return conn;
+    }
+    // Rejected (expired, rotated, replayed or tampered ticket): drop
+    // the stale state and fall through to a full handshake on the same
+    // connection — the extra round trip above is the fallback's cost.
+    counter_add("tls.resume.reject");
+    tickets->ticket.clear();
+  } else {
+    counter_add("tls.resume.miss");
+  }
+
+  // Full resumable handshake: first contact for this pair (or a
+  // fallback). The server's reply carries the ticket that makes every
+  // later contact scalar-mult-free.
   Bytes hello;
   crypto::OpMeter client_ops;
-  conn.client.emplace(
-      TlsSession::client_connect(target.identity.key.public_key, rng_, hello));
+  auto full = TlsSession::client_connect_resumable(
+      target.identity.key.public_key, rng_, hello, eph_pool_);
   client_env.compute(client_ops.ns(costs_.primitives));
   client_env.syscall(Sys::kSend, hello.size());
   clock_.advance(bridge_ns(hello.size()));
@@ -175,16 +258,23 @@ Bus::Connection Bus::open_connection(Attachment& target,
   server.env().syscall(Sys::kRecv, hello.size());
   Bytes server_hello;
   crypto::OpMeter server_ops;
-  auto server_session =
-      TlsSession::server_accept(target.identity.key, hello, server_hello);
+  auto accept = TlsSession::server_accept_resumable(
+      target.identity.key, hello, *target.issuer, now_ns, rng_, server_hello);
   server.env().compute(server_ops.ns(costs_.primitives));
-  if (!server_session) {
+  if (!accept.session) {
     throw std::runtime_error("Bus: TLS handshake failed");
   }
-  conn.server.emplace(std::move(*server_session));
+  conn.server.emplace(std::move(*accept.session));
   server.env().syscall(Sys::kSend, server_hello.size());
   clock_.advance(bridge_ns(server_hello.size()));
   client_env.syscall(Sys::kRecv, server_hello.size());
+  conn.client.emplace(std::move(full.session));
+  if (tickets != nullptr) {
+    if (auto ticket = TlsSession::hello_ticket(server_hello)) {
+      tickets->ticket = std::move(*ticket);
+      tickets->secret = full.resumption_secret;
+    }
+  }
   return conn;
 }
 
@@ -196,13 +286,19 @@ Bus::Exchange Bus::request(std::string_view from, std::string_view to,
     throw std::runtime_error("Bus: no server attached as '" +
                              std::string(to) + "'");
   }
-  // Intern the client label (keep-alive only) BEFORE taking the
+  // Intern the client label (keyed paths only) BEFORE taking the
   // attachment reference: intern() may grow servers_ and reallocate.
+  // Resumption needs the key even for one-shot clients — the ticket
+  // cache outlives connections.
+  const bool keyed = keep_alive_ || resumption_;
   std::uint64_t conn_key = 0;
-  if (keep_alive_) conn_key = connection_key(intern(from), *to_id);
+  if (keyed) conn_key = connection_key(intern(from), *to_id);
   Attachment& target = servers_[*to_id];
   Server& server = *target.server;
   ExecutionEnv& client = client_env != nullptr ? *client_env : ambient_client_;
+  // Reference stays valid across open_connection: unordered_map never
+  // invalidates references on insert, and no other pair is touched.
+  TicketState* tickets = resumption_ ? &tickets_[conn_key] : nullptr;
 
   Exchange exchange;
   const sim::Nanos start = clock_.now();
@@ -219,7 +315,8 @@ Bus::Exchange Bus::request(std::string_view from, std::string_view to,
   if (keep_alive_) {
     auto cit = connections_.find(conn_key);
     if (cit == connections_.end()) {
-      cit = connections_.emplace(conn_key, open_connection(target, client))
+      cit = connections_
+                .emplace(conn_key, open_connection(target, client, tickets))
                 .first;
     }
     conn = &cit->second;
@@ -232,7 +329,7 @@ Bus::Exchange Bus::request(std::string_view from, std::string_view to,
         connections_.erase(connection_key(*from_id, *to_id));
       }
     }
-    one_shot = open_connection(target, client);
+    one_shot = open_connection(target, client, tickets);
     conn = &one_shot;
   }
 

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -171,6 +172,28 @@ class Bus {
   /// plus TLS handshake and closes the connection afterwards.
   void set_keep_alive(bool keep_alive) noexcept { keep_alive_ = keep_alive; }
 
+  /// TLS session resumption: when enabled, every server attached from
+  /// then on gets a TicketIssuer, handshakes switch to the resumable
+  /// family, and the bus caches the latest ticket per (client, server)
+  /// pair — so even one-shot connections skip the scalar mults on every
+  /// contact after the first. MUST be set before attach() for the
+  /// issuer key draws to land; when left disabled (the default) the
+  /// wire bytes and RNG stream are bit-identical to the legacy path.
+  /// Counters: tls.resume.{hit,miss,reject} (never fed to digests).
+  void set_resumption(
+      bool enabled,
+      std::uint64_t ticket_lifetime_ns = TicketIssuer::kDefaultLifetimeNs) {
+    resumption_ = enabled;
+    ticket_lifetime_ns_ = ticket_lifetime_ns;
+  }
+  bool resumption() const noexcept { return resumption_; }
+
+  /// Ephemeral-key precompute pool consumed by the client side of full
+  /// handshakes (nullptr = generate from the bus RNG, the legacy path).
+  void set_eph_pool(crypto::EphemeralKeyPool* pool) noexcept {
+    eph_pool_ = pool;
+  }
+
   /// Fault injection on the bridge (co-residency noise, congested
   /// vswitch): records corrupted in flight fail the server's TLS check;
   /// dropped responses surface as transport errors after a
@@ -214,10 +237,20 @@ class Bus {
   struct Attachment {
     Server* server = nullptr;  // null = id known but nothing attached
     TlsIdentity identity;
+    // Session-ticket authority, present only under resumption (so the
+    // legacy path draws no extra RNG bytes at attach time).
+    std::unique_ptr<TicketIssuer> issuer;
   };
   struct Connection {
     std::optional<TlsSession> client;
     std::optional<TlsSession> server;
+  };
+  /// Client-side resumption state per (from, to) pair: the latest
+  /// ticket and the secret it binds. Outlives connections — this is
+  /// what lets OAI-style one-shot clients resume.
+  struct TicketState {
+    Bytes ticket;
+    Secret<32> secret;
   };
 
   /// Id for `name`, creating one (and an empty attachment slot) if new.
@@ -230,7 +263,13 @@ class Bus {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
-  Connection open_connection(Attachment& target, ExecutionEnv& client_env);
+  /// Opens one connection (TCP round trip + TLS handshake). With
+  /// resumption on, `tickets` (the cached per-pair state, may be null
+  /// on the ambient path) drives a resumed handshake when a ticket is
+  /// present and is updated with the freshly issued one; without
+  /// resumption this is the legacy byte-identical handshake.
+  Connection open_connection(Attachment& target, ExecutionEnv& client_env,
+                             TicketState* tickets);
   sim::Nanos bridge_ns(std::size_t bytes);
   double jitter();
 
@@ -238,12 +277,16 @@ class Bus {
   NetCosts costs_;
   Rng rng_;
   bool keep_alive_ = false;
+  bool resumption_ = false;
+  std::uint64_t ticket_lifetime_ns_ = TicketIssuer::kDefaultLifetimeNs;
+  crypto::EphemeralKeyPool* eph_pool_ = nullptr;
   FaultPlan faults_;
   std::uint64_t faults_injected_ = 0;
   std::deque<std::string> names_;  // stable storage behind ids_ keys
   std::unordered_map<std::string_view, std::uint32_t> ids_;
   std::vector<Attachment> servers_;  // indexed by interned id
   std::unordered_map<std::uint64_t, Connection> connections_;
+  std::unordered_map<std::uint64_t, TicketState> tickets_;
   HostEnv ambient_client_;
 };
 

@@ -8,14 +8,22 @@
 
 namespace shield5g::ran {
 
-UeDevice::UeDevice(UsimConfig usim, std::uint64_t seed)
-    : usim_(std::move(usim)), rng_(seed) {
+UeDevice::UeDevice(UsimConfig usim, std::uint64_t seed,
+                   crypto::EphemeralKeyPool* eph_pool)
+    : usim_(std::move(usim)), rng_(seed), eph_pool_(eph_pool) {
   snn_ = crypto::serving_network_name(usim_.config().plmn.mcc,
                                       usim_.config().plmn.mnc);
 }
 
+crypto::Suci UeDevice::conceal_supi() {
+  // Pool path: one scalar mult per SUCI and no UE RNG draw; legacy path
+  // is byte-identical to earlier revisions (same rng_ stream).
+  if (eph_pool_ != nullptr) return usim_.make_suci(eph_pool_->acquire());
+  return usim_.make_suci(rng_.bytes(32));
+}
+
 Bytes UeDevice::start_registration() {
-  const crypto::Suci suci = usim_.make_suci(rng_.bytes(32));
+  const crypto::Suci suci = conceal_supi();
   nf::NasMessage msg;
   msg.type = nf::NasType::kRegistrationRequest;
   msg.set(nf::NasIe::kSuci, to_bytes(suci.to_string()));
@@ -206,7 +214,7 @@ std::optional<Bytes> UeDevice::handle_downlink(ByteView nas) {
     case nf::NasType::kIdentityRequest: {
       // Unknown GUTI at the AMF: reveal the concealed identity and run
       // a fresh authentication.
-      const crypto::Suci suci = usim_.make_suci(rng_.bytes(32));
+      const crypto::Suci suci = conceal_supi();
       nf::NasMessage response;
       response.type = nf::NasType::kIdentityResponse;
       response.set(nf::NasIe::kSuci, to_bytes(suci.to_string()));

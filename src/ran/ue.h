@@ -13,6 +13,7 @@
 #include <string>
 
 #include "common/rng.h"
+#include "crypto/eph_pool.h"
 #include "nf/nas.h"
 #include "ran/usim.h"
 
@@ -33,7 +34,11 @@ enum class UeNasState {
 
 class UeDevice {
  public:
-  UeDevice(UsimConfig usim, std::uint64_t seed);
+  /// `eph_pool` (optional) supplies pregenerated ECIES ephemerals for
+  /// SUCI concealment; nullptr draws fresh entropy from the UE RNG (the
+  /// legacy path, byte-identical to earlier revisions).
+  UeDevice(UsimConfig usim, std::uint64_t seed,
+           crypto::EphemeralKeyPool* eph_pool = nullptr);
 
   UeNasState state() const noexcept { return state_; }
   const Usim& usim() const noexcept { return usim_; }
@@ -68,8 +73,11 @@ class UeDevice {
   std::optional<Bytes> on_pdu_accept(const nf::NasMessage& msg);
   Bytes protect_uplink(const nf::NasMessage& msg);
 
+  crypto::Suci conceal_supi();
+
   Usim usim_;
   Rng rng_;
+  crypto::EphemeralKeyPool* eph_pool_;
   UeNasState state_ = UeNasState::kIdle;
   std::string snn_;
   Bytes rand_;

@@ -62,6 +62,10 @@ class Usim {
   /// supplies the 32 ECIES ephemeral bytes.
   crypto::Suci make_suci(ByteView ephemeral_random) const;
 
+  /// Variant consuming a pregenerated ephemeral key pair (from the
+  /// precompute pool): one scalar mult instead of two.
+  crypto::Suci make_suci(const crypto::X25519KeyPair& ephemeral) const;
+
   /// Verifies a (RAND, AUTN) challenge per TS 33.102 §6.3.3.
   AuthOutcome verify_challenge(ByteView rand, ByteView autn);
 

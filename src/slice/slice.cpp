@@ -29,6 +29,16 @@ Slice::Slice(SliceConfig config)
       bus_(clock_, config_.net_costs, config_.seed ^ 0xb05ULL),
       cred_rng_(config_.seed ^ 0xc4edULL) {
   bus_.set_keep_alive(config_.keep_alive);
+  // Resumption must be armed before any attach() below so every server
+  // gets a ticket issuer; the pool is seeded from the slice seed so a
+  // sweep's digests stay reproducible at any worker count.
+  if (config_.tls_resumption) bus_.set_resumption(true);
+  if (config_.eph_pool) {
+    crypto::EphemeralKeyPool::Config pool_cfg;
+    pool_cfg.seed = config_.seed ^ 0xe9aULL;
+    eph_pool_ = std::make_unique<crypto::EphemeralKeyPool>(pool_cfg);
+    bus_.set_eph_pool(eph_pool_.get());
+  }
   hn_key_ = crypto::x25519_keypair(cred_rng_.bytes(32));
 
   const nf::AkaDeployment deployment =
@@ -229,7 +239,8 @@ ran::UsimConfig Slice::subscriber(std::uint32_t i) const {
 
 ran::RegistrationResult Slice::register_subscriber(std::uint32_t i,
                                                    bool with_pdu) {
-  ran::UeDevice ue(subscriber(i), config_.seed ^ (0x0eULL + i));
+  ran::UeDevice ue(subscriber(i), config_.seed ^ (0x0eULL + i),
+                   eph_pool_.get());
   return gnbsim_->register_ue(ue, with_pdu);
 }
 

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/eph_pool.h"
 #include "net/bus.h"
 #include "nf/amf.h"
 #include "nf/ausf.h"
@@ -45,6 +46,15 @@ struct SliceConfig {
   /// round-robins AV generation across this many eUDM replicas.
   std::uint32_t eudm_replicas = 1;
   bool keep_alive = false;             // SBI connection reuse
+  /// TLS session resumption on the SBI bus: after the first contact
+  /// between a (client, server) pair every handshake is ticket-based —
+  /// zero scalar mults. Off by default: the legacy wire path stays the
+  /// bit-identity oracle.
+  bool tls_resumption = false;
+  /// Ephemeral X25519 precompute pool shared by full TLS handshakes and
+  /// SUCI concealment. Deterministically seeded from `seed`, so sweeps
+  /// stay reproducible; off by default for the same oracle reason.
+  bool eph_pool = false;
   /// Request workers per core VNF (UDR/UDM/AUSF/AMF/SMF/NRF) and the
   /// bounded FIFO depth in front of them. P-AKA module concurrency is
   /// configured separately via `paka` (TCS-derived under SGX).
@@ -85,6 +95,8 @@ class Slice {
   sim::VirtualClock& clock() noexcept { return clock_; }
   sgx::Machine& machine() noexcept { return machine_; }
   net::Bus& bus() noexcept { return bus_; }
+  /// Ephemeral-key pool (nullptr unless SliceConfig::eph_pool).
+  crypto::EphemeralKeyPool* eph_pool() noexcept { return eph_pool_.get(); }
   nf::Udr& udr() noexcept { return *udr_; }
   nf::Udm& udm() noexcept { return *udm_; }
   nf::Ausf& ausf() noexcept { return *ausf_; }
@@ -123,6 +135,7 @@ class Slice {
   net::Bus bus_;
   Rng cred_rng_;
   crypto::X25519KeyPair hn_key_;
+  std::unique_ptr<crypto::EphemeralKeyPool> eph_pool_;
 
   std::unique_ptr<nf::Upf> upf_;
   std::unique_ptr<nf::Udr> udr_;

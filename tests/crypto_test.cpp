@@ -537,7 +537,7 @@ TEST(Suci, ProfileARoundTrip) {
 
 TEST(Suci, NullSchemeRoundTrip) {
   const Suci suci = conceal_supi("001", "01", "0000000001",
-                                 SuciScheme::kNull, {}, {});
+                                 SuciScheme::kNull, {}, ByteView{});
   const auto supi = deconceal_suci(suci, {});
   ASSERT_TRUE(supi.has_value());
   EXPECT_EQ(*supi, "001010000000001");

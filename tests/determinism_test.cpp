@@ -230,6 +230,62 @@ TEST(Determinism, BackToBackSweepsStartCold) {
   expect_sweeps_identical(first, sequential, "sequential after threaded");
 }
 
+TEST(Determinism, ResumptionSweepIsSelfConsistentAtEveryWorkerCount) {
+  // With TLS resumption + the ephemeral-key pool enabled, the sweep is
+  // no longer byte-identical to the legacy path (different wire bytes
+  // by design) — but it must still be deterministic: 1, 2 and 4 workers
+  // all reproduce the same digests, traces and queue stats.
+  std::vector<load::SweepCase> cases = sharded_cases();
+  for (auto& c : cases) {
+    c.slice.tls_resumption = true;
+    c.slice.eph_pool = true;
+  }
+  const std::vector<load::SweepResult> sequential = load::run_sweep(cases, 1);
+  ASSERT_EQ(sequential.size(), cases.size());
+  for (const unsigned workers : {2u, 4u}) {
+    const std::vector<load::SweepResult> parallel =
+        load::run_sweep(cases, workers);
+    expect_sweeps_identical(sequential, parallel,
+                            workers == 2 ? "resumption workers=2"
+                                         : "resumption workers=4");
+  }
+}
+
+TEST(Determinism, ResumptionOffPathIsUntouchedByAnOnPathRun) {
+  // Bit-identity oracle: a flags-off sweep must produce the same digest
+  // whether or not a flags-on sweep ran first in the same process (no
+  // cross-contamination through pools, counters or thread state) — and
+  // the flags must actually change the bytes when enabled.
+  const std::vector<load::SweepCase> off_cases = sharded_cases();
+  const std::uint64_t off_before =
+      load::sweep_digest(load::run_sweep(off_cases, 2));
+
+  std::vector<load::SweepCase> on_cases = sharded_cases();
+  for (auto& c : on_cases) {
+    c.slice.tls_resumption = true;
+    c.slice.eph_pool = true;
+  }
+  const std::uint64_t on_digest =
+      load::sweep_digest(load::run_sweep(on_cases, 2));
+  EXPECT_NE(on_digest, off_before)
+      << "resumption flags did not move the digest — oracle proves nothing";
+
+  const std::uint64_t off_after =
+      load::sweep_digest(load::run_sweep(off_cases, 2));
+  EXPECT_EQ(off_before, off_after);
+}
+
+TEST(Determinism, PoolAloneReplaysBitIdentically) {
+  // The pool changes which RNG stream feeds the ephemerals, so its
+  // replay property deserves its own pin: same config, two runs, same
+  // everything — at 1 and 4 workers.
+  std::vector<load::SweepCase> cases = sharded_cases();
+  for (auto& c : cases) c.slice.eph_pool = true;
+  const std::vector<load::SweepResult> a = load::run_sweep(cases, 1);
+  const std::vector<load::SweepResult> b = load::run_sweep(cases, 4);
+  expect_sweeps_identical(a, b, "pool-only workers=4");
+}
+
 TEST(Determinism, SweepDigestDiscriminates) {
   // The digest must move when anything deterministic moves, or the CI
   // byte-for-byte diff proves nothing.

@@ -18,9 +18,11 @@
 #include "common/secret.h"
 #include "common/stats.h"
 #include "crypto/cpu_dispatch.h"
+#include "crypto/eph_pool.h"
 #include "crypto/kdf.h"
 #include "crypto/x25519.h"
 #include "crypto/x25519_internal.h"
+#include "net/tls.h"
 
 namespace shield5g {
 namespace {
@@ -187,6 +189,83 @@ TEST(MonteCarlo, BufferPoolHammerIsRaceFreeAndThreadCountInvariant) {
   // requested capacities, never on pool warmth.
   EXPECT_GT(counter_value("wire.pool.oversize"), 0u);
   counters_reset();
+}
+
+TEST(MonteCarlo, EphemeralPoolHammerIsRaceFreeAndThreadCountInvariant) {
+  // One shared pool, many threads draining it concurrently: acquire()
+  // must never hand the same keypair to two callers (each scalar is
+  // generated once), refills must be race-free, and the generated()
+  // total must be a workload property, not a schedule property.
+  crypto::EphemeralKeyPool::Config cfg;
+  cfg.capacity = 32;
+  cfg.seed = 0xE9AULL;
+
+  const auto hammer = [](crypto::EphemeralKeyPool& pool, unsigned threads) {
+    // Commutative fold (sum of per-key folds): hand-out order differs
+    // per schedule, the multiset of keys must not.
+    const auto acquired = load::monte_carlo(
+        96,
+        [&pool](std::size_t) {
+          std::uint64_t acc = 0;
+          for (int i = 0; i < 5; ++i) {
+            const crypto::X25519KeyPair kp = pool.acquire();
+            std::uint64_t h = 0xcbf29ce484222325ULL;
+            for (std::uint8_t b : kp.public_key) {
+              h = (h ^ b) * 0x100000001b3ULL;
+            }
+            acc += h;
+          }
+          return acc;
+        },
+        threads);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t a : acquired) sum += a;
+    return sum;
+  };
+
+  counters_reset();
+  crypto::EphemeralKeyPool serial_pool(cfg);
+  const std::uint64_t serial = hammer(serial_pool, 1);
+  const std::uint64_t serial_hits = counter_value("x25519.pool.hit");
+
+  counters_reset();
+  crypto::EphemeralKeyPool parallel_pool(cfg);
+  const std::uint64_t parallel = hammer(parallel_pool, 8);
+
+  EXPECT_EQ(serial, parallel) << "pool handed out schedule-dependent keys";
+  EXPECT_EQ(serial_hits, 96u * 5u);
+  EXPECT_EQ(counter_value("x25519.pool.hit"), 96u * 5u);
+  // ceil(480 / 32) refills of 32 keys each, schedule-independent.
+  EXPECT_EQ(serial_pool.generated(), parallel_pool.generated());
+  EXPECT_EQ(parallel_pool.generated(), 480u);
+  EXPECT_EQ(counter_value("x25519.pool.refill"), 480u);
+  counters_reset();
+}
+
+TEST(MonteCarlo, TicketIssuerHammerIsRaceFreeAndSingleUseHolds) {
+  // One issuer (one strike register, one mutex) shared by 8 threads:
+  // every job issues a ticket, redeems it once (must succeed) and
+  // replays it (must fail) — element-wise invariant under any schedule,
+  // with concurrent rotate-free epoch reads. The TSan CI stage runs
+  // this against the same mutex the Bus uses per attachment.
+  net::TicketIssuer issuer{SecretView(Bytes(32, 0x66)),
+                           net::TicketIssuer::kDefaultLifetimeNs};
+  const auto verdicts = load::monte_carlo(
+      128,
+      [&issuer](std::size_t i) -> std::uint64_t {
+        Rng rng(static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL + 11);
+        const Secret<32> secret{ByteView(rng.bytes(32))};
+        const Bytes ticket = issuer.issue(secret, /*now_ns=*/0, rng);
+        const auto first = issuer.redeem(ticket, 1);
+        const auto replay = issuer.redeem(ticket, 1);
+        const bool key_match = first.has_value() && *first == secret;
+        return (key_match ? 1u : 0u) | (replay.has_value() ? 2u : 0u);
+      },
+      8);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i], 1u) << "job " << i
+                               << ": redeem-once/reject-replay violated";
+  }
 }
 
 TEST(MonteCarlo, ShardedCounterRegistryAccumulatesAcrossThreads) {

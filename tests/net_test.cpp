@@ -208,6 +208,53 @@ TEST_F(TlsFixture, MalformedHelloRejected) {
                    .has_value());
 }
 
+TEST_F(TlsFixture, ResumptionDisabledServerVsTicketPresentingClient) {
+  // A client that (wrongly) speaks the resumable dialect to a legacy
+  // server: the 0x02 hello is structurally valid for the legacy parser
+  // (>= 32 bytes), so the server derives keys from what it thinks is an
+  // ephemeral — but they can never match the client's KDF-only keys.
+  // The failure must surface as a clean record-verify failure, exactly
+  // like any wrong-key handshake, never a crash or a silent success.
+  TicketIssuer issuer{SecretView(Bytes(32, 0x11)),
+                      TicketIssuer::kDefaultLifetimeNs};
+  Bytes full_hello, full_server_hello;
+  auto full = TlsSession::client_connect_resumable(
+      server_id_.key.public_key, rng_, full_hello);
+  auto full_accept = TlsSession::server_accept_resumable(
+      server_id_.key, full_hello, issuer, 0, rng_, full_server_hello);
+  const auto ticket = TlsSession::hello_ticket(full_server_hello);
+  ASSERT_TRUE(ticket.has_value());
+
+  Bytes resumed_hello, legacy_hello_out;
+  auto resumed = TlsSession::client_resume(full.resumption_secret, *ticket,
+                                           rng_, resumed_hello);
+  auto legacy = TlsSession::server_accept(server_id_.key, resumed_hello,
+                                          legacy_hello_out);
+  ASSERT_TRUE(legacy.has_value());  // structurally fine, cryptographically not
+  const Bytes record = resumed.session.protect(to_bytes("mismatched"));
+  EXPECT_FALSE(legacy->unprotect(record).has_value());
+}
+
+TEST_F(TlsFixture, LegacyHelloRejectedByResumableServer) {
+  // The reverse mismatch: an un-versioned legacy hello hitting the
+  // resumable acceptor. The first padding byte (0x5a) is no known
+  // version, so the accept fails closed instead of deriving keys from
+  // misaligned bytes.
+  Bytes hello;
+  TlsSession client =
+      TlsSession::client_connect(server_id_.key.public_key, rng_, hello);
+  (void)client;
+  ASSERT_NE(hello[0], 0x01);
+  ASSERT_NE(hello[0], 0x02);
+  TicketIssuer issuer{SecretView(Bytes(32, 0x12)),
+                      TicketIssuer::kDefaultLifetimeNs};
+  Bytes server_hello;
+  auto accept = TlsSession::server_accept_resumable(
+      server_id_.key, hello, issuer, 0, rng_, server_hello);
+  EXPECT_FALSE(accept.session.has_value());
+  EXPECT_FALSE(accept.resumed);
+}
+
 // ---------------------------------------------------------------------
 // Bus + server pipeline
 // ---------------------------------------------------------------------
