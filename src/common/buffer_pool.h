@@ -21,13 +21,14 @@
 // construction — SecretBytes has no conversion to the pool's raw
 // append/write interfaces, so tainted key material cannot land in a
 // slab without first passing an audited declassify() (the taint system
-// of DESIGN.md §10; tools/shield_lint patrols the call sites).
+// of DESIGN.md §10; tools/shield_analyze patrols the call sites).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 
 #include "common/bytes.h"
+#include "common/thread_annotations.h"
 
 namespace shield5g {
 
@@ -187,8 +188,8 @@ class BufferPool {
     std::size_t count = 0;
   };
 
-  FreeList free_[kClassCount];
-  Stats stats_;
+  FreeList free_[kClassCount] SHIELD_THREAD_CONFINED;
+  Stats stats_ SHIELD_THREAD_CONFINED;
   Stats published_;
 };
 

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <mutex>
+
+#include "common/thread_annotations.h"
 #include <vector>
 
 namespace shield5g {
@@ -23,8 +25,11 @@ struct ThreadBuckets {
 
 struct Registry {
   std::mutex mutex;
-  std::vector<ThreadBuckets*> live;
-  std::array<std::atomic<std::uint64_t>, kHotStageCount> retired{};
+  std::vector<ThreadBuckets*> live SHIELD_GUARDED_BY(mutex);
+  // Atomic: snapshot readers fold these lock-free; the retiring
+  // thread's fetch_add still runs under the mutex.
+  std::array<std::atomic<std::uint64_t>, kHotStageCount> retired
+      SHIELD_GUARDED_BY(mutex){};
 };
 
 Registry& registry() {
@@ -61,6 +66,7 @@ thread_local ScopedStage* t_current = nullptr;
 std::uint64_t now_ns() noexcept {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // det-audited(steady_clock feeds latency metrics only; digests never include timestamps)
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }

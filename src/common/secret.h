@@ -22,7 +22,7 @@
 // `SecretView` freely — wrapping sooner is always safe); lowering taint
 // is explicit and audited. Crypto primitives consume keys through
 // `SecretView` and may read the raw range via `unsafe_bytes()`, which
-// tools/shield_lint flags outside the crypto/NAS cipher layers.
+// tools/shield_analyze flags outside the crypto/NAS cipher layers.
 #pragma once
 
 #include <array>
@@ -61,7 +61,7 @@ enum class DeclassifyReason : std::uint8_t {
   /// MACs) and leaves the derivation as wire material. Host-grade.
   kProtocolOutput = 3,
   /// Unit-test comparison against published vectors. Host-grade;
-  /// tools/shield_lint bans this reason (and reveal_for_test) in src/.
+  /// tools/shield_analyze bans this reason (and reveal_for_test) in src/.
   kTestVector = 4,
 };
 
@@ -113,7 +113,7 @@ class Secret {
   }
 
   /// Raw range for feeding crypto primitives. Never pass the result to
-  /// a serialization or logging sink — shield_lint flags this
+  /// a serialization or logging sink — shield_analyze flags this
   /// identifier next to sinks and outside the crypto layer.
   ByteView unsafe_bytes() const noexcept { return ByteView(data_); }
 
@@ -176,7 +176,7 @@ class SecretBytes {
   }
 
   /// Convenience for unit tests comparing against published vectors
-  /// (equivalent to declassify(kTestVector, nullptr)). shield_lint bans
+  /// (equivalent to declassify(kTestVector, nullptr)). shield_analyze bans
   /// this identifier anywhere under src/.
   Bytes reveal_for_test() const {
     return declassify(DeclassifyReason::kTestVector, nullptr);

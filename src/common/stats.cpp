@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <mutex>
+
+#include "common/thread_annotations.h"
 #include <stdexcept>
 
 namespace shield5g {
@@ -20,7 +22,7 @@ constexpr std::size_t kCounterShards = 16;
 
 struct CounterShard {
   std::mutex mutex;
-  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::uint64_t> counters SHIELD_GUARDED_BY(mutex);
 };
 
 CounterShard* counter_shards() {

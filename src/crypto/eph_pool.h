@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "crypto/x25519.h"
 
 namespace shield5g::crypto {
@@ -51,13 +52,13 @@ class EphemeralKeyPool {
   std::uint64_t generated() const;
 
  private:
-  void refill_locked();
+  void refill_locked() SHIELD_REQUIRES(mu_);
 
   Config config_;
   mutable std::mutex mu_;
-  Rng rng_;
-  std::vector<X25519KeyPair> ring_;
-  std::uint64_t generated_ = 0;
+  Rng rng_ SHIELD_GUARDED_BY(mu_);
+  std::vector<X25519KeyPair> ring_ SHIELD_GUARDED_BY(mu_);
+  std::uint64_t generated_ SHIELD_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace shield5g::crypto

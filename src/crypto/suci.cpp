@@ -148,6 +148,7 @@ std::optional<std::string> deconceal_suci(const Suci& suci,
         return std::nullopt;
       }
       auto decrypted = ecies_decrypt(hn_private, ct);
+      // ct-audited(branch on AEAD authentication outcome; rejection is attacker-observable by protocol design)
       if (!decrypted) return std::nullopt;
       plaintext = std::move(*decrypted);
       break;
@@ -155,6 +156,7 @@ std::optional<std::string> deconceal_suci(const Suci& suci,
   }
   if (plaintext.empty()) return std::nullopt;
   const std::size_t digit_count = plaintext[0];
+  // ct-audited(digit_count is the deconcealed MSIN length; SUCI framing is public and a malformed length must be rejected)
   if (digit_count < 5 || digit_count > 15) return std::nullopt;
   try {
     const std::string msin =

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <cstring>
 #include <mutex>
+
+#include "common/thread_annotations.h"
 #include <stdexcept>
 #include <vector>
 
@@ -110,8 +112,11 @@ struct SharedEntry {
 };
 
 struct SharedCache {
-  std::array<std::atomic<const SharedEntry*>, kSharedSlots> slots{};
-  std::atomic<std::size_t> count{0};
+  // Atomic: comb_lookup readers scan lock-free; publication (slot
+  // store + count bump) happens only under publish_mutex.
+  std::array<std::atomic<const SharedEntry*>, kSharedSlots> slots
+      SHIELD_GUARDED_BY(publish_mutex){};
+  std::atomic<std::size_t> count SHIELD_GUARDED_BY(publish_mutex){0};
   std::mutex publish_mutex;
 };
 

@@ -14,6 +14,7 @@ namespace {
 
 double now_ms() {
   return std::chrono::duration<double, std::milli>(
+             // det-audited(steady_clock feeds sweep wall-time reporting only; digests never include timestamps)
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }

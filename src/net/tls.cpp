@@ -149,8 +149,9 @@ TicketIssuer::EpochKeys TicketIssuer::keys_for(std::uint32_t epoch) const {
 
 Bytes TicketIssuer::issue(const Secret<32>& secret, std::uint64_t now_ns,
                           Rng& rng) {
-  const EpochKeys keys = keys_for(epoch_);
-  Bytes ticket = concat({ByteView(be_bytes(epoch_, 4)),
+  const std::uint32_t epoch = epoch_.load(std::memory_order_acquire);
+  const EpochKeys keys = keys_for(epoch);
+  Bytes ticket = concat({ByteView(be_bytes(epoch, 4)),
                          ByteView(be_bytes(now_ns + lifetime_ns_, 8)),
                          ByteView(rng.bytes(16))});
   const Bytes nonce = slice_bytes(ticket, 4 + 8, 16);
@@ -166,7 +167,8 @@ std::optional<Secret<32>> TicketIssuer::redeem(ByteView ticket,
                                                std::uint64_t now_ns) {
   if (ticket.size() != kTicketSize) return std::nullopt;
   const auto epoch = static_cast<std::uint32_t>(be_value(ticket.subspan(0, 4)));
-  if (epoch > epoch_ || epoch_ - epoch > 1) return std::nullopt;
+  const std::uint32_t current = epoch_.load(std::memory_order_acquire);
+  if (epoch > current || current - epoch > 1) return std::nullopt;
 
   // Authenticity first: every byte before the tag is MAC-covered, so
   // any single-byte mutation — epoch, expiry, nonce or masked secret —
@@ -197,10 +199,11 @@ std::optional<Secret<32>> TicketIssuer::redeem(ByteView ticket,
 
 void TicketIssuer::rotate() {
   std::lock_guard<std::mutex> lock(mu_);
-  ++epoch_;
+  const std::uint32_t next =
+      epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
   // The slot being recycled held epoch-2's strikes; those tickets are
   // past the grace window and reject on the epoch check alone.
-  seen_[epoch_ & 1].clear();
+  seen_[next & 1].clear();
 }
 
 // ---------------------------------------------------------------------
@@ -315,6 +318,7 @@ TlsSession::ServerAccept TlsSession::server_accept_resumable(
     if (client_hello.size() != 1 + kResumeNonceLen + 2 + len) return reject();
     const auto secret =
         issuer.redeem(client_hello.subspan(1 + kResumeNonceLen + 2), now_ns);
+    // ct-audited(ticket redeem validity; a reject is observable on the wire by design)
     if (!secret) return reject();
 
     // Zero scalar mults from here on: record keys and the chained next

@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cstdint>
+#include <atomic>
 #include <mutex>
 #include <optional>
 #include <unordered_set>
@@ -34,6 +35,7 @@
 #include "common/bytes.h"
 #include "common/rng.h"
 #include "common/secret.h"
+#include "common/thread_annotations.h"
 #include "crypto/aes128.h"
 #include "crypto/x25519.h"
 
@@ -96,7 +98,9 @@ class TicketIssuer {
   /// redeemable (grace window); anything older rejects.
   void rotate();
 
-  std::uint32_t epoch() const noexcept { return epoch_; }
+  std::uint32_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
   std::uint64_t lifetime_ns() const noexcept { return lifetime_ns_; }
 
  private:
@@ -108,12 +112,14 @@ class TicketIssuer {
 
   Secret<32> master_;
   std::uint64_t lifetime_ns_;
-  std::uint32_t epoch_ = 0;
+  // Atomic: issue/redeem read the live epoch lock-free; only rotate()
+  // (under mu_) advances it.
+  std::atomic<std::uint32_t> epoch_ SHIELD_GUARDED_BY(mu_){0};
   mutable std::mutex mu_;  // strike register: shared across shard hammers
   // Redeemed-nonce hashes, one set per live epoch (index epoch & 1);
   // rotate() clears the retiring epoch's set. A 64-bit hash collision
   // can only cause a spurious (safe) fallback to the full handshake.
-  std::unordered_set<std::uint64_t> seen_[2];
+  std::unordered_set<std::uint64_t> seen_[2] SHIELD_GUARDED_BY(mu_);
 };
 
 struct TlsClientHandshake;

@@ -18,6 +18,7 @@ const crypto::Milenage& Udm::milenage_for(const std::string& supi,
                                           const SecretBytes& k,
                                           const SecretBytes& opc) {
   const auto it = milenage_cache_.find(supi);
+  // ct-audited(Secret operator== is ct_equal-backed; branch reveals only whether the cached Milenage context matches)
   if (it != milenage_cache_.end() && it->second.k == k &&
       it->second.opc == opc) {
     return it->second.ctx;

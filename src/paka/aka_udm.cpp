@@ -19,6 +19,7 @@ const crypto::Milenage& EudmAkaService::milenage_for(const nf::Supi& supi,
                                                      const SecretBytes& k,
                                                      const SecretBytes& opc) {
   const auto it = milenage_cache_.find(supi);
+  // ct-audited(Secret operator== is ct_equal-backed; branch reveals only whether the cached Milenage context matches)
   if (it != milenage_cache_.end() && it->second.opc == opc) {
     return it->second.ctx;
   }

@@ -7,6 +7,8 @@
 #include <exception>
 #include <mutex>
 
+#include "common/thread_annotations.h"
+
 namespace shield5g::sim {
 
 unsigned shard_workers(unsigned requested) noexcept {
@@ -38,8 +40,8 @@ struct Batch {
 
   std::mutex mutex;
   std::condition_variable done_cv;
-  std::size_t done = 0;  // guarded by mutex
-  std::exception_ptr first_error;
+  std::size_t done SHIELD_GUARDED_BY(mutex) = 0;
+  std::exception_ptr first_error SHIELD_GUARDED_BY(mutex);
 
   // Claims and executes shards until the batch is exhausted. Every
   // participant accounts the shards it finished; the last one to push
@@ -73,9 +75,9 @@ struct Batch {
 struct ShardPool::State {
   std::mutex mutex;
   std::condition_variable cv;
-  bool stop = false;
-  std::uint64_t generation = 0;
-  std::shared_ptr<Batch> batch;
+  bool stop SHIELD_GUARDED_BY(mutex) = false;
+  std::uint64_t generation SHIELD_GUARDED_BY(mutex) = 0;
+  std::shared_ptr<Batch> batch SHIELD_GUARDED_BY(mutex);
 };
 
 ShardPool::ShardPool(unsigned workers)
@@ -99,7 +101,7 @@ ShardPool::~ShardPool() {
 void ShardPool::worker_loop() {
   std::uint64_t seen = 0;
   for (;;) {
-    std::shared_ptr<Batch> batch;
+    std::shared_ptr<Batch> claimed;
     {
       std::unique_lock<std::mutex> lock(state_->mutex);
       state_->cv.wait(lock, [this, seen] {
@@ -107,9 +109,9 @@ void ShardPool::worker_loop() {
       });
       if (state_->stop) return;
       seen = state_->generation;
-      batch = state_->batch;
+      claimed = state_->batch;
     }
-    if (batch) batch->work();
+    if (claimed) claimed->work();
   }
 }
 
@@ -123,24 +125,24 @@ void ShardPool::run(std::size_t jobs,
     return;
   }
 
-  const auto batch = std::make_shared<Batch>();
-  batch->fn = &fn;
-  batch->jobs = jobs;
+  const auto dispatch = std::make_shared<Batch>();
+  dispatch->fn = &fn;
+  dispatch->jobs = jobs;
   {
     const std::lock_guard<std::mutex> lock(state_->mutex);
-    state_->batch = batch;
+    state_->batch = dispatch;
     ++state_->generation;
   }
   state_->cv.notify_all();
 
-  batch->work();  // the caller pulls shards too
+  dispatch->work();  // the caller pulls shards too
 
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(batch->mutex);
-    batch->done_cv.wait(lock,
-                        [&batch] { return batch->done == batch->jobs; });
-    error = batch->first_error;
+    std::unique_lock<std::mutex> lock(dispatch->mutex);
+    dispatch->done_cv.wait(
+        lock, [&dispatch] { return dispatch->done == dispatch->jobs; });
+    error = dispatch->first_error;
   }
   if (error) std::rethrow_exception(error);
 }

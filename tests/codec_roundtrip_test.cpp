@@ -169,10 +169,10 @@ TEST(JsonRoundTrip, RandomKeyOrderIsPreservedExactly) {
     const std::uint64_t n = 1 + rng.uniform(12);
     std::vector<std::string> keys;
     json::Object obj;
-    for (std::uint64_t k = 0; k < n; ++k) {
+    for (std::uint64_t idx = 0; idx < n; ++idx) {
       std::string key = "k" + std::to_string(rng.uniform(1u << 20));
       if (obj.count(key) != 0) continue;  // duplicates tested elsewhere
-      obj[key] = json::Value(static_cast<std::int64_t>(k));
+      obj[key] = json::Value(static_cast<std::int64_t>(idx));
       keys.push_back(std::move(key));
     }
     const std::string text = json::Value(std::move(obj)).dump();

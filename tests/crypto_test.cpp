@@ -220,7 +220,9 @@ struct MilenageVectors {
 
 TEST(Milenage, OpcDerivation) {
   const MilenageVectors v;
+  // lint-audited(secret-sink: published TS 35.208 OPc vector compared in hex for readable failures)
   EXPECT_EQ(hex_encode(Milenage::derive_opc(v.k, v.op).reveal_for_test()),
+            // lint-audited(secret-sink: published TS 35.208 OPc vector compared in hex for readable failures)
             hex_encode(v.opc));
 }
 
@@ -231,8 +233,10 @@ TEST(Milenage, TestSet1AllFunctions) {
   EXPECT_EQ(hex_encode(out.mac_a), "4a9ffac354dfafb3");   // f1
   EXPECT_EQ(hex_encode(out.mac_s), "01cfaf9ec4e871e9");   // f1*
   EXPECT_EQ(hex_encode(out.res), "a54211d5e3ba50bf");     // f2
+  // lint-audited(secret-sink: published TS 35.208 test vector, revealed via reveal_for_test)
   EXPECT_EQ(hex_encode(out.ck.reveal_for_test()),
             "b40ba9a3c58b2a05bbf0d987b21bf8cb");           // f3
+  // lint-audited(secret-sink: published TS 35.208 test vector, revealed via reveal_for_test)
   EXPECT_EQ(hex_encode(out.ik.reveal_for_test()),
             "f769bcd751044604127672711c6d3441");           // f4
   EXPECT_EQ(hex_encode(out.ak), "aa689c648370");           // f5

@@ -1,7 +1,7 @@
-// shield_lint self-test: drives the scanner in-process over the seeded
+// shield_analyze self-test: drives the legacy leak rules in-process over the seeded
 // fixture tree and asserts every planted violation is reported at its
 // exact file:line — and that the real src/ tree scans clean.
-#include "lint_core.h"
+#include "analyze_core.h"
 
 #include <gtest/gtest.h>
 
@@ -12,11 +12,17 @@ namespace shield5g::lint {
 namespace {
 
 const std::string kFixtures =
-    std::string(SHIELD5G_SOURCE_ROOT) + "/tools/shield_lint/fixtures";
+    std::string(SHIELD5G_SOURCE_ROOT) + "/tools/shield_analyze/fixtures";
 const std::string kSrc = std::string(SHIELD5G_SOURCE_ROOT) + "/src";
 
+ScanOptions fixture_opts() {
+  ScanOptions opts;
+  opts.fixtures_mode = true;  // fixture trees are skipped by default
+  return opts;
+}
+
 TEST(ShieldLint, EveryFixtureViolationReportedWithFileAndLine) {
-  const auto findings = scan_tree(kFixtures);
+  const auto findings = scan_tree(kFixtures, fixture_opts());
   const auto expected = parse_expectations_tree(kFixtures);
   ASSERT_FALSE(expected.empty()) << "fixture annotations missing";
   for (const Expectation& e : expected) {
@@ -33,7 +39,7 @@ TEST(ShieldLint, NothingBeyondTheSeededViolationsFlagged) {
   // The fixtures also plant sanitized/benign lines (declassify calls,
   // ct_equal, size() compares, a paka/ handoff); none may be reported.
   std::vector<std::string> errors;
-  EXPECT_TRUE(check_expectations(scan_tree(kFixtures),
+  EXPECT_TRUE(check_expectations(scan_tree(kFixtures, fixture_opts()),
                                  parse_expectations_tree(kFixtures), errors));
   for (const std::string& err : errors) ADD_FAILURE() << err;
 }

@@ -97,6 +97,7 @@ std::uint64_t comb_job(const std::vector<Bytes>& points, std::size_t seed) {
   for (int pass = 0; pass < 6; ++pass) {
     for (const Bytes& u : points) {
       const crypto::X25519Key key = crypto::x25519(scalar, u);
+      // lint-audited(ct-flow: digest accumulation reads every output byte unconditionally)
       for (std::uint8_t byte : key) acc = acc * 131 + byte;
     }
   }
@@ -258,7 +259,9 @@ TEST(MonteCarlo, TicketIssuerHammerIsRaceFreeAndSingleUseHolds) {
         const Bytes ticket = issuer.issue(secret, /*now_ns=*/0, rng);
         const auto first = issuer.redeem(ticket, 1);
         const auto replay = issuer.redeem(ticket, 1);
+        // lint-audited(ct-flow: round-trip assertion compares recovered secret to the one issued)
         const bool key_match = first.has_value() && *first == secret;
+        // lint-audited(ct-flow: test verdict bitmask over recovered keys; timing is not under test here)
         return (key_match ? 1u : 0u) | (replay.has_value() ? 2u : 0u);
       },
       8);

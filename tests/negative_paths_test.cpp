@@ -107,10 +107,10 @@ TEST_F(NegativeFixture, PakaEndpointRejections) {
             400);
 
   // eAMF: missing SUPI.
-  json::Object kamf;
-  kamf["kseaf"] = nf::hex_field(Bytes(32, 1));
+  json::Object kamf_req;
+  kamf_req["kseaf"] = nf::hex_field(Bytes(32, 1));
   EXPECT_EQ(post("eamf-aka", "/paka/v1/derive-kamf",
-                 json::Value(kamf).dump()),
+                 json::Value(kamf_req).dump()),
             400);
 }
 

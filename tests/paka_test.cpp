@@ -61,6 +61,7 @@ TEST_P(PakaFixture, EudmGeneratesCorrectAv) {
   const Bytes sqn = {0, 0, 0, 0, 0x10, 0};
   json::Object body;
   body["supi"] = supi_;
+  // lint-audited(secret-sink: fixture key material serialized over the in-proc bus on purpose)
   body["opc"] = nf::hex_field(opc_);
   body["rand"] = nf::hex_field(rand);
   body["sqn"] = nf::hex_field(sqn);
@@ -88,6 +89,7 @@ TEST_P(PakaFixture, EudmRejectsUnknownSupiAndBadParams) {
 
   json::Object body;
   body["supi"] = "001019999999999";
+  // lint-audited(secret-sink: fixture key material serialized over the in-proc bus on purpose)
   body["opc"] = nf::hex_field(opc_);
   body["rand"] = nf::hex_field(rng_.bytes(16));
   body["sqn"] = nf::hex_field(Bytes(6, 0));
@@ -117,6 +119,7 @@ TEST_P(PakaFixture, EudmResyncEndpoint) {
   const Bytes auts = nf::build_auts(k_, opc_, rand, sqn_ms);
   json::Object body;
   body["supi"] = supi_;
+  // lint-audited(secret-sink: fixture key material serialized over the in-proc bus on purpose)
   body["opc"] = nf::hex_field(opc_);
   body["rand"] = nf::hex_field(rand);
   body["auts"] = nf::hex_field(auts);
@@ -138,6 +141,7 @@ TEST_P(PakaFixture, EausfDerivesSeVector) {
   body["rand"] = nf::hex_field(rand);
   body["xresStar"] = nf::hex_field(xres);
   body["snn"] = snn_;
+  // lint-audited(secret-sink: fixture key material serialized over the in-proc bus on purpose)
   body["kausf"] = nf::hex_field(kausf);
   const auto resp = bus_.request(
       "ausf", "eausf-aka",
@@ -156,6 +160,7 @@ TEST_P(PakaFixture, EamfDerivesKamf) {
 
   const Bytes kseaf = rng_.bytes(32);
   json::Object body;
+  // lint-audited(secret-sink: fixture key material serialized over the in-proc bus on purpose)
   body["kseaf"] = nf::hex_field(kseaf);
   body["supi"] = supi_;
   const auto resp = bus_.request(

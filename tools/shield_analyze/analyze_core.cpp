@@ -1,0 +1,291 @@
+#include "analyze_core.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace shield5g::lint {
+namespace {
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+bool scannable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+/// Deterministic sorted recursive listing.
+std::vector<fs::path> list_tree(const std::string& root) {
+  std::vector<fs::path> files;
+  if (fs::is_regular_file(root)) {
+    files.push_back(root);
+    return files;
+  }
+  if (!fs::is_directory(root)) return files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (entry.is_regular_file() && scannable(entry.path())) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Extracts the marker rule name from a line like
+/// `// ct-audited(reason about why this is safe)`. Returns the audited
+/// rule ("ct-flow" etc.), or empty when the line carries no marker.
+struct Marker {
+  std::string rule;
+  bool legacy = false;
+};
+
+Marker marker_on_line(const std::string& line) {
+  static const struct {
+    const char* tag;
+    const char* rule;
+  } kTags[] = {
+      {"ct-audited(", "ct-flow"},
+      {"det-audited(", "det-lint"},
+      {"lock-audited(", "lock-lint"},
+  };
+  for (const auto& t : kTags) {
+    const std::size_t pos = line.find(t.tag);
+    if (pos != std::string::npos &&
+        line.find(')', pos) != std::string::npos) {
+      return {t.rule, false};
+    }
+  }
+  // lint-audited(<rule>: <reason>) — legacy-rule escape hatch, honored
+  // only under tests/ and tools/ trees (production src/ has no legacy
+  // escape hatch beyond declassify()).
+  const std::size_t pos = line.find("lint-audited(");
+  if (pos != std::string::npos) {
+    const std::size_t start = pos + 13;
+    const std::size_t colon = line.find(':', start);
+    const std::size_t close = line.find(')', start);
+    if (colon != std::string::npos && close != std::string::npos &&
+        colon < close) {
+      std::string rule = line.substr(start, colon - start);
+      rule.erase(std::remove(rule.begin(), rule.end(), ' '), rule.end());
+      return {rule, true};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+Audits parse_audits(const std::string& file, const std::string& raw) {
+  Audits audits;
+  const bool legacy_ok =
+      path_contains(file, "tests/") || path_contains(file, "tools/");
+  std::istringstream in(raw);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t slash = line.find("//");
+    if (slash == std::string::npos) continue;
+    const Marker m = marker_on_line(line.substr(slash));
+    if (m.rule.empty()) continue;
+    if (m.legacy) {
+      if (!legacy_ok) continue;  // marker present but not honored
+      ++audits.counts.legacy;
+    } else if (m.rule == "ct-flow") {
+      ++audits.counts.ct;
+    } else if (m.rule == "det-lint") {
+      ++audits.counts.det;
+    } else {
+      ++audits.counts.lock;
+    }
+    audits.lines[m.rule].insert(lineno);
+  }
+  return audits;
+}
+
+std::vector<Finding> analyze_source(const std::string& file,
+                                    const std::string& src,
+                                    const std::string& sibling_header,
+                                    const ScanOptions& opts,
+                                    AuditCounts* audit_counts) {
+  const SourceText text = preprocess_source(src);
+  const std::vector<Tok> toks = tokenize(text);
+  std::vector<Tok> header_toks;
+  if (!sibling_header.empty()) {
+    header_toks = lex(sibling_header);
+  }
+
+  std::vector<Finding> findings;
+  run_legacy_passes(file, src, toks, findings);
+  run_ct_flow(file, toks, findings);
+  if (opts.fixtures_mode || path_contains(file, "src/")) {
+    run_det_lint(file, toks, header_toks, findings);
+  }
+  LockAnnotations ann;
+  collect_lock_annotations(header_toks, ann);
+  collect_lock_annotations(toks, ann);
+  run_lock_lint(file, toks, ann, findings);
+
+  // Audit suppression: a marker on line N covers findings on N and N+1.
+  const Audits audits = parse_audits(file, src);
+  if (audit_counts != nullptr) {
+    audit_counts->ct += audits.counts.ct;
+    audit_counts->det += audits.counts.det;
+    audit_counts->lock += audits.counts.lock;
+    audit_counts->legacy += audits.counts.legacy;
+  }
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       const auto it = audits.lines.find(f.rule);
+                       if (it == audits.lines.end()) return false;
+                       return it->second.count(f.line) > 0 ||
+                              it->second.count(f.line - 1) > 0;
+                     }),
+      findings.end());
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return findings;
+}
+
+std::vector<Finding> scan_source(const std::string& file,
+                                 const std::string& src) {
+  return analyze_source(file, src);
+}
+
+std::vector<Finding> scan_tree(const std::string& root,
+                               const ScanOptions& opts,
+                               AuditCounts* audits) {
+  std::vector<Finding> all;
+  for (const fs::path& path : list_tree(root)) {
+    const std::string name = path.generic_string();
+    if (!opts.fixtures_mode && path_contains(name, "/fixtures/")) continue;
+    std::string sibling;
+    if (path.extension() == ".cpp" || path.extension() == ".cc") {
+      fs::path header = path;
+      header.replace_extension(".h");
+      if (fs::is_regular_file(header)) sibling = read_file(header);
+    }
+    const auto found =
+        analyze_source(name, read_file(path), sibling, opts, audits);
+    all.insert(all.end(), found.begin(), found.end());
+  }
+  return all;
+}
+
+std::vector<Expectation> parse_expectations_tree(const std::string& root) {
+  std::vector<Expectation> expected;
+  for (const fs::path& path : list_tree(root)) {
+    const std::string name = path.generic_string();
+    std::istringstream in(read_file(path));
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      for (std::size_t pos = line.find("lint-expect(");
+           pos != std::string::npos;
+           pos = line.find("lint-expect(", pos + 1)) {
+        const std::size_t start = pos + 12;
+        const std::size_t close = line.find(')', start);
+        if (close == std::string::npos) continue;
+        expected.push_back({name, lineno, line.substr(start, close - start)});
+      }
+    }
+  }
+  return expected;
+}
+
+bool check_expectations(const std::vector<Finding>& findings,
+                        const std::vector<Expectation>& expected,
+                        std::vector<std::string>& errors) {
+  for (const Expectation& e : expected) {
+    const bool hit =
+        std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+          return f.file == e.file && f.line == e.line && f.rule == e.rule;
+        });
+    if (!hit) {
+      errors.push_back("missed seeded violation " + e.file + ":" +
+                       std::to_string(e.line) + " [" + e.rule + "]");
+    }
+  }
+  for (const Finding& f : findings) {
+    const bool wanted =
+        std::any_of(expected.begin(), expected.end(), [&](const Expectation& e) {
+          return f.file == e.file && f.line == e.line && f.rule == e.rule;
+        });
+    if (!wanted) {
+      errors.push_back("unexpected finding " + f.file + ":" +
+                       std::to_string(f.line) + " [" + f.rule + "] " +
+                       f.message);
+    }
+  }
+  return errors.empty();
+}
+
+// ---------------------------------------------------------------------
+// Baseline
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string finding_key(const Finding& f) {
+  return f.file + "\t[" + f.rule + "]\t" + f.message;
+}
+
+}  // namespace
+
+std::map<std::string, int> parse_baseline(const std::string& text) {
+  std::map<std::string, int> baseline;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string::npos) continue;
+    const int count = std::atoi(line.substr(0, tab).c_str());
+    if (count <= 0) continue;
+    baseline[line.substr(tab + 1)] += count;
+  }
+  return baseline;
+}
+
+std::string serialize_baseline(const std::vector<Finding>& findings) {
+  std::map<std::string, int> counts;
+  for (const Finding& f : findings) ++counts[finding_key(f)];
+  std::ostringstream out;
+  out << "# shield_analyze baseline: grandfathered findings, one per line\n"
+      << "# format: count<TAB>file<TAB>[rule]<TAB>message\n"
+      << "# The CI gate fails only on findings NOT covered here.\n";
+  for (const auto& [key, count] : counts) {
+    out << count << '\t' << key << '\n';
+  }
+  return out.str();
+}
+
+std::vector<Finding> filter_with_baseline(
+    const std::vector<Finding>& findings,
+    const std::map<std::string, int>& baseline) {
+  std::map<std::string, int> used;
+  std::vector<Finding> fresh;
+  for (const Finding& f : findings) {
+    const std::string key = finding_key(f);
+    const auto it = baseline.find(key);
+    const int allowed = it == baseline.end() ? 0 : it->second;
+    if (++used[key] > allowed) fresh.push_back(f);
+  }
+  return fresh;
+}
+
+}  // namespace shield5g::lint

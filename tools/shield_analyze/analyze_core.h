@@ -1,0 +1,156 @@
+// shield_analyze: multi-pass, statement-level dataflow analyzer for the
+// shield5g tree. Builds on the shared lexer in lint_core.h and adds
+// three rule families on top of the four legacy ones:
+//
+//   ct-flow   SecretBytes/Secret<N> taint propagated through local
+//             assignments and parameters inside each TU; flags
+//             secret-dependent branches (if/switch/ternary/
+//             short-circuit), secret-indexed subscripts, and loops
+//             bounded by tainted values. Whitelist with
+//             `// ct-audited(<reason>)`.
+//   det-lint  digest-affecting code (src/ only) must be deterministic:
+//             no wall clocks, no ambient randomness outside
+//             common/rng.cpp, no iteration over unordered containers,
+//             no pointer-valued keys in ordered containers. Whitelist
+//             with `// det-audited(<reason>)`.
+//   lock-lint every member annotated SHIELD_GUARDED_BY(m) may only be
+//             touched inside a scope that acquired m (atomics: writes
+//             only; reads are wait-free by design). SHIELD_REQUIRES(m)
+//             marks functions that must be entered with m held;
+//             SHIELD_THREAD_CONFINED exempts per-thread state.
+//             Whitelist with `// lock-audited(<reason>)`.
+//
+// Soundness limits (DESIGN.md §15): analysis is TU-local (plus the
+// same-stem sibling header), lock scoping is lexical, and taint does
+// not cross call boundaries. The audit annotations exist precisely to
+// close the gap by hand — their counts are pinned in CI like
+// declassify() sites.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+namespace shield5g::lint {
+
+struct ScanOptions {
+  /// Fixture self-test mode: include /fixtures/ paths (skipped in
+  /// normal scans — they are deliberately dirty) and force det-lint on
+  /// regardless of the src/-only path scope.
+  bool fixtures_mode = false;
+};
+
+/// Audited-annotation census across one scan. Pinned in CI so the
+/// escape-hatch surface cannot grow silently.
+struct AuditCounts {
+  int ct = 0;      // // ct-audited(<reason>)
+  int det = 0;     // // det-audited(<reason>)
+  int lock = 0;    // // lock-audited(<reason>)
+  int legacy = 0;  // // lint-audited(<rule>: <reason>)  (tests//tools/ only)
+};
+
+/// Suppression markers parsed from a file's raw text. A marker on line
+/// N suppresses findings of its rule on line N and line N+1 (marker on
+/// its own line above the flagged statement, or trailing on the same
+/// line).
+struct Audits {
+  std::map<std::string, std::set<int>> lines;  // rule -> marker lines
+  AuditCounts counts;
+};
+
+Audits parse_audits(const std::string& file, const std::string& raw);
+
+// ---------------------------------------------------------------------
+// New passes (implemented in ct_flow.cpp / det_lint.cpp / lock_lint.cpp)
+// ---------------------------------------------------------------------
+
+void run_ct_flow(const std::string& file, const std::vector<Tok>& toks,
+                 std::vector<Finding>& findings);
+
+/// `header_toks` are the tokens of the same-stem sibling header (empty
+/// when scanning a header or a .cpp with no sibling): container
+/// declarations living in the header are merged so iteration in the
+/// .cpp is still seen.
+void run_det_lint(const std::string& file, const std::vector<Tok>& toks,
+                  const std::vector<Tok>& header_toks,
+                  std::vector<Finding>& findings);
+
+struct LockAnnotations {
+  struct Member {
+    std::string name;   // annotated member identifier
+    std::string mutex;  // terminal identifier of the guarding mutex
+    bool is_atomic = false;
+  };
+  std::vector<Member> guarded;
+  std::map<std::string, std::string> requires_fn;  // function -> mutex
+  std::set<std::string> thread_confined;
+};
+
+/// Collects SHIELD_GUARDED_BY / SHIELD_REQUIRES / SHIELD_THREAD_CONFINED
+/// annotations from a token stream; `out` accumulates (call once for
+/// the TU and once for its sibling header).
+void collect_lock_annotations(const std::vector<Tok>& toks,
+                              LockAnnotations& out);
+
+void run_lock_lint(const std::string& file, const std::vector<Tok>& toks,
+                   const LockAnnotations& ann,
+                   std::vector<Finding>& findings);
+
+// ---------------------------------------------------------------------
+// Orchestration
+// ---------------------------------------------------------------------
+
+/// Runs all seven rule families over one in-memory source, applying
+/// audit suppressions. `sibling_header` is the raw text of the
+/// same-stem .h (empty when none); `audits` (optional) accumulates the
+/// annotation census.
+std::vector<Finding> analyze_source(const std::string& file,
+                                    const std::string& src,
+                                    const std::string& sibling_header = {},
+                                    const ScanOptions& opts = {},
+                                    AuditCounts* audits = nullptr);
+
+/// Back-compat convenience used by the unit tests.
+std::vector<Finding> scan_source(const std::string& file,
+                                 const std::string& src);
+
+/// Recursively scans every .h/.hpp/.cc/.cpp under `root` (sorted walk,
+/// deterministic order). Normal mode skips any path containing
+/// "/fixtures/" — fixture trees are deliberately dirty.
+std::vector<Finding> scan_tree(const std::string& root,
+                               const ScanOptions& opts = {},
+                               AuditCounts* audits = nullptr);
+
+/// Parses `// lint-expect(<rule>)` annotations under a fixture tree.
+std::vector<Expectation> parse_expectations_tree(const std::string& root);
+
+/// Exact two-way match between findings and expectations; false with
+/// one error line per mismatch (missed seed or unexpected finding).
+bool check_expectations(const std::vector<Finding>& findings,
+                        const std::vector<Expectation>& expected,
+                        std::vector<std::string>& errors);
+
+// ---------------------------------------------------------------------
+// Baseline (ratchet): grandfathered findings keyed by file + rule +
+// message (line numbers excluded so unrelated edits don't churn it).
+// The CI gate fails only when a key's finding count exceeds its
+// baseline count — new findings always fail, old ones never block.
+// ---------------------------------------------------------------------
+
+/// Parses "count<TAB>file<TAB>[rule]<TAB>message" lines ('#' comments
+/// and blank lines ignored) into key -> allowed count.
+std::map<std::string, int> parse_baseline(const std::string& text);
+
+/// Serializes findings into the baseline format (sorted, deduped with
+/// counts).
+std::string serialize_baseline(const std::vector<Finding>& findings);
+
+/// Returns the findings NOT covered by the baseline.
+std::vector<Finding> filter_with_baseline(
+    const std::vector<Finding>& findings,
+    const std::map<std::string, int>& baseline);
+
+}  // namespace shield5g::lint

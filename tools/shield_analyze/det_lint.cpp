@@ -1,0 +1,169 @@
+// det-lint: determinism lint for digest-affecting code. The shard
+// runner's contract (DESIGN.md §12) is byte-identical sweep digests at
+// any worker count; everything under src/ feeds those digests, so it
+// must not read wall clocks, draw ambient randomness outside the
+// seeded common/rng.cpp stream, iterate containers in hash order, or
+// key ordered containers by pointer (address-order leaks).
+// Escape hatch: `// det-audited(<reason>)` — e.g. a steady_clock read
+// that feeds a wall-time metric and provably never reaches a digest.
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analyze_core.h"
+
+namespace shield5g::lint {
+namespace {
+
+bool is_unordered_container(const std::string& t) {
+  return t == "unordered_map" || t == "unordered_set" ||
+         t == "unordered_multimap" || t == "unordered_multiset";
+}
+
+bool is_ordered_container(const std::string& t) {
+  return t == "map" || t == "set" || t == "multimap" || t == "multiset";
+}
+
+/// Variable names declared with an unordered container type in a token
+/// stream: `std::unordered_map<K, V> name` (declarations only — an
+/// identifier followed by '(' is a function returning one).
+void collect_unordered_names(const std::vector<Tok>& toks,
+                             std::unordered_set<std::string>& names) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!is_unordered_container(toks[i].text)) continue;
+    if (i + 1 >= toks.size() || toks[i + 1].text != "<") continue;
+    const std::size_t close = match_angle(toks, i + 1);
+    if (close == i + 1) continue;
+    std::size_t j = close + 1;
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j >= toks.size() || !toks[j].ident) continue;
+    if (j + 1 < toks.size() && toks[j + 1].text == "(") continue;
+    names.insert(normalize_ident(toks[j].text));
+  }
+}
+
+/// Pointer type in the key position of `map<K, V>` / `set<K>`: a '*'
+/// inside the first template argument.
+bool pointer_key(const std::vector<Tok>& toks, std::size_t open,
+                 std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    if (t == ">") --depth;
+    if (t == "," && depth == 0) return false;  // key argument ended
+    if (t == "*") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void run_det_lint(const std::string& file, const std::vector<Tok>& toks,
+                  const std::vector<Tok>& header_toks,
+                  std::vector<Finding>& findings) {
+  const std::string base = std::filesystem::path(file).filename().string();
+  const bool rng_home = base == "rng.cpp" || base == "rng.h";
+
+  std::unordered_set<std::string> unordered_names;
+  collect_unordered_names(header_toks, unordered_names);
+  collect_unordered_names(toks, unordered_names);
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (!t.ident) continue;
+    const bool method = i > 0 && (toks[i - 1].text == "." ||
+                                  toks[i - 1].text == "->");
+    const bool calls = i + 1 < toks.size() && toks[i + 1].text == "(";
+
+    // Wall-clock sources.
+    if (t.text == "system_clock" || t.text == "steady_clock" ||
+        t.text == "high_resolution_clock") {
+      add_finding(findings, file, t.line, "det-lint",
+                  "wall-clock source `" + t.text +
+                      "` in digest-affecting code");
+      continue;
+    }
+    if ((t.text == "time" || t.text == "clock_gettime" ||
+         t.text == "gettimeofday") &&
+        calls && !method) {
+      add_finding(findings, file, t.line, "det-lint",
+                  "wall-clock call `" + t.text +
+                      "(` in digest-affecting code");
+      continue;
+    }
+
+    // Ambient randomness outside the seeded stream in common/rng.cpp.
+    if (!rng_home) {
+      if ((t.text == "rand" || t.text == "srand") && calls && !method) {
+        add_finding(findings, file, t.line, "det-lint",
+                    "ambient randomness `" + t.text +
+                        "(` outside common/rng.cpp");
+        continue;
+      }
+      if (t.text == "random_device") {
+        add_finding(findings, file, t.line, "det-lint",
+                    "ambient randomness `std::random_device` outside "
+                    "common/rng.cpp");
+        continue;
+      }
+    }
+
+    // Iteration over an unordered container: hash/pointer order leaks
+    // into whatever the loop computes.
+    if (t.text == "for" && calls) {
+      const std::size_t close = match_paren(toks, i + 1);
+      int depth = 0;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        const std::string& tj = toks[j].text;
+        if (tj == "(" || tj == "[") ++depth;
+        if (tj == ")" || tj == "]") --depth;
+        if (tj == ":" && depth == 0) {
+          // Range expression: its terminal identifier.
+          std::string range;
+          for (std::size_t k = j + 1; k < close; ++k) {
+            if (toks[k].ident) range = toks[k].text;
+          }
+          if (!range.empty() &&
+              unordered_names.count(normalize_ident(range))) {
+            add_finding(findings, file, toks[j].line, "det-lint",
+                        "iteration over unordered container `" + range +
+                            "`: hash order is not deterministic");
+          }
+          break;
+        }
+      }
+      continue;
+    }
+    if ((t.text == "begin" || t.text == "cbegin") && method && calls &&
+        i >= 2 && toks[i - 2].ident &&
+        unordered_names.count(normalize_ident(toks[i - 2].text))) {
+      add_finding(findings, file, t.line, "det-lint",
+                  "iteration over unordered container `" +
+                      toks[i - 2].text +
+                      "`: hash order is not deterministic");
+      continue;
+    }
+
+    // Pointer-valued keys in ordered containers: iteration order is
+    // address order, which varies run to run.
+    if (is_ordered_container(t.text) && i + 1 < toks.size() &&
+        toks[i + 1].text == "<" &&
+        (i == 0 || toks[i - 1].text == "::" || !toks[i - 1].ident)) {
+      const std::size_t close = match_angle(toks, i + 1);
+      if (close != i + 1 && pointer_key(toks, i + 1, close)) {
+        add_finding(findings, file, t.line, "det-lint",
+                    "pointer-valued key in ordered container: iteration "
+                    "order is address-dependent");
+      }
+    }
+  }
+}
+
+}  // namespace shield5g::lint

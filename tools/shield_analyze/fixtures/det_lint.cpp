@@ -1,0 +1,67 @@
+// Seeded det-lint violations: nondeterminism sources in what pretends
+// to be digest-affecting code — wall clocks, ambient randomness,
+// hash-order iteration, and pointer-keyed ordered containers. The
+// unmarked lines (vector iteration, string-keyed map, the det-audited
+// line) are benign and must NOT be flagged.
+//
+// Fixture only — never compiled, only tokenized by the lint self-test.
+#include <chrono>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace shield5g::fixture {
+
+std::uint64_t stamp_digest() {
+  const auto t = std::chrono::steady_clock::now();  // lint-expect(det-lint)
+  return static_cast<std::uint64_t>(t.time_since_epoch().count());
+}
+
+std::uint64_t wall_now() {
+  return static_cast<std::uint64_t>(std::time(nullptr));  // lint-expect(det-lint)
+}
+
+int ambient_noise() {
+  std::random_device rd;  // lint-expect(det-lint)
+  return static_cast<int>(rd());
+}
+
+int libc_noise() {
+  return std::rand();  // lint-expect(det-lint)
+}
+
+std::uint64_t digest_counters(
+    const std::unordered_map<std::string, std::uint64_t>& counters) {
+  std::uint64_t digest = 0;
+  for (const auto& [name, value] : counters) {  // lint-expect(det-lint)
+    digest ^= value;
+  }
+  return digest;
+}
+
+std::unordered_set<int> live_ids;
+
+int first_live() {
+  return *live_ids.begin();  // lint-expect(det-lint)
+}
+
+std::map<const Session*, int> by_session;  // lint-expect(det-lint)
+
+// Benign: the key is a deterministic string; pointer values are fine.
+std::map<std::string, Session*> by_name;
+
+// Benign: vector iteration order is deterministic.
+std::uint64_t digest_list(const std::vector<std::uint64_t>& xs) {
+  std::uint64_t d = 0;
+  for (std::uint64_t x : xs) d ^= x;
+  return d;
+}
+
+// Benign: audited wall-clock that feeds a log line, never a digest.
+std::uint64_t log_stamp() {
+  // det-audited(fixture: demonstrates the audited escape hatch)
+  return static_cast<std::uint64_t>(std::time(nullptr));
+}
+
+}  // namespace shield5g::fixture

@@ -1,6 +1,6 @@
 // Seeded secret-sink violations: key material written into log, JSON
 // and HTTP sinks without going through declassify(). Every annotated
-// line must be reported by shield_lint with file:line; the unmarked
+// line must be reported by shield_analyze with file:line; the unmarked
 // sink lines are sanitized uses and must NOT be flagged.
 //
 // Fixture only — never compiled, only tokenized by the lint self-test.

@@ -1,0 +1,95 @@
+// Seeded lock-lint violations: SHIELD_GUARDED_BY members touched
+// outside a scope holding the named mutex, an atomic written without
+// the lock, and a SHIELD_REQUIRES contract violated at a call site.
+// The unmarked touches (under lock_guard, explicit .lock(), atomic
+// reads, constructor bodies, thread-confined members, the
+// lock-audited line) are benign and must NOT be flagged.
+//
+// Fixture only — never compiled, only tokenized by the lint self-test.
+#include <atomic>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace shield5g::fixture {
+
+class SessionTable {
+ public:
+  void put(int id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ = count_ + 1;
+    ids_[id % 8] = id;
+  }
+
+  int racy_get(int id) {
+    return ids_[id % 8];  // lint-expect(lock-lint)
+  }
+
+  void racy_bump() {
+    count_ = count_ + 1;  // lint-expect(lock-lint)
+  }
+
+  void racy_epoch_bump() {
+    epoch_.fetch_add(1);  // lint-expect(lock-lint)
+  }
+
+  std::uint32_t read_epoch() const {
+    return epoch_.load();  // benign: atomic reads are wait-free
+  }
+
+  void rotate() {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch_.fetch_add(1);  // benign: write under the lock
+  }
+
+  void refill_locked() SHIELD_REQUIRES(mu_);
+
+  void racy_refill() {
+    refill_locked();  // lint-expect(lock-lint)
+  }
+
+  void safe_refill() {
+    std::lock_guard<std::mutex> lock(mu_);
+    refill_locked();  // benign: contract satisfied
+  }
+
+  void manual_lock() {
+    mu_.lock();
+    count_ = 1;  // benign: explicit lock held
+    mu_.unlock();
+    count_ = 2;  // lint-expect(lock-lint)
+  }
+
+  void audited_reset() {
+    // lock-audited(fixture: demonstrates the audited escape hatch)
+    count_ = 0;
+  }
+
+ private:
+  std::mutex mu_;
+  int ids_[8] SHIELD_GUARDED_BY(mu_);
+  int count_ SHIELD_GUARDED_BY(mu_) = 0;
+  std::atomic<std::uint32_t> epoch_ SHIELD_GUARDED_BY(mu_){0};
+};
+
+struct Pool {
+  Pool();
+  ~Pool();
+  std::mutex mu;
+  int slots[4] SHIELD_GUARDED_BY(mu);
+  int scratch[4] SHIELD_THREAD_CONFINED;
+
+  void fill() {
+    scratch[0] = 1;  // benign: thread-confined by declaration
+  }
+};
+
+Pool::Pool() {
+  slots[0] = 0;  // benign: no concurrency during construction
+}
+
+Pool::~Pool() {
+  slots[0] = -1;  // benign: no concurrency during destruction
+}
+
+}  // namespace shield5g::fixture

@@ -1,0 +1,44 @@
+// Regression fixture for the multi-line blind spot: a sink whose
+// statement spans physical lines, an identifier split by a
+// backslash-newline splice, and a raw string literal with an embedded
+// quote — each of which evaded (or would desync) a per-line scanner.
+// The token-level lexer folds splices and tracks raw strings, so all
+// three sinks below must be flagged at the secret's own line.
+//
+// Fixture only — never compiled, only tokenized by the lint self-test.
+#include "common/hex.h"
+#include "common/log.h"
+
+namespace shield5g::fixture {
+
+void multiline_log(const SecretBytes& kseaf) {
+  S5G_LOG(LogLevel::kInfo,
+          "ausf")
+      << "kseaf="
+      << kseaf;  // lint-expect(secret-sink)
+}
+
+json::Value multiline_json(const SecretBytes& kausf) {
+  return json::Value(
+      hex_encode(
+          kausf));  // lint-expect(secret-sink)
+}
+
+void spliced_sink(const SecretBytes& kamf) {
+  S5G_\
+LOG(LogLevel::kDebug, "amf") << kamf;  // lint-expect(secret-sink)
+}
+
+json::Value raw_string_then_sink(const SecretBytes& kgnb) {
+  const char* banner = R"(an embedded " quote must not desync)";
+  return json::Value(hex_encode(kgnb));  // lint-expect(secret-sink)
+}
+
+json::Value multiline_ok(const SecretBytes& knas_int,
+                         const sgx::EnclaveContext* ctx) {
+  // Benign: the audited gate, split across lines.
+  return json::Value(hex_encode(knas_int.declassify(
+      DeclassifyReason::kTransport, ctx)));
+}
+
+}  // namespace shield5g::fixture

@@ -1,0 +1,539 @@
+#include "lint_core.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <sstream>
+#include <unordered_set>
+
+namespace shield5g::lint {
+namespace {
+
+// ---------------------------------------------------------------------
+// Identifier classes
+// ---------------------------------------------------------------------
+
+/// Key-material identifiers: anything from the 5G-AKA hierarchy that is
+/// SecretBytes-typed in the tree. Matching is done on the lowercased
+/// token with trailing underscores stripped, so `kamf_`, `rec.opc` and
+/// `Kausf` all resolve here.
+const std::unordered_set<std::string>& secret_idents() {
+  static const std::unordered_set<std::string> kSet{
+      "k",        "ck",        "ik",        "opc",
+      "kausf",    "kseaf",     "kamf",      "kgnb",
+      "knas_int", "knas_enc",  "enc_key",   "mac_key",
+      "private_key", "hn_private", "receiver_private",
+  };
+  return kSet;
+}
+
+/// Authentication tokens that must be compared in constant time
+/// (TS 33.501 verification values: MAC-A/MAC-S, RES*/HXRES*, AUTS).
+const std::unordered_set<std::string>& ct_idents() {
+  static const std::unordered_set<std::string> kSet{
+      "mac_a",    "mac_s",      "mac_tag",    "res",
+      "res_star", "xres_star",  "hxres_star", "hres_star",
+      "auts",
+  };
+  return kSet;
+}
+
+/// Methods on a secret that are fine to call inside a sink expression:
+/// size/empty leak nothing, declassify is the audited escape hatch.
+const std::unordered_set<std::string>& allowed_methods() {
+  static const std::unordered_set<std::string> kSet{
+      "size", "empty", "declassify",
+  };
+  return kSet;
+}
+
+}  // namespace
+
+std::string normalize_ident(const std::string& ident) {
+  std::string out;
+  out.reserve(ident.size());
+  for (char c : ident) out.push_back(static_cast<char>(std::tolower(c)));
+  while (!out.empty() && out.back() == '_') out.pop_back();
+  return out;
+}
+
+bool path_contains(const std::string& path, const std::string& piece) {
+  return path.find(piece) != std::string::npos;
+}
+
+// ---------------------------------------------------------------------
+// Preprocessing: physical-line splices folded, comments and literals
+// stripped, original line numbers preserved per byte.
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Folds backslash-newline splices ([lex.phases] §2) so that a token
+/// or comment split across physical lines is seen whole — the
+/// multi-line evasion a per-line scanner cannot close. Each retained
+/// byte remembers its original line.
+void splice_lines(const std::string& src, std::string& out,
+                  std::vector<int>& line_of) {
+  out.reserve(src.size());
+  line_of.reserve(src.size());
+  int line = 1;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    if (src[i] == '\\') {
+      // Allow trailing whitespace between the backslash and the
+      // newline (compilers accept it with a warning; an evader would
+      // lean on exactly that).
+      std::size_t j = i + 1;
+      while (j < src.size() && (src[j] == ' ' || src[j] == '\t')) ++j;
+      if (j < src.size() && src[j] == '\n') {
+        ++line;
+        i = j;  // drop the splice entirely
+        continue;
+      }
+      if (j >= src.size()) break;  // backslash at EOF: drop
+    }
+    out.push_back(src[i]);
+    line_of.push_back(line);
+    if (src[i] == '\n') ++line;
+  }
+}
+
+}  // namespace
+
+SourceText preprocess_source(const std::string& src) {
+  SourceText text;
+  splice_lines(src, text.code, text.line_of);
+
+  // Strip comments, string literals (raw strings included) and char
+  // literals in place, preserving newlines so byte positions (and with
+  // them line_of) stay aligned.
+  std::string& out = text.code;
+  enum class Mode { kCode, kLine, kBlock, kStr, kChar, kRaw } mode = Mode::kCode;
+  std::string raw_close;  // )delim" terminating the active raw string
+  std::size_t raw_match = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    const char next = i + 1 < out.size() ? out[i + 1] : '\0';
+    switch (mode) {
+      case Mode::kCode:
+        if (c == '/' && next == '/') {
+          mode = Mode::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          mode = Mode::kBlock;
+          out[i] = ' ';
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   out[i - 1])) &&
+                               out[i - 1] != '_'))) {
+          // R"delim( ... )delim" — find the delimiter, remember the
+          // closer, blank everything including embedded quotes/parens.
+          std::size_t d = i + 2;
+          std::string delim;
+          while (d < out.size() && out[d] != '(' && out[d] != '\n' &&
+                 delim.size() <= 16) {
+            delim.push_back(out[d]);
+            ++d;
+          }
+          if (d < out.size() && out[d] == '(') {
+            raw_close = ")" + delim + "\"";
+            raw_match = 0;
+            for (std::size_t j = i; j <= d; ++j) out[j] = ' ';
+            i = d;
+            mode = Mode::kRaw;
+          }
+          // Not a raw string opener (e.g. `R "x"` macro soup): leave
+          // the R as code; the quote is handled on the next byte.
+        } else if (c == '"') {
+          mode = Mode::kStr;
+          out[i] = ' ';
+        } else if (c == '\'') {
+          // Digit separators (1'000'000) are part of pp-numbers, not
+          // char literals.
+          const bool after_digit =
+              i > 0 && (std::isalnum(static_cast<unsigned char>(out[i - 1])));
+          if (!after_digit) {
+            mode = Mode::kChar;
+            out[i] = ' ';
+          }
+        }
+        break;
+      case Mode::kLine:
+        if (c == '\n') {
+          mode = Mode::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          mode = Mode::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kStr:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          out[i] = ' ';
+          mode = Mode::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < out.size() && next != '\n') {
+            out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          out[i] = ' ';
+          mode = Mode::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case Mode::kRaw:
+        if (c == raw_close[raw_match]) {
+          ++raw_match;
+          if (raw_match == raw_close.size()) {
+            // Blank the closer (the body bytes were blanked on entry).
+            for (std::size_t j = i + 1 - raw_close.size(); j <= i; ++j) {
+              if (out[j] != '\n') out[j] = ' ';
+            }
+            mode = Mode::kCode;
+          }
+        } else {
+          // Blank what a partial-closer rewind would have kept.
+          raw_match = c == raw_close[0] ? 1 : 0;
+        }
+        if (mode == Mode::kRaw && c != '\n' && raw_match == 0) out[i] = ' ';
+        if (mode == Mode::kRaw && raw_match > 0 && c != '\n') out[i] = ' ';
+        break;
+    }
+  }
+  return text;
+}
+
+std::vector<Tok> tokenize(const SourceText& text) {
+  const std::string& code = text.code;
+  std::vector<Tok> toks;
+  std::size_t i = 0;
+  auto line_at = [&](std::size_t pos) {
+    return pos < text.line_of.size() ? text.line_of[pos] : 1;
+  };
+  auto is_ident_start = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  auto is_ident = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while (i < code.size()) {
+    const char c = code[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      const std::size_t start = i;
+      while (i < code.size() && is_ident(code[i])) ++i;
+      toks.push_back({code.substr(start, i - start), line_at(start), true});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const std::size_t start = i;
+      while (i < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[i])) ||
+              code[i] == '.' || code[i] == '\'')) {
+        ++i;
+      }
+      toks.push_back({code.substr(start, i - start), line_at(start), false});
+      continue;
+    }
+    // Multi-char operators the rules care about.
+    const char next = i + 1 < code.size() ? code[i + 1] : '\0';
+    if ((c == ':' && next == ':') || (c == '=' && next == '=') ||
+        (c == '!' && next == '=') || (c == '<' && next == '<') ||
+        (c == '-' && next == '>') || (c == '&' && next == '&') ||
+        (c == '|' && next == '|')) {
+      toks.push_back({std::string{c, next}, line_at(i), false});
+      i += 2;
+      continue;
+    }
+    toks.push_back({std::string(1, c), line_at(i), false});
+    ++i;
+  }
+  return toks;
+}
+
+std::vector<Tok> lex(const std::string& src) {
+  return tokenize(preprocess_source(src));
+}
+
+std::size_t match_paren(const std::vector<Tok>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")" && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+std::size_t match_angle(const std::vector<Tok>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "<") ++depth;
+    if (t == ">" && --depth == 0) return i;
+    if (t == ";") break;  // ran off the statement: comparison, not <...>
+  }
+  return open;
+}
+
+std::size_t match_square(const std::vector<Tok>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == "[") ++depth;
+    if (toks[i].text == "]" && --depth == 0) return i;
+  }
+  return toks.size();
+}
+
+std::string left_operand(const std::vector<Tok>& toks, std::size_t i) {
+  if (i == 0 || !toks[i - 1].ident) return {};
+  return normalize_ident(toks[i - 1].text);
+}
+
+std::string right_operand(const std::vector<Tok>& toks, std::size_t i) {
+  std::string last;
+  while (i < toks.size()) {
+    if (toks[i].ident) {
+      last = normalize_ident(toks[i].text);
+      ++i;
+      if (i < toks.size() && (toks[i].text == "." || toks[i].text == "->")) {
+        ++i;
+        continue;
+      }
+      if (i < toks.size() && toks[i].text == "(") return {};
+      break;
+    }
+    if (toks[i].text == "*" || toks[i].text == "&") {
+      ++i;  // dereference of an optional/pointer operand
+      continue;
+    }
+    break;
+  }
+  return last;
+}
+
+void add_finding(std::vector<Finding>& findings, const std::string& file,
+                 int line, const std::string& rule,
+                 const std::string& message) {
+  for (const Finding& f : findings) {
+    if (f.line == line && f.rule == rule) return;  // dedupe
+  }
+  findings.push_back({file, line, rule, message});
+}
+
+// ---------------------------------------------------------------------
+// Legacy per-rule passes
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// True when the secret identifier at `i` is only used through an
+/// allowed method (`.size()`, `.empty()`, or the audited
+/// `.declassify(...)` gate).
+bool sanitized_use(const std::vector<Tok>& toks, std::size_t i) {
+  if (i + 2 >= toks.size()) return false;
+  const std::string& dot = toks[i + 1].text;
+  if (dot != "." && dot != "->") return false;
+  return allowed_methods().count(normalize_ident(toks[i + 2].text)) > 0;
+}
+
+/// Flags raw secret identifiers inside [begin, end).
+void scan_sink_region(const std::string& file, const std::vector<Tok>& toks,
+                      std::size_t begin, std::size_t end,
+                      const std::string& sink_name,
+                      std::vector<Finding>& findings) {
+  for (std::size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (!toks[i].ident) continue;
+    const std::string norm = normalize_ident(toks[i].text);
+    if (!secret_idents().count(norm)) continue;
+    if (sanitized_use(toks, i)) continue;
+    add_finding(findings, file, toks[i].line, "secret-sink",
+                "key material `" + toks[i].text + "` reaches " + sink_name +
+                    " without declassify()");
+  }
+}
+
+/// Rule test-escape: the test-only declassification surface must not
+/// appear in production code. secret.{h,cpp} define it and are exempt;
+/// so is anything under a tests/ tree — unit tests comparing against
+/// published vectors are the reason the surface exists.
+void pass_test_escape(const std::string& file, const std::vector<Tok>& toks,
+                      std::vector<Finding>& findings) {
+  const std::string base = std::filesystem::path(file).filename().string();
+  if (base == "secret.h" || base == "secret.cpp") return;
+  if (path_contains(file, "tests/")) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.text == "kTestVector") {
+      add_finding(findings, file, t.line, "test-escape",
+                  "DeclassifyReason::kTestVector is test-only");
+    }
+    if (t.text == "reveal_for_test" && i > 0 &&
+        (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+      add_finding(findings, file, t.line, "test-escape",
+                  "reveal_for_test() is test-only");
+    }
+  }
+}
+
+/// Rule ct-compare: memcmp or ==/!= on MAC/RES*/AUTS verification
+/// values instead of ct_equal (timing side channel on the auth path).
+void pass_ct_compare(const std::string& file, const std::vector<Tok>& toks,
+                     std::vector<Finding>& findings) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.text == "memcmp" && i + 1 < toks.size() &&
+        toks[i + 1].text == "(") {
+      add_finding(findings, file, t.line, "ct-compare",
+                  "memcmp is never constant-time here");
+      continue;
+    }
+    if (t.text != "==" && t.text != "!=") continue;
+    for (const std::string& ident :
+         {left_operand(toks, i), right_operand(toks, i + 1)}) {
+      if (!ident.empty() && ct_idents().count(ident)) {
+        add_finding(findings, file, t.line, "ct-compare",
+                    "`" + ident + "` compared with " + t.text +
+                        "; use ct_equal()");
+        break;
+      }
+    }
+  }
+}
+
+/// Rule secret-sink: raw key material reaching a log stream, JSON
+/// value, hex encoder or HTTP response body. src/paka/ is exempt: the
+/// P-AKA modules are the enclave boundary and hand keys off through
+/// their own audited declassification sites.
+void pass_secret_sink(const std::string& file, const std::vector<Tok>& toks,
+                      std::vector<Finding>& findings) {
+  if (path_contains(file, "paka/")) return;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (!t.ident) continue;
+
+    // S5G_LOG(...) << ... ;  — the whole statement is the sink.
+    if (t.text == "S5G_LOG") {
+      int depth = 0;
+      std::size_t j = i;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")") --depth;
+        if (toks[j].text == ";" && depth == 0) break;
+      }
+      scan_sink_region(file, toks, i + 1, j, "a log stream", findings);
+      continue;
+    }
+
+    // hex_encode(...) / hex_field(...) — argument list is the sink.
+    if ((t.text == "hex_encode" || t.text == "hex_field") &&
+        i + 1 < toks.size() && toks[i + 1].text == "(") {
+      scan_sink_region(file, toks, i + 2, match_paren(toks, i + 1),
+                       t.text + "()", findings);
+      continue;
+    }
+
+    // json::Value(...) and HttpResponse::json(...) constructions.
+    const bool json_value = t.text == "json" && i + 3 < toks.size() &&
+                            toks[i + 1].text == "::" &&
+                            toks[i + 2].text == "Value" &&
+                            toks[i + 3].text == "(";
+    const bool http_body = t.text == "HttpResponse" && i + 3 < toks.size() &&
+                           toks[i + 1].text == "::" &&
+                           toks[i + 2].text == "json" &&
+                           toks[i + 3].text == "(";
+    if (json_value || http_body) {
+      scan_sink_region(file, toks, i + 4, match_paren(toks, i + 3),
+                       json_value ? "a json::Value" : "an HTTP response body",
+                       findings);
+    }
+  }
+}
+
+/// Rule decl-mismatch: a plain `Bytes` declaration whose own trailing
+/// comment says it holds a secret — the declaration and the comment
+/// disagree, and the type should be SecretBytes.
+void pass_decl_mismatch(const std::string& file, const std::string& raw,
+                        std::vector<Finding>& findings) {
+  std::istringstream in(raw);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t slash = line.find("//");
+    if (slash == std::string::npos) continue;
+    std::string comment = line.substr(slash + 2);
+    std::transform(comment.begin(), comment.end(), comment.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (comment.find("secret") == std::string::npos) continue;
+    const std::string code = line.substr(0, slash);
+    // `Bytes name;` or `Bytes name =` with a word boundary before
+    // `Bytes` (so SecretBytes does not match).
+    for (std::size_t pos = code.find("Bytes"); pos != std::string::npos;
+         pos = code.find("Bytes", pos + 1)) {
+      if (pos > 0 && (std::isalnum(static_cast<unsigned char>(
+                          code[pos - 1])) ||
+                      code[pos - 1] == '_')) {
+        continue;
+      }
+      std::size_t p = pos + 5;
+      while (p < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[p]))) {
+        ++p;
+      }
+      std::size_t name_start = p;
+      while (p < code.size() &&
+             (std::isalnum(static_cast<unsigned char>(code[p])) ||
+              code[p] == '_')) {
+        ++p;
+      }
+      if (p == name_start) continue;
+      while (p < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[p]))) {
+        ++p;
+      }
+      if (p < code.size() && (code[p] == ';' || code[p] == '=')) {
+        findings.push_back(
+            {file, lineno, "decl-mismatch",
+             "comment declares a secret but the type is plain Bytes"});
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void run_legacy_passes(const std::string& file, const std::string& raw,
+                       const std::vector<Tok>& toks,
+                       std::vector<Finding>& findings) {
+  pass_test_escape(file, toks, findings);
+  pass_ct_compare(file, toks, findings);
+  pass_secret_sink(file, toks, findings);
+  pass_decl_mismatch(file, raw, findings);
+}
+
+}  // namespace shield5g::lint

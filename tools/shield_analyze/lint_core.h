@@ -1,0 +1,114 @@
+// shield_analyze lexing core + the four legacy token-level rules.
+//
+// The SecretBytes type system (src/common/secret.h) makes most leaks a
+// compile error; these passes catch the patterns a type check cannot:
+// raw key-material identifiers written into log/JSON/HTTP sinks via an
+// escape hatch, non-constant-time comparison of authentication tokens,
+// the test-only declassification reason appearing in production code,
+// and `Bytes` declarations whose own comment claims they hold a secret.
+// The dataflow families on top (ct-flow, det-lint, lock-lint) live in
+// analyze_core.h and share this lexer.
+//
+// Deliberately no libclang: a tokenizer plus per-statement scanning is
+// enough for these rules and keeps the tool dependency-free. The lexer
+// is physical-line aware: backslash-newline splices are folded (so a
+// spliced `S5G_\<newline>LOG` cannot evade the sink rules), raw string
+// literals are stripped without tripping on embedded quotes, and every
+// token still carries its original 1-based line number.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace shield5g::lint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string file;  // path as passed to the scanner
+  int line = 0;      // 1-based
+  std::string rule;  // secret-sink | ct-compare | test-escape |
+                     // decl-mismatch | ct-flow | det-lint | lock-lint
+  std::string message;
+};
+
+/// A `// lint-expect(rule)` annotation inside a fixture file.
+struct Expectation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+};
+
+// ---------------------------------------------------------------------
+// Lexer (shared by every pass)
+// ---------------------------------------------------------------------
+
+/// Source after physical-line preprocessing: backslash-newline splices
+/// removed, comments / string literals / char literals blanked to
+/// spaces (raw strings included), newlines preserved. `line_of[i]` is
+/// the original 1-based line of `code[i]` — splices shift bytes, so a
+/// byte's line can no longer be derived by counting '\n'.
+struct SourceText {
+  std::string code;
+  std::vector<int> line_of;
+};
+
+/// Splices physical lines and strips comments/literals.
+SourceText preprocess_source(const std::string& src);
+
+struct Tok {
+  std::string text;
+  int line = 0;
+  bool ident = false;
+};
+
+std::vector<Tok> tokenize(const SourceText& text);
+
+/// preprocess_source + tokenize in one step.
+std::vector<Tok> lex(const std::string& src);
+
+/// Index of the token closing the paren group opened at `open` (which
+/// must be "("); toks.size() when unbalanced.
+std::size_t match_paren(const std::vector<Tok>& toks, std::size_t open);
+
+/// Same for an angle-bracket group at `open` ("<"), used to skip
+/// template argument lists. Returns `open` when the group does not
+/// close before a ";" — a lone less-than is a comparison, not a
+/// template list.
+std::size_t match_angle(const std::vector<Tok>& toks, std::size_t open);
+
+/// Same for a square-bracket group at `open` ("[").
+std::size_t match_square(const std::vector<Tok>& toks, std::size_t open);
+
+/// Lowercases and strips trailing underscores: `Kausf`, `kamf_` and
+/// `rec.opc`'s terminal all normalize to their key-hierarchy name.
+std::string normalize_ident(const std::string& ident);
+
+bool path_contains(const std::string& path, const std::string& piece);
+
+/// Terminal identifier of the member chain ending just before token
+/// `i` (for `fields.mac_a ==` that is `mac_a`), normalized. Empty
+/// after `)` — a call result compares a derived scalar.
+std::string left_operand(const std::vector<Tok>& toks, std::size_t i);
+
+/// Terminal identifier of the member chain starting at `i` moving
+/// right, normalized; empty when the chain ends in a call.
+std::string right_operand(const std::vector<Tok>& toks, std::size_t i);
+
+/// Appends a finding deduped by (line, rule).
+void add_finding(std::vector<Finding>& findings, const std::string& file,
+                 int line, const std::string& rule,
+                 const std::string& message);
+
+// ---------------------------------------------------------------------
+// Legacy rule families (secret-sink, ct-compare, test-escape,
+// decl-mismatch), unchanged semantics from the shield_lint era plus
+// one scope rule: under a tests/ tree the test-only declassification
+// surface is legal (that is exactly what it exists for), so
+// test-escape is skipped there.
+// ---------------------------------------------------------------------
+void run_legacy_passes(const std::string& file, const std::string& raw,
+                       const std::vector<Tok>& toks,
+                       std::vector<Finding>& findings);
+
+}  // namespace shield5g::lint

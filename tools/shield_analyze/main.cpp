@@ -1,0 +1,223 @@
+// shield_analyze CLI.
+//
+//   shield_analyze <tree> [...]            scan; findings on stdout as
+//                                          file:line: [rule] message,
+//                                          exit 1 on any finding
+//   shield_analyze --baseline F <tree>...  suppress findings recorded in
+//                                          baseline F; NEW findings
+//                                          still exit 1
+//   shield_analyze --write-baseline F ...  snapshot current findings
+//                                          into F and exit 0
+//   shield_analyze --self-test <tree>      fixture mode: findings must
+//                                          match the tree's
+//                                          lint-expect() annotations
+//                                          exactly (100% flagged,
+//                                          nothing extra)
+//   shield_analyze --audit-counts ...      also print the audited-
+//                                          annotation census (pinned
+//                                          in CI like declassify sites)
+//   shield_analyze --json ...              emit the run as a
+//                                          self-validated JSON document
+//                                          on stdout
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze_core.h"
+#include "json/json.h"
+
+namespace {
+
+using shield5g::lint::AuditCounts;
+using shield5g::lint::Finding;
+
+constexpr const char* kSchemaId = "shield5g.analyze.v1";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Re-parses the emitted document and checks the schema downstream
+/// tooling depends on — same discipline as the BENCH_*.json emitters.
+bool validate_json(const std::string& text) {
+  const auto fail = [](const char* what) {
+    std::fprintf(stderr, "shield_analyze: JSON validation failed: %s\n",
+                 what);
+    return false;
+  };
+  shield5g::json::Value doc;
+  try {
+    doc = shield5g::json::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "shield_analyze: emitted JSON does not parse: %s\n",
+                 e.what());
+    return false;
+  }
+  if (!doc.is_object()) return fail("root is not an object");
+  const auto& root = doc.as_object();
+  const auto it = root.find("schema");
+  if (it == root.end() || !it->second.is_string() ||
+      it->second.as_string() != kSchemaId) {
+    return fail("schema id missing or wrong");
+  }
+  for (const char* key : {"findings", "new_findings"}) {
+    const auto f = root.find(key);
+    if (f == root.end() || !f->second.is_array()) return fail(key);
+  }
+  for (const char* key : {"audits", "counts"}) {
+    const auto f = root.find(key);
+    if (f == root.end() || !f->second.is_object()) return fail(key);
+  }
+  const auto clean = root.find("clean");
+  if (clean == root.end() || !clean->second.is_bool()) return fail("clean");
+  return true;
+}
+
+shield5g::json::Value findings_array(const std::vector<Finding>& findings) {
+  shield5g::json::Array arr;
+  for (const Finding& f : findings) {
+    shield5g::json::Object obj;
+    obj["file"] = shield5g::json::Value(f.file);
+    obj["line"] = shield5g::json::Value(static_cast<std::int64_t>(f.line));
+    obj["rule"] = shield5g::json::Value(f.rule);
+    obj["message"] = shield5g::json::Value(f.message);
+    arr.push_back(shield5g::json::Value(std::move(obj)));
+  }
+  return shield5g::json::Value(std::move(arr));
+}
+
+int emit_json(const std::vector<Finding>& all,
+              const std::vector<Finding>& fresh, const AuditCounts& audits) {
+  shield5g::json::Object root;
+  root["schema"] = shield5g::json::Value(std::string(kSchemaId));
+  root["findings"] = findings_array(all);
+  root["new_findings"] = findings_array(fresh);
+  shield5g::json::Object audit_obj;
+  audit_obj["ct-audited"] =
+      shield5g::json::Value(static_cast<std::int64_t>(audits.ct));
+  audit_obj["det-audited"] =
+      shield5g::json::Value(static_cast<std::int64_t>(audits.det));
+  audit_obj["lock-audited"] =
+      shield5g::json::Value(static_cast<std::int64_t>(audits.lock));
+  audit_obj["lint-audited"] =
+      shield5g::json::Value(static_cast<std::int64_t>(audits.legacy));
+  root["audits"] = shield5g::json::Value(std::move(audit_obj));
+  std::map<std::string, int> per_rule;
+  for (const Finding& f : all) ++per_rule[f.rule];
+  shield5g::json::Object counts;
+  for (const auto& [rule, n] : per_rule) {
+    counts[rule] = shield5g::json::Value(static_cast<std::int64_t>(n));
+  }
+  root["counts"] = shield5g::json::Value(std::move(counts));
+  root["clean"] = shield5g::json::Value(fresh.empty());
+  const std::string text =
+      shield5g::json::Value(std::move(root)).dump() + "\n";
+  if (!validate_json(text)) return 2;
+  std::fputs(text.c_str(), stdout);
+  return fresh.empty() ? 0 : 1;
+}
+
+int run_self_test(const std::string& root) {
+  shield5g::lint::ScanOptions opts;
+  opts.fixtures_mode = true;
+  const auto findings = shield5g::lint::scan_tree(root, opts);
+  const auto expected = shield5g::lint::parse_expectations_tree(root);
+  if (expected.empty()) {
+    std::fprintf(stderr,
+                 "shield_analyze: no lint-expect() annotations under %s\n",
+                 root.c_str());
+    return 1;
+  }
+  std::vector<std::string> errors;
+  if (!shield5g::lint::check_expectations(findings, expected, errors)) {
+    for (const std::string& err : errors) {
+      std::fprintf(stderr, "shield_analyze self-test: %s\n", err.c_str());
+    }
+    return 1;
+  }
+  std::printf(
+      "shield_analyze self-test: %zu/%zu seeded violations flagged\n",
+      expected.size(), expected.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool self_test = false;
+  bool json_mode = false;
+  bool audit_counts = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--json") {
+      json_mode = true;
+    } else if (arg == "--audit-counts") {
+      audit_counts = true;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr,
+                 "usage: shield_analyze [--self-test] [--json] "
+                 "[--audit-counts] [--baseline FILE] "
+                 "[--write-baseline FILE] <tree> [...]\n");
+    return 2;
+  }
+  if (self_test) return run_self_test(roots.front());
+
+  AuditCounts audits;
+  std::vector<Finding> all;
+  for (const std::string& root : roots) {
+    const auto found = shield5g::lint::scan_tree(root, {}, &audits);
+    all.insert(all.end(), found.begin(), found.end());
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << shield5g::lint::serialize_baseline(all);
+    std::printf("shield_analyze: wrote baseline (%zu finding(s)) to %s\n",
+                all.size(), write_baseline_path.c_str());
+    return 0;
+  }
+
+  std::vector<Finding> fresh = all;
+  if (!baseline_path.empty()) {
+    fresh = shield5g::lint::filter_with_baseline(
+        all, shield5g::lint::parse_baseline(read_file(baseline_path)));
+  }
+
+  if (json_mode) return emit_json(all, fresh, audits);
+
+  for (const Finding& f : fresh) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (audit_counts) {
+    std::printf("ct-audited=%d\ndet-audited=%d\nlock-audited=%d\n"
+                "lint-audited=%d\n",
+                audits.ct, audits.det, audits.lock, audits.legacy);
+  }
+  if (!fresh.empty()) {
+    std::fprintf(stderr, "shield_analyze: %zu new finding(s)\n",
+                 fresh.size());
+    return 1;
+  }
+  std::printf("shield_analyze: clean\n");
+  return 0;
+}
