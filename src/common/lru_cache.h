@@ -1,0 +1,97 @@
+// Bounded most-recently-used cache for per-NF hot state (Milenage-OPc
+// contexts, TLS resumption tickets). The unbounded std::map caches of
+// earlier PRs are exactly the state a 1M-subscriber serving plane must
+// not keep: one AES schedule per subscriber ever seen is an OOM, not a
+// cache. This bounds residency at a fixed capacity with LRU eviction
+// and counts evictions so benches can prove a working set fits (zero
+// evictions) or quantify the churn when it does not.
+//
+// Deliberately deterministic: the index is an ordered std::map (no
+// hashing, no iteration-order landmines for det-lint) and eviction is
+// purely recency-driven, so a replayed run evicts the same keys in the
+// same order. Entries are list nodes — pointers returned by find() and
+// insert() stay valid until that entry itself is evicted or erased,
+// never invalidated by other keys' churn (the property the Bus ticket
+// path relies on across open_connection()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <utility>
+
+namespace shield5g {
+
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  /// Capacity floor is 1: a just-inserted entry is always resident, so
+  /// a reference obtained from insert() is safe to use immediately.
+  explicit LruCache(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  /// Looks up `key`, promoting it to most-recently-used on a hit.
+  Value* find(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    order_.splice(order_.begin(), order_, it->second);
+    return &it->second->second;
+  }
+
+  /// Inserts or overwrites `key`, promoting it to most-recently-used;
+  /// evicts the least-recently-used entry when over capacity. The
+  /// returned reference is stable until this entry is evicted/erased.
+  Value& insert(const Key& key, Value value) {
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->second = std::move(value);
+      order_.splice(order_.begin(), order_, it->second);
+      return it->second->second;
+    }
+    order_.emplace_front(key, std::move(value));
+    index_.emplace(key, order_.begin());
+    if (index_.size() > capacity_) evict_back();
+    return order_.front().second;
+  }
+
+  bool erase(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  void clear() {
+    order_.clear();
+    index_.clear();
+  }
+
+  /// Shrinks (or grows) the bound in place; shrinking evicts — and
+  /// counts — the excess least-recently-used entries.
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity == 0 ? 1 : capacity;
+    while (index_.size() > capacity_) evict_back();
+  }
+
+  std::size_t size() const noexcept { return index_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Lifetime eviction count — the observability hook behind the
+  /// udm.milenage.evict / bus.ticket.evict counters.
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  void evict_back() {
+    index_.erase(order_.back().first);
+    order_.pop_back();
+    ++evictions_;
+  }
+
+  std::size_t capacity_;
+  std::uint64_t evictions_ = 0;
+  std::list<std::pair<Key, Value>> order_;  // front = MRU, back = LRU
+  std::map<Key, typename std::list<std::pair<Key, Value>>::iterator> index_;
+};
+
+}  // namespace shield5g

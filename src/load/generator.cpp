@@ -94,31 +94,48 @@ class Engine {
     return std::move(report_);
   }
 
-  void build_and_schedule() {
+  void build_and_schedule(const std::vector<Arrival>* routed) {
     if (!slice_.created()) {
       throw std::logic_error("LoadGenerator: slice must be created first");
     }
-    if (config_.ue_count > slice_.config().subscriber_count) {
+    run_start_ = clock().now();
+    if (routed != nullptr) {
+      // Externally routed arrivals (the sharded serving plane): the
+      // schedule was drawn once globally; this slice replays its share.
+      sessions_.reserve(routed->size());
+      for (const Arrival& a : *routed) {
+        schedule_session(a.ue, run_start_ + a.at);
+      }
+      return;
+    }
+    if (config_.ue_count > slice_.subscriber_capacity()) {
       throw std::invalid_argument(
           "LoadGenerator: ue_count exceeds provisioned subscribers");
     }
-    run_start_ = clock().now();
     Rng arrivals_rng(config_.seed ^ 0xa221ULL);
     const std::vector<sim::Nanos> schedule =
         arrival_schedule(config_.arrivals, config_.ue_count, arrivals_rng);
     sessions_.reserve(config_.ue_count);
     for (std::uint32_t i = 0; i < config_.ue_count; ++i) {
-      // Same per-UE device seeding as Slice::register_subscriber, so a
-      // 1-UE open-loop run replays the closed-loop byte flow.
-      sessions_.push_back(std::make_unique<UeSession>(
-          *this, i,
-          ran::UeDevice(slice_.subscriber(i),
-                        slice_.config().seed ^ (0x0eULL + i),
-                        slice_.eph_pool()),
-          config_.with_pdu));
-      UeSession* session = sessions_.back().get();
-      scheduler_.at(run_start_ + schedule[i], [session] { session->start(); });
+      schedule_session(i, run_start_ + schedule[i]);
     }
+  }
+
+  void schedule_session(std::uint32_t ue, sim::Nanos at) {
+    if (ue >= slice_.subscriber_capacity()) {
+      throw std::invalid_argument(
+          "LoadGenerator: arrival references an unprovisioned subscriber");
+    }
+    // Same per-UE device seeding as Slice::register_subscriber, so a
+    // 1-UE open-loop run replays the closed-loop byte flow.
+    sessions_.push_back(std::make_unique<UeSession>(
+        *this, ue,
+        ran::UeDevice(slice_.subscriber(ue),
+                      slice_.config().seed ^ (0x0eULL + ue),
+                      slice_.eph_pool()),
+        config_.with_pdu));
+    UeSession* session = sessions_.back().get();
+    scheduler_.at(at, [session] { session->start(); });
   }
 
   void drain() { scheduler_.run(); }
@@ -191,9 +208,12 @@ void UeSession::finish() {
 
 }  // namespace
 
-LoadReport LoadGenerator::run(slice::Slice& slice, const LoadConfig& config) {
+namespace {
+
+LoadReport run_engine(slice::Slice& slice, const LoadConfig& config,
+                      const std::vector<Arrival>* routed) {
   Engine engine(slice, config);
-  engine.build_and_schedule();
+  engine.build_and_schedule(routed);
   engine.drain();
   LoadReport report = engine.take_report();
   report.offered_rate_per_s = config.arrivals.rate_per_s;
@@ -203,6 +223,17 @@ LoadReport LoadGenerator::run(slice::Slice& slice, const LoadConfig& config) {
         static_cast<double>(report.registered) / sim::to_s(report.makespan);
   }
   return report;
+}
+
+}  // namespace
+
+LoadReport LoadGenerator::run(slice::Slice& slice, const LoadConfig& config) {
+  return run_engine(slice, config, nullptr);
+}
+
+LoadReport LoadGenerator::run(slice::Slice& slice, const LoadConfig& config,
+                              const std::vector<Arrival>& arrivals) {
+  return run_engine(slice, config, &arrivals);
 }
 
 std::string LoadReport::summary() const {

@@ -60,12 +60,31 @@ struct LoadReport {
   std::string summary() const;
 };
 
+/// One externally routed arrival: subscriber index `ue` (into the
+/// slice's subscriber table) starts its registration `at` nanoseconds
+/// after run start. The serving plane (load/serving.h) draws ONE global
+/// arrival schedule, routes each arrival to its home shard's mailbox,
+/// and replays the shard's share through the explicit-arrival entry —
+/// so the virtual-time workload is a pure function of the routing, not
+/// of how many worker threads drained the mailboxes.
+struct Arrival {
+  std::uint32_t ue = 0;
+  sim::Nanos at = 0;
+};
+
 class LoadGenerator {
  public:
   /// Runs one open-loop experiment against a created slice. The slice's
   /// clock advances to the last completion; server/queue statistics
   /// accumulate on the slice's bus servers.
   LoadReport run(slice::Slice& slice, const LoadConfig& config);
+
+  /// Same engine, but with an externally supplied arrival list instead
+  /// of a drawn schedule (`config.ue_count` and `config.arrivals` are
+  /// ignored; `arrivals` must be time-ordered). Each entry references a
+  /// subscriber by index, so one UE appears at most once.
+  LoadReport run(slice::Slice& slice, const LoadConfig& config,
+                 const std::vector<Arrival>& arrivals);
 };
 
 /// Post-run snapshot of one server's admission queue (queueing delay

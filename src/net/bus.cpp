@@ -296,9 +296,19 @@ Bus::Exchange Bus::request(std::string_view from, std::string_view to,
   Attachment& target = servers_[*to_id];
   Server& server = *target.server;
   ExecutionEnv& client = client_env != nullptr ? *client_env : ambient_client_;
-  // Reference stays valid across open_connection: unordered_map never
-  // invalidates references on insert, and no other pair is touched.
-  TicketState* tickets = resumption_ ? &tickets_[conn_key] : nullptr;
+  // Reference stays valid across open_connection: LRU nodes are stable
+  // until their own eviction, and this pair was just touched (MRU).
+  TicketState* tickets = nullptr;
+  if (resumption_) {
+    tickets = tickets_.find(conn_key);
+    if (tickets == nullptr) {
+      const std::uint64_t before = tickets_.evictions();
+      tickets = &tickets_.insert(conn_key, TicketState{});
+      if (tickets_.evictions() != before) {
+        counter_add("bus.ticket.evict", tickets_.evictions() - before);
+      }
+    }
+  }
 
   Exchange exchange;
   const sim::Nanos start = clock_.now();

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/buffer_pool.h"
+#include "common/lru_cache.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "crypto/cost.h"
@@ -188,6 +189,23 @@ class Bus {
   }
   bool resumption() const noexcept { return resumption_; }
 
+  /// Default bound of the resumption-ticket cache: far above any
+  /// deployed (client, server) pair count in this codebase, so the
+  /// bound only bites when an operator shrinks it.
+  static constexpr std::size_t kTicketCacheCapacity = 1024;
+
+  /// Bound on the per-(client, server) ticket cache. The default is
+  /// far above any deployed pair count, so existing runs never evict
+  /// (bit-identical virtual time); shrinking it exercises the LRU —
+  /// an evicted pair simply falls back to one full handshake. Counter:
+  /// bus.ticket.evict.
+  void set_ticket_capacity(std::size_t capacity) {
+    tickets_.set_capacity(capacity);
+  }
+  std::uint64_t ticket_evictions() const noexcept {
+    return tickets_.evictions();
+  }
+
   /// Ephemeral-key precompute pool consumed by the client side of full
   /// handshakes (nullptr = generate from the bus RNG, the legacy path).
   void set_eph_pool(crypto::EphemeralKeyPool* pool) noexcept {
@@ -286,7 +304,10 @@ class Bus {
   std::unordered_map<std::string_view, std::uint32_t> ids_;
   std::vector<Attachment> servers_;  // indexed by interned id
   std::unordered_map<std::uint64_t, Connection> connections_;
-  std::unordered_map<std::uint64_t, TicketState> tickets_;
+  /// Bounded LRU: TicketState nodes are pointer-stable until their own
+  /// eviction, which is what lets a TicketState* ride through
+  /// open_connection() while other pairs churn.
+  LruCache<std::uint64_t, TicketState> tickets_{kTicketCacheCapacity};
   HostEnv ambient_client_;
 };
 

@@ -1,0 +1,112 @@
+#include "nf/subscriber_store.h"
+
+#include <stdexcept>
+
+namespace shield5g::nf {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+constexpr std::size_t kInitialSlots = 64;
+
+// Max fill before the slot array doubles. 13/16 keeps probe chains
+// short while wasting at most ~1.25 slots (5 bytes) per subscriber.
+bool over_fill(std::size_t rows, std::size_t slots) noexcept {
+  return rows * 16 >= slots * 13;
+}
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = kInitialSlots;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+std::uint64_t supi_hash(std::string_view supi) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : supi) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * kFnvPrime;
+  }
+  return h;
+}
+
+SubscriberStore::SubscriberStore() : index_(kInitialSlots, 0u) {}
+
+void SubscriberStore::reserve(std::size_t n) {
+  supi_.reserve(n);
+  k_.reserve(n);
+  opc_.reserve(n);
+  sqn_.reserve(n);
+  amf_.reserve(n);
+  const std::size_t slots = next_pow2(n * 2);
+  if (slots > index_.size()) rehash(slots);
+}
+
+std::uint32_t SubscriberStore::find_slot(std::string_view supi) const noexcept {
+  const std::size_t mask = index_.size() - 1;
+  std::size_t i = static_cast<std::size_t>(supi_hash(supi)) & mask;
+  while (index_[i] != 0 && supi_[index_[i] - 1] != supi) {
+    i = (i + 1) & mask;
+  }
+  return static_cast<std::uint32_t>(i);
+}
+
+std::uint32_t SubscriberStore::row(std::string_view supi) const noexcept {
+  const std::uint32_t slot = index_[find_slot(supi)];
+  return slot == 0 ? kNoRow : slot - 1;
+}
+
+std::uint32_t SubscriberStore::provision(const SubscriberRecord& record) {
+  if (record.k.size() != 16 || record.opc.size() != 16) {
+    throw std::invalid_argument("SubscriberStore: K/OPc must be 16 bytes");
+  }
+  if (record.amf_field.size() != 2) {
+    throw std::invalid_argument("SubscriberStore: AMF field must be 2 bytes");
+  }
+  if (over_fill(supi_.size() + 1, index_.size())) rehash(index_.size() * 2);
+
+  const std::uint32_t slot = find_slot(record.supi.value);
+  std::uint32_t r = index_[slot];
+  if (r == 0) {
+    // New row: intern the identity once; the row index is stable from
+    // here on (a later replace reuses it).
+    supi_.push_back(ids_.intern(record.supi.value));
+    k_.emplace_back();
+    opc_.emplace_back();
+    sqn_.push_back(0);
+    amf_.push_back({});
+    r = static_cast<std::uint32_t>(supi_.size());
+    index_[slot] = r;
+  }
+  const std::uint32_t row = r - 1;
+  // Taint-preserving copy into the fixed columns (secret -> secret; the
+  // raw range never reaches a sink here).
+  k_[row] = Secret<16>(record.k.unsafe_bytes());
+  opc_[row] = Secret<16>(record.opc.unsafe_bytes());
+  sqn_[row] = record.sqn;
+  amf_[row][0] = record.amf_field[0];
+  amf_[row][1] = record.amf_field[1];
+  return row;
+}
+
+void SubscriberStore::rehash(std::size_t slots) {
+  index_.assign(slots, 0u);
+  const std::size_t mask = slots - 1;
+  for (std::uint32_t r = 0; r < supi_.size(); ++r) {
+    std::size_t i = static_cast<std::size_t>(supi_hash(supi_[r])) & mask;
+    while (index_[i] != 0) i = (i + 1) & mask;
+    index_[i] = r + 1;
+  }
+}
+
+std::size_t SubscriberStore::bytes_reserved() const noexcept {
+  return index_.capacity() * sizeof(std::uint32_t) +
+         supi_.capacity() * sizeof(std::string_view) +
+         k_.capacity() * sizeof(Secret<16>) +
+         opc_.capacity() * sizeof(Secret<16>) +
+         sqn_.capacity() * sizeof(std::uint64_t) +
+         amf_.capacity() * sizeof(std::array<std::uint8_t, 2>) +
+         ids_.bytes_reserved();
+}
+
+}  // namespace shield5g::nf

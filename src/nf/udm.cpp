@@ -1,6 +1,7 @@
 #include "nf/udm.h"
 
 #include "common/log.h"
+#include "common/stats.h"
 #include "crypto/suci.h"
 #include "nf/aka_core.h"
 #include "nf/sbi.h"
@@ -10,6 +11,7 @@ namespace shield5g::nf {
 Udm::Udm(net::Bus& bus, UdmConfig config)
     : Vnf(config.name, bus),
       config_(std::move(config)),
+      milenage_cache_(config_.milenage_cache_capacity),
       rand_rng_(config_.rand_seed) {
   register_routes();
 }
@@ -17,15 +19,18 @@ Udm::Udm(net::Bus& bus, UdmConfig config)
 const crypto::Milenage& Udm::milenage_for(const std::string& supi,
                                           const SecretBytes& k,
                                           const SecretBytes& opc) {
-  const auto it = milenage_cache_.find(supi);
+  MilenageEntry* cached = milenage_cache_.find(supi);
   // ct-audited(Secret operator== is ct_equal-backed; branch reveals only whether the cached Milenage context matches)
-  if (it != milenage_cache_.end() && it->second.k == k &&
-      it->second.opc == opc) {
-    return it->second.ctx;
+  if (cached != nullptr && cached->k == k && cached->opc == opc) {
+    return cached->ctx;
   }
-  const auto [pos, inserted] = milenage_cache_.insert_or_assign(
+  const std::uint64_t before = milenage_cache_.evictions();
+  MilenageEntry& entry = milenage_cache_.insert(
       supi, MilenageEntry{k, opc, crypto::Milenage(k, opc)});
-  return pos->second.ctx;
+  if (milenage_cache_.evictions() != before) {
+    counter_add("udm.milenage.evict", milenage_cache_.evictions() - before);
+  }
+  return entry.ctx;
 }
 
 std::optional<Supi> Udm::resolve_identity(const json::Value& body) {

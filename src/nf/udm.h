@@ -7,11 +7,12 @@
 // do during UE registration.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "common/lru_cache.h"
 #include "common/rng.h"
 #include "crypto/milenage.h"
 #include "crypto/x25519.h"
@@ -42,6 +43,12 @@ struct UdmConfig {
   /// challenge sequence independent of transport-level randomness, so
   /// the same provisioning yields identical vectors across deployments.
   std::uint64_t rand_seed = 0xda7eb45eULL;
+  /// Bound on the per-subscriber MILENAGE context cache. Large enough
+  /// that every existing workload's working set fits (zero evictions,
+  /// bit-identical to the old unbounded map); small enough that a
+  /// million-subscriber serving shard cannot accrete one AES schedule
+  /// per subscriber ever authenticated.
+  std::size_t milenage_cache_capacity = 1024;
 };
 
 class Udm : public Vnf {
@@ -70,7 +77,9 @@ class Udm : public Vnf {
 
   /// Cached per-subscriber MILENAGE context (monolithic deployment):
   /// the AES schedule for K is expanded once, then revalidated in
-  /// constant time against the credentials the UDR returned.
+  /// constant time against the credentials the UDR returned. Bounded
+  /// LRU (UdmConfig::milenage_cache_capacity); evictions land on the
+  /// udm.milenage.evict counter.
   struct MilenageEntry {
     SecretBytes k;
     SecretBytes opc;
@@ -81,7 +90,7 @@ class Udm : public Vnf {
                                        const SecretBytes& opc);
 
   UdmConfig config_;
-  std::map<std::string, MilenageEntry> milenage_cache_;
+  LruCache<std::string, MilenageEntry> milenage_cache_;
   Rng rand_rng_;
   std::uint64_t av_count_ = 0;
   std::uint64_t auth_events_ = 0;

@@ -8,15 +8,6 @@ Udr::Udr(net::Bus& bus, const std::string& name) : Vnf(name, bus) {
   register_routes();
 }
 
-void Udr::provision(SubscriberRecord record) {
-  records_[record.supi] = std::move(record);
-}
-
-const SubscriberRecord* Udr::find(const Supi& supi) const {
-  const auto it = records_.find(supi);
-  return it == records_.end() ? nullptr : &it->second;
-}
-
 void Udr::register_routes() {
   auto& router = server_.router();
 
@@ -28,22 +19,23 @@ void Udr::register_routes() {
       net::Method::kGet,
       "/nudr-dr/v1/subscription-data/:supi/authentication-subscription",
       [this](const net::RequestView&, const net::PathParams& params) {
-        const auto it = records_.find(Supi{params.at("supi")});
-        if (it == records_.end()) {
+        const std::uint32_t row = store_.row(params.at("supi"));
+        if (row == SubscriberStore::kNoRow) {
           return net::HttpResponse::error(404, "unknown SUPI");
         }
-        const SubscriberRecord& rec = it->second;
         json::Object body;
-        body["supi"] = rec.supi.value;
+        body["supi"] = std::string(store_.supi(row));
         // Audited, host-grade exposure: this is precisely the baseline
         // leak the paper's eUDM removes (the SGX deployment never hits
         // this route for K).
-        body["k"] = secret_hex_field(rec.k, DeclassifyReason::kTransport,
+        body["k"] = secret_hex_field(store_.k(row),
+                                     DeclassifyReason::kTransport,
                                      secret_ctx());
-        body["opc"] = secret_hex_field(rec.opc, DeclassifyReason::kTransport,
+        body["opc"] = secret_hex_field(store_.opc(row),
+                                       DeclassifyReason::kTransport,
                                        secret_ctx());
-        body["sqn"] = hex_field(rec.sqn_bytes());
-        body["amfField"] = hex_field(rec.amf_field);
+        body["sqn"] = hex_field(store_.sqn_bytes(row));
+        body["amfField"] = hex_field(store_.amf_field(row));
         return net::HttpResponse::json(200, json::Value(body).dump());
       });
 
@@ -51,13 +43,13 @@ void Udr::register_routes() {
   router.add(net::Method::kPost,
              "/nudr-dr/v1/subscription-data/:supi/sqn-advance",
              [this](const net::RequestView&, const net::PathParams& params) {
-               const auto it = records_.find(Supi{params.at("supi")});
-               if (it == records_.end()) {
+               const std::uint32_t row = store_.row(params.at("supi"));
+               if (row == SubscriberStore::kNoRow) {
                  return net::HttpResponse::error(404, "unknown SUPI");
                }
-               it->second.sqn += kSqnStep;
+               store_.set_sqn(row, store_.sqn(row) + kSqnStep);
                json::Object body;
-               body["sqn"] = hex_field(it->second.sqn_bytes());
+               body["sqn"] = hex_field(store_.sqn_bytes(row));
                return net::HttpResponse::json(200, json::Value(body).dump());
              });
 
@@ -65,8 +57,8 @@ void Udr::register_routes() {
   router.add(
       net::Method::kPut, "/nudr-dr/v1/subscription-data/:supi/sqn",
       [this](const net::RequestView& req, const net::PathParams& params) {
-        const auto it = records_.find(Supi{params.at("supi")});
-        if (it == records_.end()) {
+        const std::uint32_t row = store_.row(params.at("supi"));
+        if (row == SubscriberStore::kNoRow) {
           return net::HttpResponse::error(404, "unknown SUPI");
         }
         const auto body = parse_body(req.body);
@@ -76,7 +68,7 @@ void Udr::register_routes() {
           return net::HttpResponse::error(400, "bad sqn");
         }
         // Jump past the UE's value so the next vector is acceptable.
-        it->second.sqn = be_value(*sqn) + kSqnStep;
+        store_.set_sqn(row, be_value(*sqn) + kSqnStep);
         return net::HttpResponse::json(200, "{}");
       });
 
@@ -102,7 +94,7 @@ void Udr::register_routes() {
             amf_field && amf_field->size() == 2) {
           rec.amf_field = *amf_field;
         }
-        provision(std::move(rec));
+        provision(rec);
         return net::HttpResponse::json(201, "{}");
       });
 }

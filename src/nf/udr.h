@@ -1,13 +1,13 @@
 // Unified Data Repository: the credential storage unit (paper §II-A).
 //
-// Stores subscriber records and owns SQN management: each authentication
-// vector request atomically increments the subscriber's SQN; a
-// resynchronisation writes the UE-reported SQNms back.
+// Stores subscriber credentials in a columnar SubscriberStore (SoA
+// columns + open-addressed SUPI index — see nf/subscriber_store.h) and
+// owns SQN management: each authentication vector request atomically
+// increments the subscriber's SQN; a resynchronisation writes the
+// UE-reported SQNms back.
 #pragma once
 
-#include <map>
-#include <optional>
-
+#include "nf/subscriber_store.h"
 #include "nf/types.h"
 #include "nf/vnf.h"
 
@@ -18,13 +18,17 @@ class Udr : public Vnf {
   explicit Udr(net::Bus& bus, const std::string& name = "udr");
 
   /// Provisioning-plane insert/replace (not part of the SBI).
-  void provision(SubscriberRecord record);
+  void provision(const SubscriberRecord& record) { store_.provision(record); }
 
-  /// Direct read access for the orchestrator (e.g. to seal the K table
-  /// into the eUDM enclave at deployment time).
-  const SubscriberRecord* find(const Supi& supi) const;
+  /// Pre-sizes the store for a bulk provisioning run (the 1M-subscriber
+  /// bench path: no rehashes, no column growth mid-provision).
+  void reserve_subscribers(std::size_t n) { store_.reserve(n); }
 
-  std::size_t subscriber_count() const noexcept { return records_.size(); }
+  /// Direct read access for the orchestrator and tests (e.g. to seal
+  /// the K table into the eUDM enclave at deployment time).
+  const SubscriberStore& store() const noexcept { return store_; }
+
+  std::size_t subscriber_count() const noexcept { return store_.size(); }
 
   /// SQN increment step: SEQ advances by one with a 5-bit index field
   /// (TS 33.102 Annex C.1.1.3 array scheme).
@@ -33,7 +37,7 @@ class Udr : public Vnf {
  private:
   void register_routes();
 
-  std::map<Supi, SubscriberRecord> records_;
+  SubscriberStore store_;
 };
 
 }  // namespace shield5g::nf

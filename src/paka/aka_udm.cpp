@@ -1,6 +1,7 @@
 #include "paka/aka_udm.h"
 
 #include "common/log.h"
+#include "common/stats.h"
 #include "nf/aka_core.h"
 #include "nf/sbi.h"
 
@@ -8,7 +9,8 @@ namespace shield5g::paka {
 
 EudmAkaService::EudmAkaService(sgx::Machine& machine, net::Bus& bus,
                                PakaOptions options, const std::string& name)
-    : PakaService(name, machine, bus, options) {}
+    : PakaService(name, machine, bus, options),
+      milenage_cache_(options.milenage_cache_capacity) {}
 
 void EudmAkaService::provision_key(const nf::Supi& supi, SecretBytes k) {
   keys_[supi] = std::move(k);
@@ -18,14 +20,18 @@ void EudmAkaService::provision_key(const nf::Supi& supi, SecretBytes k) {
 const crypto::Milenage& EudmAkaService::milenage_for(const nf::Supi& supi,
                                                      const SecretBytes& k,
                                                      const SecretBytes& opc) {
-  const auto it = milenage_cache_.find(supi);
+  MilenageEntry* cached = milenage_cache_.find(supi);
   // ct-audited(Secret operator== is ct_equal-backed; branch reveals only whether the cached Milenage context matches)
-  if (it != milenage_cache_.end() && it->second.opc == opc) {
-    return it->second.ctx;
+  if (cached != nullptr && cached->opc == opc) {
+    return cached->ctx;
   }
-  const auto [pos, inserted] = milenage_cache_.insert_or_assign(
+  const std::uint64_t before = milenage_cache_.evictions();
+  MilenageEntry& entry = milenage_cache_.insert(
       supi, MilenageEntry{opc, crypto::Milenage(k, opc)});
-  return pos->second.ctx;
+  if (milenage_cache_.evictions() != before) {
+    counter_add("eudm.milenage.evict", milenage_cache_.evictions() - before);
+  }
+  return entry.ctx;
 }
 
 Bytes EudmAkaService::serialize_key_table(

@@ -10,6 +10,7 @@
 
 #include <map>
 
+#include "common/lru_cache.h"
 #include "crypto/milenage.h"
 #include "nf/types.h"
 #include "paka/deployment.h"
@@ -50,7 +51,10 @@ class EudmAkaService final : public PakaService {
   /// Cached MILENAGE context for one subscriber: the AES schedule for K
   /// is expanded once per provisioning, not once per authentication.
   /// The OPc the context was built with is kept for constant-time
-  /// revalidation, since OPc arrives with each request.
+  /// revalidation, since OPc arrives with each request. Bounded LRU
+  /// (PakaOptions::milenage_cache_capacity) — `keys_` is the
+  /// provisioned store and scales with the population; this is hot
+  /// state and must not. Evictions land on eudm.milenage.evict.
   struct MilenageEntry {
     SecretBytes opc;
     crypto::Milenage ctx;
@@ -61,7 +65,7 @@ class EudmAkaService final : public PakaService {
                                        const SecretBytes& opc);
 
   std::map<nf::Supi, SecretBytes> keys_;
-  std::map<nf::Supi, MilenageEntry> milenage_cache_;
+  LruCache<nf::Supi, MilenageEntry> milenage_cache_;
 };
 
 }  // namespace shield5g::paka

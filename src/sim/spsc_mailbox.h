@@ -1,0 +1,105 @@
+// Fixed-capacity single-producer/single-consumer mailbox.
+//
+// The serving plane's routing fabric (load/serving.h): the caller
+// thread partitions the global arrival stream by home shard and pushes
+// each registration into the owning worker's mailbox; the worker drains
+// it on the far side. One producer, one consumer, bounded storage —
+// the classic lock-free ring:
+//
+//   tail_  written only by the producer (release) after the slot is
+//          filled; the consumer acquires it to learn how far it may read.
+//   head_  written only by the consumer (release) after the slot is
+//          consumed; the producer acquires it to learn how far it may
+//          write.
+//   ring_  each slot is owned by exactly one side at any instant — the
+//          producer up to its release-store of tail_, the consumer after
+//          its acquire-load observes that store. The handoff *is* the
+//          synchronisation edge; no slot is ever touched concurrently
+//          (tests/montecarlo_test.cpp hammers this under TSan).
+//
+// close() is the producer's end-of-stream marker: after the consumer
+// has drained every slot and sees closed(), no further item can arrive.
+// Capacity is rounded up to a power of two; try_push on a full ring
+// returns false (the producer decides whether to spin, drain its own
+// shard, or shed).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/thread_annotations.h"
+
+namespace shield5g::sim {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  explicit SpscMailbox(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    ring_ = std::make_unique<T[]>(cap);
+  }
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// Producer side. False when the ring is full or already closed
+  /// (item untouched either way).
+  bool try_push(T item) {
+    // closed_ is producer-owned: this is a self-check against protocol
+    // misuse, not a synchronisation point.
+    if (closed_.load(std::memory_order_relaxed)) return false;
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;
+    ring_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: no further pushes will follow. Idempotent.
+  void close() noexcept { closed_.store(true, std::memory_order_release); }
+
+  /// Consumer side. False when the ring is currently empty — check
+  /// drained() to distinguish "empty for now" from end-of-stream.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(ring_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: the stream is over — closed and fully consumed.
+  bool drained() const noexcept {
+    return closed_.load(std::memory_order_acquire) &&
+           head_.load(std::memory_order_relaxed) ==
+               tail_.load(std::memory_order_acquire);
+  }
+
+  /// Items currently in flight (either side; approximate off-thread).
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+ private:
+  // Slot storage: single-writer by the SPSC ownership protocol above
+  // (the atomics below carry the inter-thread edges).
+  std::unique_ptr<T[]> ring_ SHIELD_THREAD_CONFINED;
+  std::size_t mask_ = 0;
+  // Both indices are monotonically increasing; (tail - head) is the
+  // fill. 64-bit, so wrap-around is not a practical concern.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // consumer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // producer-owned
+  std::atomic<bool> closed_{false};                 // producer-owned
+};
+
+}  // namespace shield5g::sim

@@ -107,8 +107,32 @@ Slice::Slice(SliceConfig config)
 
 Slice::~Slice() = default;
 
+nf::SubscriberRecord Slice::derived_record(std::uint32_t gid) const {
+  nf::SubscriberRecord rec;
+  char msin[16];
+  std::snprintf(msin, sizeof(msin), "%010u", 100000000u + gid);
+  rec.supi = nf::Supi::from_parts(config_.plmn, msin);
+  // Per-id stream: the credentials depend only on (seed, gid), never on
+  // provisioning order — every shard layout derives the same subscriber.
+  Rng rng(config_.seed ^ 0xc4edULL ^
+          (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(gid) + 1)));
+  rec.k = rng.bytes(16);
+  rec.opc = rng.bytes(16);
+  rec.sqn = 0x100 + 0x40ULL * gid;
+  return rec;
+}
+
 void Slice::provision_subscribers() {
   subscribers_.clear();
+  if (!config_.population.empty()) {
+    // Population mode: the columnar UDR store is the only resident copy
+    // — no fat SubscriberRecord vector at 1M subscribers.
+    udr_->reserve_subscribers(config_.population.size());
+    for (const std::uint32_t gid : config_.population) {
+      udr_->provision(derived_record(gid));
+    }
+    return;
+  }
   subscribers_.reserve(config_.subscriber_count);
   for (std::uint32_t i = 0; i < config_.subscriber_count; ++i) {
     nf::SubscriberRecord rec;
@@ -157,6 +181,10 @@ bool Slice::provision_sealed_keys() {
   // provisioning path.
   std::map<nf::Supi, SecretBytes> keys;
   for (const auto& rec : subscribers_) keys[rec.supi] = rec.k;
+  for (const std::uint32_t gid : config_.population) {
+    nf::SubscriberRecord rec = derived_record(gid);
+    keys[rec.supi] = std::move(rec.k);
+  }
   const Bytes table = paka::EudmAkaService::serialize_key_table(keys);
   for (const auto& replica : eudm_replicas_) {
     const sgx::SealedBlob blob =
@@ -206,6 +234,10 @@ SliceCreation Slice::create() {
         for (const auto& rec : subscribers_) {
           replica->provision_key(rec.supi, rec.k);
         }
+        for (const std::uint32_t gid : config_.population) {
+          nf::SubscriberRecord rec = derived_record(gid);
+          replica->provision_key(rec.supi, std::move(rec.k));
+        }
       }
       creation.attestation_ok = false;
       creation.sealed_provisioning_ok = false;
@@ -221,10 +253,21 @@ SliceCreation Slice::create() {
 }
 
 ran::UsimConfig Slice::subscriber(std::uint32_t i) const {
+  if (!config_.population.empty()) {
+    // Population mode re-derives on demand — O(1) memory per call, and
+    // identical to what provision_subscribers() put in the UDR.
+    if (i >= config_.population.size()) {
+      throw std::out_of_range("Slice: subscriber index");
+    }
+    return usim_for(derived_record(config_.population[i]));
+  }
   if (i >= subscribers_.size()) {
     throw std::out_of_range("Slice: subscriber index");
   }
-  const nf::SubscriberRecord& rec = subscribers_[i];
+  return usim_for(subscribers_[i]);
+}
+
+ran::UsimConfig Slice::usim_for(const nf::SubscriberRecord& rec) const {
   ran::UsimConfig usim;
   usim.plmn = config_.plmn;
   usim.msin = rec.supi.value.substr(config_.plmn.id().size());

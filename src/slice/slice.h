@@ -61,6 +61,17 @@ struct SliceConfig {
   std::uint32_t vnf_workers = 4;
   std::uint32_t vnf_queue_capacity = 256;
   std::uint64_t seed = 0x51C3ULL;
+  /// Serving-plane population mode (load/serving.h): when non-empty,
+  /// the slice provisions exactly these *global* subscriber ids instead
+  /// of ids [0, subscriber_count). Credentials derive from a per-id Rng
+  /// (seed ^ 0xc4ed, mixed with the id), so a subscriber's K/OPc/SQN
+  /// depend only on (seed domain, id) — never on which shard's slice
+  /// provisions it or in what order. No fat per-subscriber vector is
+  /// kept: `subscriber(i)` re-derives on demand and the UDR's columnar
+  /// store is the only resident copy. Local index i maps to global id
+  /// population[i]. Empty (the default) keeps the sequential-draw path
+  /// bit-identical to every prior PR.
+  std::vector<std::uint32_t> population;
   net::NetCosts net_costs;
   sgx::CostModel sgx_costs;
 };
@@ -120,6 +131,14 @@ class Slice {
   /// USIM configuration for subscriber `i` (matches the UDR record).
   ran::UsimConfig subscriber(std::uint32_t i) const;
 
+  /// Provisioned subscribers addressable by subscriber(i): the
+  /// population size in population mode, subscriber_count otherwise.
+  std::uint32_t subscriber_capacity() const noexcept {
+    return config_.population.empty()
+               ? config_.subscriber_count
+               : static_cast<std::uint32_t>(config_.population.size());
+  }
+
   /// Convenience: full registration (+ PDU session) of subscriber `i`.
   ran::RegistrationResult register_subscriber(std::uint32_t i,
                                               bool with_pdu = true);
@@ -128,6 +147,9 @@ class Slice {
   void provision_subscribers();
   bool attest_modules();
   bool provision_sealed_keys();
+  /// Population-mode credential derivation for one global id.
+  nf::SubscriberRecord derived_record(std::uint32_t gid) const;
+  ran::UsimConfig usim_for(const nf::SubscriberRecord& rec) const;
 
   SliceConfig config_;
   sim::VirtualClock clock_;

@@ -13,6 +13,7 @@
 
 #include "crypto/cpu_dispatch.h"
 #include "load/generator.h"
+#include "load/serving.h"
 #include "load/sweep.h"
 #include "slice/slice.h"
 
@@ -284,6 +285,82 @@ TEST(Determinism, PoolAloneReplaysBitIdentically) {
   const std::vector<load::SweepResult> a = load::run_sweep(cases, 1);
   const std::vector<load::SweepResult> b = load::run_sweep(cases, 4);
   expect_sweeps_identical(a, b, "pool-only workers=4");
+}
+
+// ---- Sharded serving plane (load/serving.h) ---------------------------
+
+load::ServingConfig serving_config() {
+  load::ServingConfig cfg;
+  cfg.slice.mode = slice::IsolationMode::kContainer;
+  cfg.slice.seed = 0x5e11aULL;
+  cfg.ue_count = 48;
+  cfg.arrivals.kind = load::ArrivalKind::kPoisson;
+  cfg.arrivals.rate_per_s = 1500.0;  // queues engage inside the slots
+  return cfg;
+}
+
+TEST(Determinism, ServingPlaneDigestIdenticalAcrossShardCounts) {
+  // The tentpole property: the merged serving digest is a function of
+  // the partition, never of the execution width. 1/2/4/8 workers over
+  // the same 8-slot partition must agree byte for byte.
+  const load::ServingConfig cfg = serving_config();
+  const load::ServingReport base = load::run_serving(cfg, 1);
+  EXPECT_EQ(base.shards, 1u);
+  EXPECT_GT(base.registered, 0u);
+  EXPECT_EQ(base.routed, cfg.ue_count);
+  ASSERT_EQ(base.slots.size(), cfg.slots);
+  for (const unsigned shards : {2u, 4u, 8u}) {
+    const load::ServingReport wide = load::run_serving(cfg, shards);
+    EXPECT_EQ(wide.shards, shards);
+    EXPECT_EQ(wide.digest, base.digest) << "shards=" << shards;
+    ASSERT_EQ(wide.digest_lines.size(), base.digest_lines.size());
+    for (std::size_t i = 0; i < base.digest_lines.size(); ++i) {
+      EXPECT_EQ(wide.digest_lines[i], base.digest_lines[i])
+          << "shards=" << shards << " slot line " << i;
+    }
+    EXPECT_EQ(wide.registered, base.registered);
+    EXPECT_EQ(wide.completed, base.completed);
+    EXPECT_EQ(wide.sessions_up, base.sessions_up);
+    EXPECT_EQ(wide.failed, base.failed);
+    EXPECT_EQ(wide.shed, base.shed);
+  }
+}
+
+TEST(Determinism, ServingPlaneColdStartReplays) {
+  // Back-to-back runs in one process: no state may leak between plane
+  // instantiations (pools, counters, thread-local stage clocks).
+  const load::ServingConfig cfg = serving_config();
+  const load::ServingReport a = load::run_serving(cfg, 2);
+  const load::ServingReport b = load::run_serving(cfg, 2);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.digest_lines, b.digest_lines);
+}
+
+TEST(Determinism, ServingPlaneBackpressureIsDigestNeutral) {
+  // A tiny mailbox forces the router to spin; back-pressure is a wall
+  // clock phenomenon and must not move a single byte of the digest.
+  const load::ServingConfig roomy = serving_config();
+  load::ServingConfig tight = roomy;
+  tight.mailbox_capacity = 2;
+  const load::ServingReport a = load::run_serving(roomy, 4);
+  const load::ServingReport b = load::run_serving(tight, 4);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.digest_lines, b.digest_lines);
+}
+
+TEST(Determinism, ServingPlaneDigestDiscriminates) {
+  // Same guard as the sweep digest: seeds must move the bytes, or the
+  // serve-smoke byte-compare in CI proves nothing.
+  const load::ServingConfig cfg = serving_config();
+  const std::uint64_t base = load::run_serving(cfg, 2).digest;
+
+  load::ServingConfig arrivals_moved = cfg;
+  arrivals_moved.seed ^= 1;
+  EXPECT_NE(load::run_serving(arrivals_moved, 2).digest, base);
+
+  load::ServingConfig creds_moved = cfg;
+  creds_moved.slice.seed ^= 1;
+  EXPECT_NE(load::run_serving(creds_moved, 2).digest, base);
 }
 
 TEST(Determinism, SweepDigestDiscriminates) {

@@ -2,6 +2,9 @@
 // behaviour, SMF/UPF sessions, NRF discovery.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <stdexcept>
+
 #include "common/hex.h"
 #include "common/rng.h"
 #include "crypto/key_hierarchy.h"
@@ -238,7 +241,7 @@ TEST_F(CoreFixture, UdrProvisionOverSbi) {
       json_put("/nudr-dr/v1/subscription-data/001010000000099",
                json::Value(std::move(body))));
   EXPECT_EQ(resp.response.status, 201);
-  EXPECT_NE(udr_->find(Supi{"001010000000099"}), nullptr);
+  EXPECT_NE(udr_->store().row("001010000000099"), SubscriberStore::kNoRow);
   EXPECT_EQ(udr_->subscriber_count(), 2u);
 }
 
@@ -422,7 +425,7 @@ TEST_F(CoreFixture, UdmResyncUpdatesUdr) {
       "test", "udm",
       json_post("/nudm-ueau/v1/resync", json::Value(std::move(body))));
   EXPECT_EQ(resp.response.status, 200);
-  EXPECT_EQ(udr_->find(record_.supi)->sqn,
+  EXPECT_EQ(udr_->store().sqn(udr_->store().row(record_.supi.value)),
             be_value(sqn_ms) + Udr::kSqnStep);
 }
 
@@ -439,7 +442,8 @@ TEST_F(CoreFixture, UdmResyncRejectsForgedAuts) {
       "test", "udm",
       json_post("/nudm-ueau/v1/resync", json::Value(std::move(body))));
   EXPECT_EQ(resp.response.status, 403);
-  EXPECT_EQ(udr_->find(record_.supi)->sqn, 0x1000u);  // unchanged
+  EXPECT_EQ(udr_->store().sqn(udr_->store().row(record_.supi.value)),
+            0x1000u);  // unchanged
 }
 
 // ---------------------------------------------------------------------
@@ -596,6 +600,95 @@ TEST(Types, GutiFormatting) {
 TEST(Types, SupiFromParts) {
   EXPECT_EQ(Supi::from_parts(Plmn{"001", "01"}, "0000000007").value,
             "001010000000007");
+}
+
+// ---------------------------------------------------------------------
+// SubscriberStore: the UDR's columnar credential table
+// ---------------------------------------------------------------------
+
+SubscriberRecord store_record(std::uint32_t i) {
+  SubscriberRecord rec;
+  char msin[16];
+  std::snprintf(msin, sizeof(msin), "%010u", 100000000u + i);
+  rec.supi = Supi::from_parts(Plmn{"001", "01"}, msin);
+  rec.k = SecretBytes(Bytes(16, static_cast<std::uint8_t>(i)));
+  rec.opc = SecretBytes(Bytes(16, static_cast<std::uint8_t>(i ^ 0xFF)));
+  rec.sqn = 0x100 + 0x40ULL * i;
+  return rec;
+}
+
+TEST(SubscriberStore, ProvisionAndLookupRoundTrip) {
+  SubscriberStore store;
+  const SubscriberRecord rec = store_record(7);
+  const std::uint32_t row = store.provision(rec);
+  ASSERT_EQ(store.row(rec.supi.value), row);
+  EXPECT_EQ(store.supi(row), rec.supi.value);
+  EXPECT_EQ(store.sqn(row), rec.sqn);
+  EXPECT_TRUE(ct_equal(store.k(row).unsafe_bytes(), rec.k.unsafe_bytes()));
+  EXPECT_TRUE(ct_equal(store.opc(row).unsafe_bytes(), rec.opc.unsafe_bytes()));
+  EXPECT_EQ(store.row("001019999999999"), SubscriberStore::kNoRow);
+}
+
+TEST(SubscriberStore, ReplaceReusesTheRow) {
+  SubscriberStore store;
+  const std::uint32_t row = store.provision(store_record(3));
+  SubscriberRecord updated = store_record(3);
+  updated.sqn = 0xBEEF;
+  EXPECT_EQ(store.provision(updated), row) << "same SUPI keeps its row";
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.sqn(row), 0xBEEFULL);
+}
+
+TEST(SubscriberStore, SurvivesRehashGrowth) {
+  // 500 rows push the open-addressed index through multiple doublings
+  // (initial 64 slots); every interned SUPI view and every column must
+  // survive the growth.
+  SubscriberStore store;
+  constexpr std::uint32_t kCount = 500;
+  for (std::uint32_t i = 0; i < kCount; ++i) store.provision(store_record(i));
+  ASSERT_EQ(store.size(), kCount);
+  for (std::uint32_t i = 0; i < kCount; ++i) {
+    const SubscriberRecord rec = store_record(i);
+    const std::uint32_t row = store.row(rec.supi.value);
+    ASSERT_NE(row, SubscriberStore::kNoRow) << "lost " << rec.supi.value;
+    EXPECT_EQ(store.supi(row), rec.supi.value);
+    EXPECT_EQ(store.sqn(row), rec.sqn);
+    EXPECT_TRUE(ct_equal(store.k(row).unsafe_bytes(), rec.k.unsafe_bytes()));
+  }
+  EXPECT_GT(store.bytes_reserved(), 0u);
+}
+
+TEST(SubscriberStore, SqnWritesLandInPlace) {
+  SubscriberStore store;
+  const std::uint32_t row = store.provision(store_record(0));
+  store.set_sqn(row, store.sqn(row) + 32);
+  EXPECT_EQ(store.sqn(row), 0x100ULL + 32);
+  EXPECT_EQ(store.sqn_bytes(row), be_bytes(0x100ULL + 32, 6));
+}
+
+TEST(SubscriberStore, RejectsMalformedCredentials) {
+  SubscriberStore store;
+  SubscriberRecord bad_k = store_record(1);
+  bad_k.k = SecretBytes(Bytes(15, 0x01));
+  EXPECT_THROW(store.provision(bad_k), std::invalid_argument);
+  SubscriberRecord bad_amf = store_record(2);
+  bad_amf.amf_field = Bytes(3, 0x00);
+  EXPECT_THROW(store.provision(bad_amf), std::invalid_argument);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(SubscriberStore, ReserveIsIdempotentWithProvisioning) {
+  SubscriberStore store;
+  store.reserve(128);
+  // First provision claims the arena's first identity chunk; after
+  // that, a reserved bulk load must not rehash, grow columns, or need
+  // another chunk (128 SUPIs are far below one 64 KiB chunk).
+  store.provision(store_record(0));
+  const std::size_t reserved = store.bytes_reserved();
+  for (std::uint32_t i = 1; i < 128; ++i) store.provision(store_record(i));
+  EXPECT_EQ(store.bytes_reserved(), reserved)
+      << "a reserved bulk load must not rehash or grow columns";
+  EXPECT_EQ(store.size(), 128u);
 }
 
 }  // namespace
