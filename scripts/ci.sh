@@ -30,6 +30,13 @@
 #                             # wire-pool / TLS-resumption hit rates and
 #                             # the scalar-mult budget, lint src/ + bench/,
 #                             # and pin the declassify audit surface
+#   scripts/ci.sh crypto-parity # kernel_parity under both crypto
+#                             # backends (scalar and accel), plus a
+#                             # non-vector fallback smoke: the scaling
+#                             # bench digests must be byte-identical
+#                             # with the batch engine forced to scalar
+#                             # and capped at the AVX2 kernel vs the
+#                             # default dispatch
 #   scripts/ci.sh scale-smoke # shard-runner determinism: run the scaling
 #                             # bench at 1 and 2 workers and diff the
 #                             # per-case digests byte-for-byte against
@@ -147,7 +154,7 @@ case "$stage" in
     # Zero-copy wire path: the pooled-buffer fast path must actually be
     # taken (hits dwarf misses once the per-thread arenas are warm), and
     # the steady-state allocation rate must not creep back up. The
-    # ceiling is ~15% above the measured 1533 allocs/registration (up
+    # ceiling is ~15% above the measured 1537 allocs/registration (up
     # from 1173 pre-resumption: ticket mint/redeem and versioned hellos
     # allocate) so only a real regression trips it, not run-to-run noise.
     #
@@ -157,6 +164,11 @@ case "$stage" in
     # (cold handshakes amortised over the run; warm SBI exchanges do 0) —
     # the ceiling of 6 is far below the ~11 of the full-handshake path,
     # so a silent fallback to full handshakes trips it immediately.
+    #
+    # Ephemeral-key pool: refills must actually mint keys and the serving
+    # path must hit the pool. Every pool hit hands out a key a refill
+    # minted earlier, so hit > refill_keys means the counters themselves
+    # broke (e.g. a rename half-applied).
     python3 - "$out" <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
@@ -170,11 +182,17 @@ if res["hit"] < 1000 or res["hit"] < 20 * max(res["miss"] + res["reject"], 1):
     sys.exit(f"bench-smoke: tls resumption not hot: {res}")
 if doc["x25519_per_reg"] > 6.0:
     sys.exit(f"bench-smoke: x25519_per_reg regressed: {doc['x25519_per_reg']}")
+eph = doc["x25519_pool"]
+if eph["hit"] < 100 or eph["refill_keys"] < eph["hit"]:
+    sys.exit(f"bench-smoke: x25519 pool not hot: {eph}")
 print(f"bench-smoke: wire_pool {pool['hit']} hits / {pool['miss']} misses, "
       f"{doc['allocs_per_reg']:.0f} allocs/reg")
 print(f"bench-smoke: tls_resume {res['hit']} hits / {res['miss']} misses / "
       f"{res['reject']} rejects ({100 * doc['resumption_rate']:.1f}% resumed), "
       f"{doc['x25519_per_reg']:.2f} x25519/reg")
+print(f"bench-smoke: x25519_pool {eph['hit']} hits / "
+      f"{eph['refill_keys']} refill keys / {eph['shared_keys']} shared, "
+      f"engine {doc['x25519_batch_engine']}")
 EOF
     (cd "$repo" && "$build/tools/shield_analyze/shield_analyze" \
          --baseline tools/shield_analyze/baseline.txt src bench)
@@ -197,6 +215,38 @@ EOF
       exit 1
     fi
     echo "bench-smoke: OK"
+    ;;
+  crypto-parity)
+    build="${BUILD_DIR:-$repo/build}"
+    cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$build" --target kernel_parity_test shard_scaling \
+          -j "$jobs"
+    # Bit-identity across dispatch: the full parity suite (1k+ random
+    # scalars/points incl. twist and u=0, RFC 7748 vectors, op-count
+    # neutrality) must pass with the crypto backend pinned either way.
+    # On hosts without AVX2/IFMA the vector cases skip; the scalar
+    # reference still runs, so this stage never silently no-ops.
+    SHIELD5G_CRYPTO_BACKEND=scalar "$build/tests/kernel_parity_test"
+    SHIELD5G_CRYPTO_BACKEND=accel "$build/tests/kernel_parity_test"
+    # Non-vector fallback smoke: a plain host dispatches the batch to
+    # the scalar ladder, an AVX2-only host to the x4 kernel. Force both
+    # paths and require the end-to-end scaling digests byte-identical
+    # to the default dispatch (IFMA where the host has it).
+    rm -f "$build"/parity_digests_*.txt
+    run_scaling() {  # $1 = tag (also digest prefix suffix)
+      "$build/bench/shard_scaling" --smoke --workers 1 \
+          --digest "$build/parity_digests_$1" \
+          "$build/BENCH_scaling_parity_$1.json"
+    }
+    run_scaling default
+    SHIELD5G_X25519_BATCH=scalar SHIELD5G_CRYPTO_BACKEND=scalar \
+      run_scaling scalar
+    SHIELD5G_X25519_BATCH=x4 run_scaling x4
+    cmp "$build/parity_digests_default_seq.txt" \
+        "$build/parity_digests_scalar_seq.txt"
+    cmp "$build/parity_digests_default_seq.txt" \
+        "$build/parity_digests_x4_seq.txt"
+    echo "crypto-parity: OK"
     ;;
   scale-smoke)
     build="${BUILD_DIR:-$repo/build}"

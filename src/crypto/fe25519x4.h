@@ -1,0 +1,429 @@
+// 4-lane AVX2 field arithmetic in GF(2^255 - 19) (internal).
+//
+// Lane-sliced companion to fe25519.h: one Fe4 holds four independent
+// field elements, limb i of every lane packed into one __m256i, so a
+// single vector instruction advances all four lanes in lock-step. The
+// batched Montgomery ladder (x25519_x4.cpp) runs four scalar mults this
+// way; per lane the arithmetic computes exactly the same residues the
+// scalar path does, and fe_store canonicalization makes the outputs
+// bit-identical.
+//
+// Radix: AVX2 has no 64x64->128 multiply, only vpmuludq (32x32->64), so
+// the 5x51 representation cannot multiply directly. Internally each
+// lane uses the donna/ref10 radix-2^25.5 split: ten limbs h[0..9] of
+// alternating 26/25 bits, limb i weighing 2^ceil(25.5*i). The boundary
+// conversion is exact: 51-bit limb j = h[2j] + (h[2j+1] << 26).
+//
+// Range discipline (the x4 analogue of fe25519.h's):
+//   * mul4 / sq4 / mul_small4 accept limbs < 3*2^26 ("loose") and
+//     return carried values (even limbs < 2^26 + eps, odd < 2^25 + eps).
+//   * add4 of two carried values stays under 2^27 — loose.
+//   * sub4 requires *carried* inputs (it adds a 2p bias sized for them)
+//     and returns limbs < 3*2^26 — loose.
+//   * Worst-case mul4 accumulator: coefficient sum <= 267 per output
+//     limb, so 267 * (3*2^26)^2 < 2^63.3 — no u64 overflow; every
+//     vpmuludq operand (f, 2f, 4f, 19g) stays below 2^32.
+//
+// This header is only meaningful in a translation unit compiled with
+// -mavx2; everything is guarded so non-AVX2 TUs see an empty namespace
+// (x25519_x4.cpp carries the scalar stubs for that build).
+#pragma once
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "crypto/fe25519.h"
+
+namespace shield5g::crypto::fe25519x4 {
+
+// Four field elements, lane-sliced: element l lives in qword lane l of
+// every h[i].
+struct Fe4 {
+  __m256i h[10];
+};
+
+constexpr std::uint64_t kMask26 = (1ULL << 26) - 1;
+constexpr std::uint64_t kMask25 = (1ULL << 25) - 1;
+
+inline __m256i fe4_set1(std::uint64_t v) {
+  return _mm256_set1_epi64x(static_cast<long long>(v));
+}
+
+inline Fe4 fe4_zero() {
+  Fe4 r;
+  for (int i = 0; i < 10; ++i) r.h[i] = _mm256_setzero_si256();
+  return r;
+}
+
+inline Fe4 fe4_one() {
+  Fe4 r = fe4_zero();
+  r.h[0] = fe4_set1(1);
+  return r;
+}
+
+/// Packs four 5x51 elements (limbs < 2^52, i.e. carried or fe_load
+/// outputs) into the lane-sliced 10-limb form.
+inline Fe4 fe4_from_lanes(const fe25519::Fe in[4]) {
+  Fe4 r;
+  for (int j = 0; j < 5; ++j) {
+    r.h[2 * j] = _mm256_set_epi64x(
+        static_cast<long long>(in[3][j] & kMask26),
+        static_cast<long long>(in[2][j] & kMask26),
+        static_cast<long long>(in[1][j] & kMask26),
+        static_cast<long long>(in[0][j] & kMask26));
+    r.h[2 * j + 1] =
+        _mm256_set_epi64x(static_cast<long long>(in[3][j] >> 26),
+                          static_cast<long long>(in[2][j] >> 26),
+                          static_cast<long long>(in[1][j] >> 26),
+                          static_cast<long long>(in[0][j] >> 26));
+  }
+  return r;
+}
+
+/// Unpacks carried lanes back to 5x51 (limbs < 2^52, safe for fe_mul /
+/// fe_store).
+inline void fe4_to_lanes(const Fe4& v, fe25519::Fe out[4]) {
+  alignas(32) std::uint64_t buf[10][4];
+  for (int i = 0; i < 10; ++i) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(buf[i]), v.h[i]);
+  }
+  for (int l = 0; l < 4; ++l) {
+    for (int j = 0; j < 5; ++j) {
+      out[l][j] = buf[2 * j][l] + (buf[2 * j + 1][l] << 26);
+    }
+  }
+}
+
+inline Fe4 add4(const Fe4& a, const Fe4& b) {
+  Fe4 r;
+  for (int i = 0; i < 10; ++i) r.h[i] = _mm256_add_epi64(a.h[i], b.h[i]);
+  return r;
+}
+
+/// a + 2p - b with both inputs carried; limbs stay positive and loose.
+inline Fe4 sub4(const Fe4& a, const Fe4& b) {
+  const __m256i bias0 = fe4_set1((1ULL << 27) - 38);
+  const __m256i bias_even = fe4_set1((1ULL << 27) - 2);
+  const __m256i bias_odd = fe4_set1((1ULL << 26) - 2);
+  Fe4 r;
+  r.h[0] = _mm256_sub_epi64(_mm256_add_epi64(a.h[0], bias0), b.h[0]);
+  for (int i = 1; i < 10; ++i) {
+    const __m256i bias = (i & 1) != 0 ? bias_odd : bias_even;
+    r.h[i] = _mm256_sub_epi64(_mm256_add_epi64(a.h[i], bias), b.h[i]);
+  }
+  return r;
+}
+
+/// mask must be all-ones / all-zero per qword lane (from a secret bit
+/// via 0 - bit); branch-free like fe_cswap.
+inline void cswap4(__m256i mask, Fe4& a, Fe4& b) {
+  for (int i = 0; i < 10; ++i) {
+    const __m256i x = _mm256_and_si256(mask, _mm256_xor_si256(a.h[i], b.h[i]));
+    a.h[i] = _mm256_xor_si256(a.h[i], x);
+    b.h[i] = _mm256_xor_si256(b.h[i], x);
+  }
+}
+
+namespace internal {
+
+inline __m256i mul32(__m256i a, __m256i b) { return _mm256_mul_epu32(a, b); }
+
+// 19c for carries up to 2^39 — vpmuludq would truncate the operand to
+// 32 bits, so use shifts: 19c = 16c + 2c + c.
+inline __m256i times19(__m256i c) {
+  return _mm256_add_epi64(
+      _mm256_add_epi64(_mm256_slli_epi64(c, 4), _mm256_slli_epi64(c, 1)), c);
+}
+
+// Full carry; accepts limbs up to ~2^63.4 and leaves them carried
+// (even < 2^26 + eps, odd < 2^25 + eps). Two interleaved chains — h0
+// -> h4 -> h5 and h5 -> h9 -> (x19) -> h0 -> h1 — run in lock step, so
+// the dependency depth is 6 two-op stages instead of the 11 of a
+// single sweep. carry4 follows every mul4/sq4 and sits on the ladder's
+// serial critical path, so its latency sets the kernel's throughput.
+//
+// Range argument: each chain's running carry is bounded by (input max)
+// >> 25 < 2^38.4; the wrap contributes 19 * 2^38.4 < 2^42.7 to h0.
+// The trailing stage re-carries h5 and h0, leaving h6 and h1 at most
+// eps = 2^17 above their masks — inside the mul/sq input domain.
+inline void carry4(Fe4& r) {
+  const __m256i m26 = fe4_set1(kMask26);
+  const __m256i m25 = fe4_set1(kMask25);
+  __m256i a, b;
+  a = _mm256_srli_epi64(r.h[0], 26);
+  b = _mm256_srli_epi64(r.h[5], 25);
+  r.h[0] = _mm256_and_si256(r.h[0], m26);
+  r.h[5] = _mm256_and_si256(r.h[5], m25);
+  r.h[1] = _mm256_add_epi64(r.h[1], a);
+  r.h[6] = _mm256_add_epi64(r.h[6], b);
+
+  a = _mm256_srli_epi64(r.h[1], 25);
+  b = _mm256_srli_epi64(r.h[6], 26);
+  r.h[1] = _mm256_and_si256(r.h[1], m25);
+  r.h[6] = _mm256_and_si256(r.h[6], m26);
+  r.h[2] = _mm256_add_epi64(r.h[2], a);
+  r.h[7] = _mm256_add_epi64(r.h[7], b);
+
+  a = _mm256_srli_epi64(r.h[2], 26);
+  b = _mm256_srli_epi64(r.h[7], 25);
+  r.h[2] = _mm256_and_si256(r.h[2], m26);
+  r.h[7] = _mm256_and_si256(r.h[7], m25);
+  r.h[3] = _mm256_add_epi64(r.h[3], a);
+  r.h[8] = _mm256_add_epi64(r.h[8], b);
+
+  a = _mm256_srli_epi64(r.h[3], 25);
+  b = _mm256_srli_epi64(r.h[8], 26);
+  r.h[3] = _mm256_and_si256(r.h[3], m25);
+  r.h[8] = _mm256_and_si256(r.h[8], m26);
+  r.h[4] = _mm256_add_epi64(r.h[4], a);
+  r.h[9] = _mm256_add_epi64(r.h[9], b);
+
+  a = _mm256_srli_epi64(r.h[4], 26);
+  b = _mm256_srli_epi64(r.h[9], 25);
+  r.h[4] = _mm256_and_si256(r.h[4], m26);
+  r.h[9] = _mm256_and_si256(r.h[9], m25);
+  r.h[5] = _mm256_add_epi64(r.h[5], a);
+  r.h[0] = _mm256_add_epi64(r.h[0], times19(b));
+
+  a = _mm256_srli_epi64(r.h[5], 25);
+  b = _mm256_srli_epi64(r.h[0], 26);
+  r.h[5] = _mm256_and_si256(r.h[5], m25);
+  r.h[0] = _mm256_and_si256(r.h[0], m26);
+  r.h[6] = _mm256_add_epi64(r.h[6], a);
+  r.h[1] = _mm256_add_epi64(r.h[1], b);
+}
+
+}  // namespace internal
+
+/// Lane-sliced schoolbook multiply, ref10's 10-limb formulas: odd*odd
+/// products carry an extra factor 2 (the 25.5-bit radix), wrapped
+/// products (i+j >= 10) a factor 19. The doubling rides on f (2f, 4f <
+/// 2^29) and the 19 on g (19g < 2^32) so every vpmuludq operand fits 32
+/// bits.
+inline Fe4 mul4(const Fe4& f, const Fe4& g) {
+  using internal::mul32;
+  const __m256i nineteen = fe4_set1(19);
+  __m256i g19[10];
+  g19[0] = g.h[0];  // unused slot kept for indexing clarity
+  for (int j = 1; j < 10; ++j) g19[j] = mul32(g.h[j], nineteen);
+  __m256i f2[10];
+  for (int i = 1; i < 10; i += 2) f2[i] = _mm256_add_epi64(f.h[i], f.h[i]);
+
+  const __m256i* fh = f.h;
+  const __m256i* gh = g.h;
+  Fe4 r;
+  r.h[0] = _mm256_add_epi64(
+      mul32(fh[0], gh[0]),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(f2[1], g19[9]), mul32(fh[2], g19[8])),
+          _mm256_add_epi64(
+              _mm256_add_epi64(mul32(f2[3], g19[7]), mul32(fh[4], g19[6])),
+              _mm256_add_epi64(
+                  _mm256_add_epi64(mul32(f2[5], g19[5]), mul32(fh[6], g19[4])),
+                  _mm256_add_epi64(mul32(f2[7], g19[3]),
+                                   _mm256_add_epi64(mul32(fh[8], g19[2]),
+                                                    mul32(f2[9], g19[1])))))));
+  r.h[1] = _mm256_add_epi64(
+      _mm256_add_epi64(mul32(fh[0], gh[1]), mul32(fh[1], gh[0])),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(fh[2], g19[9]), mul32(fh[3], g19[8])),
+          _mm256_add_epi64(
+              _mm256_add_epi64(mul32(fh[4], g19[7]), mul32(fh[5], g19[6])),
+              _mm256_add_epi64(
+                  _mm256_add_epi64(mul32(fh[6], g19[5]), mul32(fh[7], g19[4])),
+                  _mm256_add_epi64(mul32(fh[8], g19[3]),
+                                   mul32(fh[9], g19[2]))))));
+  r.h[2] = _mm256_add_epi64(
+      _mm256_add_epi64(mul32(fh[0], gh[2]),
+                       _mm256_add_epi64(mul32(f2[1], gh[1]),
+                                        mul32(fh[2], gh[0]))),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(f2[3], g19[9]), mul32(fh[4], g19[8])),
+          _mm256_add_epi64(
+              _mm256_add_epi64(mul32(f2[5], g19[7]), mul32(fh[6], g19[6])),
+              _mm256_add_epi64(mul32(f2[7], g19[5]),
+                               _mm256_add_epi64(mul32(fh[8], g19[4]),
+                                                mul32(f2[9], g19[3]))))));
+  r.h[3] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(fh[0], gh[3]), mul32(fh[1], gh[2])),
+          _mm256_add_epi64(mul32(fh[2], gh[1]), mul32(fh[3], gh[0]))),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(fh[4], g19[9]), mul32(fh[5], g19[8])),
+          _mm256_add_epi64(
+              _mm256_add_epi64(mul32(fh[6], g19[7]), mul32(fh[7], g19[6])),
+              _mm256_add_epi64(mul32(fh[8], g19[5]), mul32(fh[9], g19[4])))));
+  r.h[4] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          mul32(fh[0], gh[4]),
+          _mm256_add_epi64(mul32(f2[1], gh[3]), mul32(fh[2], gh[2]))),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(f2[3], gh[1]), mul32(fh[4], gh[0])),
+          _mm256_add_epi64(
+              _mm256_add_epi64(mul32(f2[5], g19[9]), mul32(fh[6], g19[8])),
+              _mm256_add_epi64(mul32(f2[7], g19[7]),
+                               _mm256_add_epi64(mul32(fh[8], g19[6]),
+                                                mul32(f2[9], g19[5]))))));
+  r.h[5] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(fh[0], gh[5]), mul32(fh[1], gh[4])),
+          _mm256_add_epi64(mul32(fh[2], gh[3]), mul32(fh[3], gh[2]))),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(fh[4], gh[1]), mul32(fh[5], gh[0])),
+          _mm256_add_epi64(
+              _mm256_add_epi64(mul32(fh[6], g19[9]), mul32(fh[7], g19[8])),
+              _mm256_add_epi64(mul32(fh[8], g19[7]), mul32(fh[9], g19[6])))));
+  r.h[6] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          mul32(fh[0], gh[6]),
+          _mm256_add_epi64(mul32(f2[1], gh[5]), mul32(fh[2], gh[4]))),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(f2[3], gh[3]), mul32(fh[4], gh[2])),
+          _mm256_add_epi64(
+              _mm256_add_epi64(mul32(f2[5], gh[1]), mul32(fh[6], gh[0])),
+              _mm256_add_epi64(mul32(f2[7], g19[9]),
+                               _mm256_add_epi64(mul32(fh[8], g19[8]),
+                                                mul32(f2[9], g19[7]))))));
+  r.h[7] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(fh[0], gh[7]), mul32(fh[1], gh[6])),
+          _mm256_add_epi64(mul32(fh[2], gh[5]), mul32(fh[3], gh[4]))),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(fh[4], gh[3]), mul32(fh[5], gh[2])),
+          _mm256_add_epi64(
+              _mm256_add_epi64(mul32(fh[6], gh[1]), mul32(fh[7], gh[0])),
+              _mm256_add_epi64(mul32(fh[8], g19[9]), mul32(fh[9], g19[8])))));
+  r.h[8] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          mul32(fh[0], gh[8]),
+          _mm256_add_epi64(mul32(f2[1], gh[7]), mul32(fh[2], gh[6]))),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(f2[3], gh[5]), mul32(fh[4], gh[4])),
+          _mm256_add_epi64(
+              _mm256_add_epi64(mul32(f2[5], gh[3]), mul32(fh[6], gh[2])),
+              _mm256_add_epi64(mul32(f2[7], gh[1]),
+                               _mm256_add_epi64(mul32(fh[8], gh[0]),
+                                                mul32(f2[9], g19[9]))))));
+  r.h[9] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(fh[0], gh[9]), mul32(fh[1], gh[8])),
+          _mm256_add_epi64(mul32(fh[2], gh[7]), mul32(fh[3], gh[6]))),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(fh[4], gh[5]), mul32(fh[5], gh[4])),
+          _mm256_add_epi64(
+              _mm256_add_epi64(mul32(fh[6], gh[3]), mul32(fh[7], gh[2])),
+              _mm256_add_epi64(mul32(fh[8], gh[1]), mul32(fh[9], gh[0])))));
+  internal::carry4(r);
+  return r;
+}
+
+/// Lane-sliced squaring; symmetric products fold into doubled terms
+/// (coefficients 2/4/38/76 split as {2f,4f} x {g,19g}).
+inline Fe4 sq4(const Fe4& f) {
+  using internal::mul32;
+  const __m256i nineteen = fe4_set1(19);
+  const __m256i* fh = f.h;
+  __m256i d2[10];
+  for (int i = 0; i < 10; ++i) d2[i] = _mm256_add_epi64(fh[i], fh[i]);
+  __m256i d4[10];
+  for (int i = 1; i < 10; i += 2) d4[i] = _mm256_add_epi64(d2[i], d2[i]);
+  __m256i g19[10];
+  for (int j = 5; j < 10; ++j) g19[j] = mul32(fh[j], nineteen);
+
+  Fe4 r;
+  r.h[0] = _mm256_add_epi64(
+      _mm256_add_epi64(mul32(fh[0], fh[0]), mul32(d4[1], g19[9])),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d2[2], g19[8]), mul32(d4[3], g19[7])),
+          _mm256_add_epi64(mul32(d2[4], g19[6]), mul32(d2[5], g19[5]))));
+  r.h[1] = _mm256_add_epi64(
+      _mm256_add_epi64(mul32(d2[0], fh[1]), mul32(d2[2], g19[9])),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d2[3], g19[8]), mul32(d2[4], g19[7])),
+          mul32(d2[5], g19[6])));
+  r.h[2] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d2[0], fh[2]), mul32(d2[1], fh[1])),
+          mul32(d4[3], g19[9])),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d2[4], g19[8]), mul32(d4[5], g19[7])),
+          mul32(fh[6], g19[6])));
+  r.h[3] = _mm256_add_epi64(
+      _mm256_add_epi64(mul32(d2[0], fh[3]), mul32(d2[1], fh[2])),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d2[4], g19[9]), mul32(d2[5], g19[8])),
+          mul32(d2[6], g19[7])));
+  r.h[4] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d2[0], fh[4]), mul32(d4[1], fh[3])),
+          mul32(fh[2], fh[2])),
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d4[5], g19[9]), mul32(d2[6], g19[8])),
+          mul32(d2[7], g19[7])));
+  r.h[5] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d2[0], fh[5]), mul32(d2[1], fh[4])),
+          mul32(d2[2], fh[3])),
+      _mm256_add_epi64(mul32(d2[6], g19[9]), mul32(d2[7], g19[8])));
+  r.h[6] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d2[0], fh[6]), mul32(d4[1], fh[5])),
+          _mm256_add_epi64(mul32(d2[2], fh[4]), mul32(d2[3], fh[3]))),
+      _mm256_add_epi64(mul32(d4[7], g19[9]), mul32(fh[8], g19[8])));
+  r.h[7] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d2[0], fh[7]), mul32(d2[1], fh[6])),
+          _mm256_add_epi64(mul32(d2[2], fh[5]), mul32(d2[3], fh[4]))),
+      mul32(d2[8], g19[9]));
+  r.h[8] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d2[0], fh[8]), mul32(d4[1], fh[7])),
+          _mm256_add_epi64(mul32(d2[2], fh[6]), mul32(d4[3], fh[5]))),
+      _mm256_add_epi64(mul32(fh[4], fh[4]), mul32(d2[9], g19[9])));
+  r.h[9] = _mm256_add_epi64(
+      _mm256_add_epi64(
+          _mm256_add_epi64(mul32(d2[0], fh[9]), mul32(d2[1], fh[8])),
+          _mm256_add_epi64(mul32(d2[2], fh[7]), mul32(d2[3], fh[6]))),
+      mul32(d2[4], fh[5]));
+  internal::carry4(r);
+  return r;
+}
+
+/// f * s for small s (s < 2^20, e.g. the ladder's 121665).
+inline Fe4 mul_small4(const Fe4& f, std::uint32_t s) {
+  const __m256i vs = fe4_set1(s);
+  Fe4 r;
+  for (int i = 0; i < 10; ++i) r.h[i] = internal::mul32(f.h[i], vs);
+  internal::carry4(r);
+  return r;
+}
+
+inline Fe4 sqn4(Fe4 f, int n) {
+  for (int i = 0; i < n; ++i) f = sq4(f);
+  return f;
+}
+
+/// z^(p-2) per lane — fe_invert's addition chain verbatim, so a zero
+/// lane inverts to zero exactly like the scalar path.
+inline Fe4 invert4(const Fe4& z) {
+  const Fe4 t0 = sq4(z);                        // z^2
+  Fe4 t1 = mul4(z, sqn4(t0, 2));                // z^9
+  const Fe4 t0b = mul4(t0, t1);                 // z^11
+  const Fe4 t2 = sq4(t0b);                      // z^22
+  t1 = mul4(t1, t2);                            // z^31 = z^(2^5-1)
+  Fe4 t3 = mul4(t1, sqn4(t1, 5));               // z^(2^10-1)
+  Fe4 t4 = mul4(t3, sqn4(t3, 10));              // z^(2^20-1)
+  Fe4 t5 = mul4(t4, sqn4(t4, 20));              // z^(2^40-1)
+  t4 = mul4(t3, sqn4(t5, 10));                  // z^(2^50-1)
+  t5 = mul4(t4, sqn4(t4, 50));                  // z^(2^100-1)
+  Fe4 t6 = mul4(t5, sqn4(t5, 100));             // z^(2^200-1)
+  t5 = mul4(t4, sqn4(t6, 50));                  // z^(2^250-1)
+  return mul4(t0b, sqn4(t5, 5));                // z^(p-2)
+}
+
+}  // namespace shield5g::crypto::fe25519x4
+
+#endif  // __AVX2__

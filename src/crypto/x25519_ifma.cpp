@@ -1,0 +1,96 @@
+// AVX-512 IFMA 4-lane X25519 ladder kernels (the only TU built with
+// -mavx512ifma).
+//
+// Everything here is guarded by the AVX512IFMA/VL/DQ macros: when the
+// toolchain cannot target them this file compiles to stubs and the
+// batch dispatcher (x25519_batch.cpp, built with the normal flags so no
+// AVX-512 code can leak into fallback paths) falls back to the AVX2 or
+// scalar engine. Callers must gate on x25519_ifma_compiled() &&
+// cpu_has_avx512ifma() before entering the kernels.
+#include "crypto/x25519_batch.h"
+
+#include "crypto/fe25519.h"
+
+#if defined(__AVX512IFMA__) && defined(__AVX512VL__) && defined(__AVX512DQ__)
+#include "crypto/fe25519ifma.h"
+#endif
+
+namespace shield5g::crypto::detail {
+
+#if defined(__AVX512IFMA__) && defined(__AVX512VL__) && defined(__AVX512DQ__)
+
+namespace {
+
+using fe25519::Fe;
+using namespace fe25519ifma;
+
+// Value-preserving re-carry into < 2^52 limbs (fe_store's lossy passes
+// without the canonicalization), so test-hook inputs with limbs up to
+// 2^54 fit the fe4_from_lanes contract and outputs report carried 5x51
+// limbs like the scalar ops.
+Fe loose_carry(const Fe& in) {
+  using fe25519::kMask51;
+  Fe t = in;
+  for (int pass = 0; pass < 2; ++pass) {
+    t[1] += t[0] >> 51; t[0] &= kMask51;
+    t[2] += t[1] >> 51; t[1] &= kMask51;
+    t[3] += t[2] >> 51; t[2] &= kMask51;
+    t[4] += t[3] >> 51; t[3] &= kMask51;
+    t[0] += 19 * (t[4] >> 51); t[4] &= kMask51;
+  }
+  return t;
+}
+
+// The RFC 7748 step sequence itself is shared with the AVX2 kernel TU.
+#include "crypto/x25519_lanes.inl"
+
+}  // namespace
+
+bool x25519_ifma_compiled() noexcept { return true; }
+
+void x25519_ifma_ladder4(const std::uint8_t k[4][32],
+                         const std::uint8_t* const u[4],
+                         std::uint8_t out[4][32]) {
+  lanes_ladder4(k, u, out);
+}
+
+bool x25519_ifma_mul(const Fe a[4], const Fe b[4], Fe r[4]) {
+  Fe an[4], bn[4];
+  for (int l = 0; l < 4; ++l) {
+    an[l] = loose_carry(a[l]);
+    bn[l] = loose_carry(b[l]);
+  }
+  const Fe4 prod = mul4(fe4_from_lanes(an), fe4_from_lanes(bn));
+  fe4_to_lanes(prod, r);
+  for (int l = 0; l < 4; ++l) r[l] = loose_carry(r[l]);
+  return true;
+}
+
+bool x25519_ifma_sq(const Fe a[4], Fe r[4]) {
+  Fe an[4];
+  for (int l = 0; l < 4; ++l) an[l] = loose_carry(a[l]);
+  const Fe4 sq = sq4(fe4_from_lanes(an));
+  fe4_to_lanes(sq, r);
+  for (int l = 0; l < 4; ++l) r[l] = loose_carry(r[l]);
+  return true;
+}
+
+#else  // !(__AVX512IFMA__ && __AVX512VL__ && __AVX512DQ__)
+
+bool x25519_ifma_compiled() noexcept { return false; }
+
+void x25519_ifma_ladder4(const std::uint8_t[4][32],
+                         const std::uint8_t* const[4], std::uint8_t[4][32]) {
+  // Unreachable by contract (callers gate on x25519_ifma_compiled()).
+}
+
+bool x25519_ifma_mul(const fe25519::Fe[4], const fe25519::Fe[4],
+                     fe25519::Fe[4]) {
+  return false;
+}
+
+bool x25519_ifma_sq(const fe25519::Fe[4], fe25519::Fe[4]) { return false; }
+
+#endif
+
+}  // namespace shield5g::crypto::detail

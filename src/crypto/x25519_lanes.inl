@@ -1,0 +1,67 @@
+// One batched Montgomery ladder, two field backends (textual include).
+//
+// Included from exactly the per-ISA kernel TUs (x25519_x4.cpp with
+// -mavx2, x25519_ifma.cpp with -mavx512ifma), inside an anonymous
+// namespace that has already imported one lane-sliced field backend
+// (`using namespace fe25519x4;` or `fe25519ifma;`). The field headers
+// expose the same surface — Fe4, fe4_zero/one/from_lanes/to_lanes,
+// add4/sub4/mul4/sq4/mul_small4/cswap4/invert4 — so the RFC 7748 step
+// sequence is written once and stays operation-for-operation identical
+// to ladder_fraction() in x25519.cpp; only the limb slicing differs.
+// No include guard: each kernel TU includes this exactly once.
+
+inline __m256i lanes_swap_mask(const std::uint64_t swap[4]) {
+  return _mm256_set_epi64x(-static_cast<long long>(swap[3]),
+                           -static_cast<long long>(swap[2]),
+                           -static_cast<long long>(swap[1]),
+                           -static_cast<long long>(swap[0]));
+}
+
+// Four X25519 ladders in lock-step lanes: scalars pre-clamped, points
+// raw 32-byte u-coordinates, outputs canonical.
+inline void lanes_ladder4(const std::uint8_t k[4][32],
+                          const std::uint8_t* const u[4],
+                          std::uint8_t out[4][32]) {
+  fe25519::Fe x1l[4];
+  for (int l = 0; l < 4; ++l) x1l[l] = fe25519::fe_load(u[l]);
+  const Fe4 x1 = fe4_from_lanes(x1l);
+  Fe4 x2 = fe4_one(), z2 = fe4_zero();
+  Fe4 x3 = x1, z3 = fe4_one();
+  std::uint64_t swap[4] = {0, 0, 0, 0};
+
+  for (int t = 254; t >= 0; --t) {
+    std::uint64_t bit[4];
+    for (int l = 0; l < 4; ++l) {
+      bit[l] = (k[l][t / 8] >> (t % 8)) & 1;
+      swap[l] ^= bit[l];
+    }
+    const __m256i mask = lanes_swap_mask(swap);
+    cswap4(mask, x2, x3);
+    cswap4(mask, z2, z3);
+    for (int l = 0; l < 4; ++l) swap[l] = bit[l];
+
+    const Fe4 a = add4(x2, z2);
+    const Fe4 aa = sq4(a);
+    const Fe4 b = sub4(x2, z2);
+    const Fe4 bb = sq4(b);
+    const Fe4 e = sub4(aa, bb);
+    const Fe4 c = add4(x3, z3);
+    const Fe4 d = sub4(x3, z3);
+    const Fe4 da = mul4(d, a);
+    const Fe4 cb = mul4(c, b);
+    x3 = sq4(add4(da, cb));
+    z3 = mul4(x1, sq4(sub4(da, cb)));
+    x2 = mul4(aa, bb);
+    z2 = mul4(e, add4(aa, mul_small4(e, 121665)));
+  }
+  const __m256i mask = lanes_swap_mask(swap);
+  cswap4(mask, x2, x3);
+  cswap4(mask, z2, z3);
+
+  // Lane-parallel inversion; a zero denominator (low-order input)
+  // inverts to zero exactly like fe_invert, so u = 0 survives.
+  const Fe4 res = mul4(x2, invert4(z2));
+  fe25519::Fe lanes[4];
+  fe4_to_lanes(res, lanes);
+  for (int l = 0; l < 4; ++l) fe25519::fe_store(out[l], lanes[l]);
+}

@@ -1,0 +1,95 @@
+// AVX2 4-lane X25519 ladder kernels (the only TU built with -mavx2).
+//
+// Everything here is guarded by __AVX2__: when the toolchain cannot
+// target AVX2 this file compiles to stubs and the batch dispatcher
+// (x25519_batch.cpp, built with the normal flags so no AVX2 code can
+// leak into fallback paths) keeps the scalar engine. Callers must gate
+// on x25519_x4_compiled() && cpu_has_avx2() before entering the
+// kernels.
+#include "crypto/x25519_batch.h"
+
+#include <cstdlib>
+
+#include "crypto/fe25519.h"
+
+#if defined(__AVX2__)
+#include "crypto/fe25519x4.h"
+#endif
+
+namespace shield5g::crypto::detail {
+
+#if defined(__AVX2__)
+
+namespace {
+
+using fe25519::Fe;
+using namespace fe25519x4;
+
+// Value-preserving re-carry into < 2^52 limbs (fe_store's lossy passes
+// without the canonicalization), so test-hook inputs with limbs up to
+// 2^54 fit the fe4_from_lanes contract.
+Fe loose_carry(const Fe& in) {
+  using fe25519::kMask51;
+  Fe t = in;
+  for (int pass = 0; pass < 2; ++pass) {
+    t[1] += t[0] >> 51; t[0] &= kMask51;
+    t[2] += t[1] >> 51; t[1] &= kMask51;
+    t[3] += t[2] >> 51; t[2] &= kMask51;
+    t[4] += t[3] >> 51; t[3] &= kMask51;
+    t[0] += 19 * (t[4] >> 51); t[4] &= kMask51;
+  }
+  return t;
+}
+
+// The RFC 7748 step sequence itself is shared with the IFMA kernel TU.
+#include "crypto/x25519_lanes.inl"
+
+}  // namespace
+
+bool x25519_x4_compiled() noexcept { return true; }
+
+void x25519_x4_ladder4(const std::uint8_t k[4][32],
+                       const std::uint8_t* const u[4],
+                       std::uint8_t out[4][32]) {
+  lanes_ladder4(k, u, out);
+}
+
+bool x25519_x4_mul(const Fe a[4], const Fe b[4], Fe r[4]) {
+  Fe an[4], bn[4];
+  for (int l = 0; l < 4; ++l) {
+    an[l] = loose_carry(a[l]);
+    bn[l] = loose_carry(b[l]);
+  }
+  const Fe4 prod = mul4(fe4_from_lanes(an), fe4_from_lanes(bn));
+  fe4_to_lanes(prod, r);
+  return true;
+}
+
+bool x25519_x4_sq(const Fe a[4], Fe r[4]) {
+  Fe an[4];
+  for (int l = 0; l < 4; ++l) an[l] = loose_carry(a[l]);
+  const Fe4 sq = sq4(fe4_from_lanes(an));
+  fe4_to_lanes(sq, r);
+  return true;
+}
+
+#else  // !__AVX2__
+
+bool x25519_x4_compiled() noexcept { return false; }
+
+void x25519_x4_ladder4(const std::uint8_t[4][32], const std::uint8_t* const[4],
+                       std::uint8_t[4][32]) {
+  // Dispatch guarantees this is unreachable without the kernels.
+  std::abort();
+}
+
+bool x25519_x4_mul(const fe25519::Fe[4], const fe25519::Fe[4],
+                   fe25519::Fe[4]) {
+  return false;
+}
+
+bool x25519_x4_sq(const fe25519::Fe[4], fe25519::Fe[4]) { return false; }
+
+#endif  // __AVX2__
+
+}  // namespace shield5g::crypto::detail
