@@ -17,8 +17,13 @@
 #include "crypto/x25519.h"
 #include "crypto/x25519_batch.h"
 #include "json/json.h"
+#include "net/bus.h"
+#include "net/env.h"
 #include "net/http.h"
+#include "net/router.h"
 #include "net/tls.h"
+#include "sim/clock.h"
+#include "sim/scheduler.h"
 #include "nf/aka_core.h"
 #include "nf/nas.h"
 
@@ -233,7 +238,8 @@ void BM_HttpSerializeParseZeroCopy(benchmark::State& state) {
   const std::size_t wire_size = req.serialized_size();
   for (auto _ : state) {
     PooledBuffer buf = BufferPool::local().acquire(
-        net::TlsSession::kRecordOverhead + wire_size, 5);
+        net::TlsSession::kRecordOverhead + wire_size,
+        net::TlsSession::kRecordHeader);
     req.serialize_into(buf);
     benchmark::DoNotOptimize(net::RequestView::parse(buf.view()));
   }
@@ -254,7 +260,8 @@ void BM_TlsRecordRoundTripInPlace(benchmark::State& state) {
   const Bytes payload = rng.bytes(n);
   for (auto _ : state) {
     PooledBuffer buf =
-        BufferPool::local().acquire(net::TlsSession::kRecordOverhead + n, 5);
+        BufferPool::local().acquire(net::TlsSession::kRecordOverhead + n,
+                                  net::TlsSession::kRecordHeader);
     buf.append(payload);
     client.protect_in_place(buf);
     benchmark::DoNotOptimize(server->unprotect_in_place(buf));
@@ -297,6 +304,70 @@ void BM_TlsRecordRoundTrip(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_TlsRecordRoundTrip)->Arg(256)->Arg(4096);
+
+// ---------------------------------------------------------------------
+// Bus round trip: the full SBI exchange (client NF -> bus -> server NF
+// -> response) over the real wire path vs the co-located fast path
+// (DESIGN.md §18). Keep-alive is on, so the handshake amortizes away
+// and the per-exchange delta is pure record ceremony.
+// ---------------------------------------------------------------------
+
+void BM_BusRoundTrip(benchmark::State& state) {
+  const bool fastpath = state.range(0) != 0;
+  sim::VirtualClock clock;
+  net::Bus bus(clock);
+  bus.set_fastpath(fastpath);
+  bus.set_attach_domain(1);
+  bus.set_keep_alive(true);
+  net::HostEnv env(clock);
+  net::Server server("echo", env, bus.costs());
+  server.router().add(net::Method::kPost, "/nausf-auth/v1/ue-authentications",
+                      [](const net::RequestView& req, const net::PathParams&) {
+                        return net::HttpResponse::json(200,
+                                                       std::string(req.body));
+                      });
+  bus.attach(server);
+  net::Server client("client", env, bus.costs());
+  bus.attach(client);
+  const net::HttpRequest req = make_sbi_request();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bus.request("client", "echo", req));
+  }
+  state.counters["fastpath_hits"] =
+      static_cast<double>(bus.fastpath_hits());
+}
+BENCHMARK(BM_BusRoundTrip)->Arg(0)->Arg(1);
+
+// ---------------------------------------------------------------------
+// Scheduler storage: push N events with colliding timestamps, then
+// drain. Exercises the near-term ring (monotone tail appends) and the
+// 4-ary heap (out-of-order inserts) together, at the two scales the
+// ISSUE pins: 1k (cache-resident) and 100k (past any LLC).
+// ---------------------------------------------------------------------
+
+void BM_SchedulerPushPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::VirtualClock clock;
+    sim::Scheduler sched(clock);
+    sched.reserve(static_cast<std::size_t>(n));
+    std::uint64_t lcg = 0x5eedULL;
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      lcg = lcg * 6364136223846793005ULL + 1442695040888963407ULL;
+      // Mix of ring-friendly (monotone) and heap-bound (random past)
+      // instants, 3:1, mirroring the enqueue-soon-dominated sim load.
+      const sim::Nanos when = (i % 4 != 0)
+                                  ? static_cast<sim::Nanos>(i)
+                                  : static_cast<sim::Nanos>((lcg >> 33) % 1000);
+      sched.at(when, [] {});
+    }
+    sched.run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SchedulerPushPop)->Arg(1000)->Arg(100000);
 
 }  // namespace
 

@@ -78,7 +78,7 @@ void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace {
 
-constexpr const char* kSchemaId = "shield5g.bench.throughput.v1";
+constexpr const char* kSchemaId = "shield5g.bench.throughput.v2";
 
 constexpr HotStage kStages[] = {HotStage::kCrypto, HotStage::kCodec,
                                 HotStage::kBus, HotStage::kScheduler};
@@ -87,6 +87,9 @@ struct ModeResult {
   const char* mode = "";
   std::uint32_t registered = 0;
   std::uint32_t failed = 0;
+  std::uint32_t failed_shed = 0;
+  std::uint32_t failed_error = 0;
+  std::uint64_t fastpath_hits = 0;
   double elapsed_ms_median = 0.0;
   double regs_per_s = 0.0;
   std::uint64_t stage_ns[kHotStageCount] = {};
@@ -142,8 +145,13 @@ ModeResult fold_mode(slice::IsolationMode mode,
   Samples rate;
   for (int rep = 0; rep < count; ++rep) {
     const load::SweepResult& r = repeats[rep];
+    // Virtual-time outcomes are deterministic across repeats, so the
+    // last repeat's values stand for all of them.
     result.registered = r.report.registered;
     result.failed = r.report.failed;
+    result.failed_shed = r.report.failed_shed;
+    result.failed_error = r.report.failed_error;
+    result.fastpath_hits = r.fastpath_hits;
     elapsed_ms.add(r.run_wall_ms);
     if (r.run_wall_ms > 0.0) {
       rate.add(static_cast<double>(r.report.registered) /
@@ -296,8 +304,8 @@ bool validate(const std::string& text) {
   for (const json::Value& entry : modes->as_array()) {
     if (!entry.is_object()) return fail("modes entry not an object");
     const json::Object& m = entry.as_object();
-    for (const char* key : {"registered", "failed", "elapsed_ms",
-                            "regs_per_s"}) {
+    for (const char* key : {"registered", "failed", "shed", "error",
+                            "fastpath_hits", "elapsed_ms", "regs_per_s"}) {
       const auto it = m.find(key);
       if (it == m.end() || !it->second.is_number()) return fail(key);
     }
@@ -373,9 +381,11 @@ int main(int argc, char** argv) {
   double total_wall_ms = 0.0;
   for (std::size_t m = 0; m < std::size(modes); ++m) {
     ModeResult r = fold_mode(modes[m], &sweep[m * opt.repeats], opt.repeats);
-    std::printf("  %-11s %u/%u registered, %.1f ms, %.0f regs/s wall\n",
-                r.mode, r.registered, opt.ue_count, r.elapsed_ms_median,
-                r.regs_per_s);
+    std::printf("  %-11s %u/%u registered (%u shed, %u error), %.1f ms, "
+                "%.0f regs/s wall, %llu fastpath hits\n",
+                r.mode, r.registered, opt.ue_count, r.failed_shed,
+                r.failed_error, r.elapsed_ms_median, r.regs_per_s,
+                static_cast<unsigned long long>(r.fastpath_hits));
     std::uint64_t mode_total = 0;
     for (const HotStage stage : kStages) {
       mode_total += r.stage_ns[static_cast<int>(stage)];
@@ -491,6 +501,9 @@ int main(int argc, char** argv) {
     entry["mode"] = json::Value(r.mode);
     entry["registered"] = json::Value(static_cast<std::uint64_t>(r.registered));
     entry["failed"] = json::Value(static_cast<std::uint64_t>(r.failed));
+    entry["shed"] = json::Value(static_cast<std::uint64_t>(r.failed_shed));
+    entry["error"] = json::Value(static_cast<std::uint64_t>(r.failed_error));
+    entry["fastpath_hits"] = json::Value(r.fastpath_hits);
     entry["elapsed_ms"] = json::Value(r.elapsed_ms_median);
     entry["regs_per_s"] = json::Value(r.regs_per_s);
     entry["stage_ns"] = stage_object(r.stage_ns);

@@ -41,6 +41,10 @@
 #                             # bench at 1 and 2 workers and diff the
 #                             # per-case digests byte-for-byte against
 #                             # the sequential reference
+#   scripts/ci.sh wire-parity # co-located fast path bit-identity: the
+#                             # scaling digests must be byte-identical
+#                             # with SHIELD5G_BUS_FASTPATH forced off,
+#                             # forced on, and left at the default
 #   scripts/ci.sh serve-smoke # sharded serving plane: provision 1M
 #                             # subscribers into the columnar UDR store
 #                             # under the pinned peak-RSS ceiling, then
@@ -148,7 +152,7 @@ case "$stage" in
     # worker: smoke numbers stay uncontended and host-size independent.
     SHIELD5G_SHARD_WORKERS=1 \
       "$build/bench/throughput" --smoke 60 1000 1 "$out"
-    grep -q '"schema":"shield5g.bench.throughput.v1"' "$out"
+    grep -q '"schema":"shield5g.bench.throughput.v2"' "$out"
     grep -q '"regs_per_s"' "$out"
     grep -q '"stage_ns"' "$out"
     # Zero-copy wire path: the pooled-buffer fast path must actually be
@@ -185,6 +189,19 @@ if doc["x25519_per_reg"] > 6.0:
 eph = doc["x25519_pool"]
 if eph["hit"] < 100 or eph["refill_keys"] < eph["hit"]:
     sys.exit(f"bench-smoke: x25519 pool not hot: {eph}")
+# Shed vs error: saturation drops are expected load-shedding, real
+# faults are not — any per-mode error means a handler/transport bug.
+# Co-located fast path: monolithic mode must actually take it, and the
+# isolation modes must never (container/SGX keep the full wire path).
+for m in doc["modes"]:
+    if m["failed"] != m["shed"] + m["error"]:
+        sys.exit(f"bench-smoke: failed != shed + error in {m['mode']}: {m}")
+    if m["error"] != 0:
+        sys.exit(f"bench-smoke: {m['error']} real faults in {m['mode']}")
+    if m["mode"] == "monolithic" and m["fastpath_hits"] == 0:
+        sys.exit("bench-smoke: fast path never fired in monolithic mode")
+    if m["mode"] in ("container", "sgx") and m["fastpath_hits"] != 0:
+        sys.exit(f"bench-smoke: fast path fired in {m['mode']} mode: {m}")
 print(f"bench-smoke: wire_pool {pool['hit']} hits / {pool['miss']} misses, "
       f"{doc['allocs_per_reg']:.0f} allocs/reg")
 print(f"bench-smoke: tls_resume {res['hit']} hits / {res['miss']} misses / "
@@ -265,6 +282,29 @@ EOF
     cmp "${digests}_seq.txt" "${digests}_w1.txt"
     cmp "${digests}_seq.txt" "${digests}_w2.txt"
     echo "scale-smoke: OK"
+    ;;
+  wire-parity)
+    build="${BUILD_DIR:-$repo/build}"
+    cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=Release
+    cmake --build "$build" --target shard_scaling -j "$jobs"
+    # The fast path must be invisible in virtual time: per-case digests
+    # (trace hashes, counters, latency sample bit patterns) byte-equal
+    # whether co-located deliveries skip the wire or not. Same within-run
+    # cmp discipline as crypto-parity — no checked-in digest values.
+    rm -f "$build"/wire_digests_*.txt
+    run_scaling() {  # $1 = tag
+      "$build/bench/shard_scaling" --smoke --workers 1 \
+          --digest "$build/wire_digests_$1" \
+          "$build/BENCH_scaling_wire_$1.json"
+    }
+    run_scaling default
+    SHIELD5G_BUS_FASTPATH=off run_scaling off
+    SHIELD5G_BUS_FASTPATH=on run_scaling on
+    cmp "$build/wire_digests_default_seq.txt" \
+        "$build/wire_digests_off_seq.txt"
+    cmp "$build/wire_digests_default_seq.txt" \
+        "$build/wire_digests_on_seq.txt"
+    echo "wire-parity: OK"
     ;;
   serve-smoke)
     build="${BUILD_DIR:-$repo/build}"

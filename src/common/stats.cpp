@@ -53,6 +53,17 @@ void counter_add(const std::string& name, std::uint64_t delta) noexcept {
   }
 }
 
+void counter_max(const std::string& name, std::uint64_t value) noexcept {
+  try {
+    CounterShard& shard = counter_shards()[shard_index(name)];
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    std::uint64_t& slot = shard.counters[name];
+    if (value > slot) slot = value;
+  } catch (...) {
+    // Allocation failure while accounting must not take down a request.
+  }
+}
+
 std::uint64_t counter_value(const std::string& name) noexcept {
   CounterShard& shard = counter_shards()[shard_index(name)];
   const std::lock_guard<std::mutex> lock(shard.mutex);

@@ -27,6 +27,10 @@ namespace shield5g {
 /// Adds `delta` to the named counter (creating it at zero).
 void counter_add(const std::string& name, std::uint64_t delta = 1) noexcept;
 
+/// Raises the named counter to `value` if it is currently lower
+/// (high-water marks, e.g. scheduler.events.peak). Never lowers it.
+void counter_max(const std::string& name, std::uint64_t value) noexcept;
+
 /// Current value; 0 for a counter never touched.
 std::uint64_t counter_value(const std::string& name) noexcept;
 

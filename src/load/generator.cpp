@@ -23,6 +23,26 @@ constexpr int kMaxTotalRounds = 24;
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
 constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
 
+/// Visits every well-known server of the slice (core VNFs and deployed
+/// P-AKA modules) in a fixed deterministic order. Shared by the shed
+/// classifier below and queue_snapshots().
+template <typename Fn>
+void for_each_server(slice::Slice& slice, Fn&& fn) {
+  fn("amf", &slice.amf().server());
+  fn("ausf", &slice.ausf().server());
+  fn("udm", &slice.udm().server());
+  fn("udr", &slice.udr().server());
+  fn("smf", &slice.smf().server());
+  fn("nrf", &slice.nrf().server());
+  for (const auto& replica : slice.eudm_replicas()) {
+    fn(replica->name(), &replica->server());
+  }
+  if (slice.eausf() != nullptr) fn(slice.eausf()->name(),
+                                   &slice.eausf()->server());
+  if (slice.eamf() != nullptr) fn(slice.eamf()->name(),
+                                  &slice.eamf()->server());
+}
+
 class Engine;
 
 /// One UE's registration as a chain of scheduled exchanges. Each step
@@ -50,6 +70,7 @@ class UeSession {
   bool with_pdu_;
   Phase phase_ = Phase::kRegistering;
   bool attached_ = false;
+  bool shed_ = false;
   std::uint64_t ran_ue_id_ = 0;
   std::optional<Bytes> uplink_;
   int rounds_ = 0;
@@ -70,6 +91,16 @@ class Engine {
   LoadReport& report() noexcept { return report_; }
   sim::Nanos run_start() const noexcept { return run_start_; }
 
+  /// Sum of queue rejections across the slice's servers. An exchange
+  /// chain runs synchronously inside one scheduled event, so a UE that
+  /// snapshots this around its own exchange observes exactly the
+  /// rejections that chain caused — the basis of the shed/error split.
+  std::uint64_t total_rejected() const noexcept {
+    std::uint64_t total = 0;
+    for (const net::ServiceQueue* queue : queues_) total += queue->rejected();
+    return total;
+  }
+
   void trace(std::uint32_t ue, const char* what) {
     char line[96];
     std::snprintf(line, sizeof(line), "t=%" PRIu64 " ue=%u %s",
@@ -87,6 +118,7 @@ class Engine {
   sim::Scheduler scheduler_;
   LoadReport report_;
   std::vector<std::unique_ptr<UeSession>> sessions_;
+  std::vector<const net::ServiceQueue*> queues_;
   sim::Nanos run_start_ = 0;
   std::uint64_t trace_hash_ = kFnvOffset;
 
@@ -101,6 +133,10 @@ class Engine {
       throw std::logic_error("LoadGenerator: slice must be created first");
     }
     run_start_ = clock().now();
+    queues_.clear();
+    for_each_server(slice_, [this](const auto&, net::Server* server) {
+      if (server != nullptr) queues_.push_back(&server->queue());
+    });
     std::vector<std::pair<std::uint32_t, sim::Nanos>> plan;
     if (routed != nullptr) {
       // Externally routed arrivals (the sharded serving plane): the
@@ -134,6 +170,9 @@ class Engine {
   void schedule_plan(
       const std::vector<std::pair<std::uint32_t, sim::Nanos>>& plan) {
     sessions_.reserve(sessions_.size() + plan.size());
+    // The whole arrival schedule lands in the scheduler up front (plus
+    // a prewarm event per burst tick); size the event storage once.
+    scheduler_.reserve(plan.size() + 8);
     crypto::EphemeralKeyPool* pool = slice_.eph_pool();
     std::unordered_map<sim::Nanos, std::uint32_t> tick_count;
     if (pool != nullptr) {
@@ -191,7 +230,9 @@ void UeSession::step() {
     uplink_ = ue_.start_registration();
     attached_ = true;
   }
+  const std::uint64_t rejected_before = engine_.total_rejected();
   const auto downlink = engine_.gnb().deliver_uplink(ran_ue_id_, *uplink_);
+  if (engine_.total_rejected() != rejected_before) shed_ = true;
   std::optional<Bytes> next;
   if (downlink) next = ue_.handle_downlink(*downlink);
   ++rounds_;
@@ -235,11 +276,18 @@ void UeSession::finish() {
     report.setup_ms.add(sim::to_ms(engine_.clock().now() - arrival_));
   } else {
     ++report.failed;
+    if (shed_) {
+      ++report.failed_shed;
+    } else {
+      ++report.failed_error;
+    }
   }
   if (session_up) ++report.sessions_up;
-  engine_.trace(index_, registered ? (session_up ? "done session-up"
-                                                 : "done registered")
-                                   : "done failed");
+  engine_.trace(index_,
+                registered ? (session_up ? "done session-up"
+                                         : "done registered")
+                           : (shed_ ? "done failed-shed"
+                                    : "done failed-error"));
 }
 
 }  // namespace
@@ -278,16 +326,18 @@ std::string LoadReport::summary() const {
   const double p50 = setup_ms.empty() ? 0.0 : setup_ms.median();
   const double p95 = setup_ms.empty() ? 0.0 : setup_ms.percentile(95.0);
   std::snprintf(buf, sizeof(buf),
-                "%u/%u registered (%u sessions, %u failed), offered %.0f/s, "
-                "achieved %.0f/s, setup p50 %.2f ms p95 %.2f ms",
-                registered, completed, sessions_up, failed, offered_rate_per_s,
-                achieved_rate_per_s, p50, p95);
+                "%u/%u registered (%u sessions, %u failed: %u shed, %u error), "
+                "offered %.0f/s, achieved %.0f/s, setup p50 %.2f ms "
+                "p95 %.2f ms",
+                registered, completed, sessions_up, failed, failed_shed,
+                failed_error, offered_rate_per_s, achieved_rate_per_s, p50,
+                p95);
   return buf;
 }
 
 std::vector<QueueSnapshot> queue_snapshots(slice::Slice& slice) {
   std::vector<QueueSnapshot> snapshots;
-  auto add = [&snapshots](const std::string& name, net::Server* server) {
+  auto add = [&snapshots](std::string name, net::Server* server) {
     if (server == nullptr) return;
     const net::ServiceQueue& queue = server->queue();
     QueueSnapshot snap;
@@ -303,19 +353,7 @@ std::vector<QueueSnapshot> queue_snapshots(slice::Slice& slice) {
     snap.total_wait = queue.total_wait();
     snapshots.push_back(std::move(snap));
   };
-  add("amf", &slice.amf().server());
-  add("ausf", &slice.ausf().server());
-  add("udm", &slice.udm().server());
-  add("udr", &slice.udr().server());
-  add("smf", &slice.smf().server());
-  add("nrf", &slice.nrf().server());
-  for (const auto& replica : slice.eudm_replicas()) {
-    add(replica->name(), &replica->server());
-  }
-  if (slice.eausf() != nullptr) add(slice.eausf()->name(),
-                                    &slice.eausf()->server());
-  if (slice.eamf() != nullptr) add(slice.eamf()->name(),
-                                   &slice.eamf()->server());
+  for_each_server(slice, add);
   return snapshots;
 }
 

@@ -42,6 +42,12 @@ struct LoadReport {
   std::uint32_t registered = 0;
   std::uint32_t sessions_up = 0;
   std::uint32_t failed = 0;
+  /// `failed` split by cause: a UE whose exchange chain crossed a queue
+  /// rejection (503 overload shed) counts as `failed_shed`; everything
+  /// else — fault-injected 5xx, round-cap wedges — is `failed_error`.
+  /// failed == failed_shed + failed_error.
+  std::uint32_t failed_shed = 0;
+  std::uint32_t failed_error = 0;
 
   /// Arrival -> completion per registered UE, queueing included.
   Samples setup_ms;

@@ -210,7 +210,10 @@ ServingReport run_serving(const ServingConfig& config, unsigned shards) {
     report.registered += r.report.registered;
     report.sessions_up += r.report.sessions_up;
     report.failed += r.report.failed;
+    report.failed_shed += r.report.failed_shed;
+    report.failed_error += r.report.failed_error;
     report.shed += r.shed;
+    report.fastpath_hits += r.fastpath_hits;
   }
   if (report.wall_ms > 0) {
     report.regs_per_s = 1000.0 * report.registered / report.wall_ms;

@@ -75,7 +75,13 @@ struct ServingReport {
   std::uint32_t registered = 0;
   std::uint32_t sessions_up = 0;
   std::uint32_t failed = 0;
+  /// `failed` split by cause (see LoadReport): queue-shed vs error.
+  std::uint32_t failed_shed = 0;
+  std::uint32_t failed_error = 0;
   std::uint64_t shed = 0;
+  /// Co-located fast-path deliveries across all slots (wall-clock-only
+  /// metric; excluded from the digest).
+  std::uint64_t fastpath_hits = 0;
 
   /// Arrivals routed through mailboxes and producer back-pressure
   /// events (mailbox momentarily full). Wall-clock only, never in the

@@ -39,6 +39,7 @@ SweepResult run_case(const SweepCase& c) {
   }
   out.queues = queue_snapshots(slice);
   for (const QueueSnapshot& q : out.queues) out.shed += q.rejected;
+  out.fastpath_hits = slice.bus().fastpath_hits();
   // Fold this worker's pool stats into the wire.pool.* counters. Global
   // counters never feed case_digest, so this is digest-neutral.
   BufferPool::publish_thread_stats();
@@ -74,6 +75,8 @@ std::uint64_t case_digest(const SweepResult& r) {
   fnv_u64(h, r.report.registered);
   fnv_u64(h, r.report.sessions_up);
   fnv_u64(h, r.report.failed);
+  fnv_u64(h, r.report.failed_shed);
+  fnv_u64(h, r.report.failed_error);
   fnv_u64(h, r.report.makespan);
   fnv_samples(h, r.report.setup_ms);
   fnv_samples(h, r.report.arrival_ms);
@@ -113,10 +116,11 @@ std::vector<std::string> sweep_digest_lines(
     char buf[256];
     std::snprintf(buf, sizeof(buf),
                   "case=%zu label=%s digest=%016" PRIx64 " trace=%016" PRIx64
-                  " registered=%u failed=%u makespan=%" PRIu64 " shed=%" PRIu64,
+                  " registered=%u failed=%u failed_shed=%u failed_error=%u"
+                  " makespan=%" PRIu64 " shed=%" PRIu64,
                   i, r.label.c_str(), case_digest(r), r.report.trace_hash,
-                  r.report.registered, r.report.failed, r.report.makespan,
-                  r.shed);
+                  r.report.registered, r.report.failed, r.report.failed_shed,
+                  r.report.failed_error, r.report.makespan, r.shed);
     lines.emplace_back(buf);
   }
   return lines;

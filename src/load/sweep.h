@@ -38,6 +38,10 @@ struct SweepResult {
   std::vector<QueueSnapshot> queues;
   /// Requests shed across all queues (the NGAP silent-drop count).
   std::uint64_t shed = 0;
+  /// Co-located fast-path deliveries this case's bus performed (zero in
+  /// container/SGX modes and under SHIELD5G_BUS_FASTPATH=off). Excluded
+  /// from case_digest — the digest must match fast path on vs off.
+  std::uint64_t fastpath_hits = 0;
   /// Host milliseconds inside LoadGenerator::run for this case (slice
   /// construction and provisioning excluded, as in bench/throughput).
   double run_wall_ms = 0.0;

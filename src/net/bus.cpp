@@ -1,11 +1,42 @@
 #include "net/bus.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 
 #include "common/hot_stage.h"
 #include "common/log.h"
 
 namespace shield5g::net {
+
+namespace {
+
+// SHIELD5G_BUS_FASTPATH=off|0 forces every hop onto the legacy wire
+// path (the bit-identity oracle); anything else leaves co-located
+// delivery armed. Read per Bus construction so tests and CI stages can
+// flip it between runs in one process.
+bool fastpath_default() {
+  const char* env = std::getenv("SHIELD5G_BUS_FASTPATH");
+  if (env == nullptr) return true;
+  return std::strcmp(env, "off") != 0 && std::strcmp(env, "0") != 0;
+}
+
+// Synthetic record pass: bump the thread's primitive counters by
+// exactly what one protect/unprotect of `plaintext_len` bytes would
+// have executed, and return the virtual-time charge those ops carry.
+// This is what keeps OpMeter-derived charges, the global op counts and
+// every digest byte-identical when the record crypto never runs.
+sim::Nanos charge_record_ops(const NetCosts& costs,
+                             std::size_t plaintext_len) {
+  const crypto::OpCounts ops = TlsSession::record_op_counts(plaintext_len);
+  crypto::OpCounts& counts = crypto::op_counts();
+  counts.aes_blocks += ops.aes_blocks;
+  counts.sha256_blocks += ops.sha256_blocks;
+  return costs.tls_record_fixed +
+         static_cast<sim::Nanos>(costs.primitives.ns_for(ops));
+}
+
+}  // namespace
 
 std::vector<std::pair<Sys, std::uint32_t>> RequestProfile::default_pre() {
   // Reactor/worker churn between two requests of a Pistache-style
@@ -84,7 +115,7 @@ Server::ServeResult Server::serve_record(PooledBuffer record_in,
   // protect in place, send.
   const std::size_t out_size = response.serialized_size();
   PooledBuffer wire = BufferPool::local().acquire(
-      TlsSession::kRecordOverhead + out_size, 5);
+      TlsSession::kRecordOverhead + out_size, TlsSession::kRecordHeader);
   response.serialize_into(wire);
   env_->compute(costs_->http_ser_ns(wire.size()));
   crypto::OpMeter tls_out;
@@ -103,8 +134,86 @@ Server::ServeResult Server::serve_record(PooledBuffer record_in,
   return result;
 }
 
+Server::DirectServeResult Server::serve_direct(const HttpRequest& req,
+                                               std::size_t record_in_size,
+                                               TlsSession& session,
+                                               sim::VirtualClock& clock,
+                                               Rng& jitter) {
+  // Mirror of serve_record, charge for charge: the request arrives as
+  // the in-memory message instead of a protected record, so the TLS and
+  // parse work is charged synthetically from the sizes the record would
+  // have had. Any drift between the two pipelines is a parity bug —
+  // tests/net_test diffs their env charges and op counts directly.
+  DirectServeResult result;
+  if (served_ == 0) env_->on_first_request();
+  env_->on_request(served_);
+
+  for (const auto& [sys, bytes] : profile_.pre_window) {
+    env_->syscall(sys, bytes);
+  }
+
+  const sim::Nanos lt_start = clock.now();
+
+  for (std::uint32_t i = 0; i < profile_.recv_chunks; ++i) {
+    env_->syscall(Sys::kRecv, record_in_size / profile_.recv_chunks);
+  }
+  const std::size_t in_plain = record_in_size - TlsSession::kRecordOverhead;
+  env_->compute(charge_record_ops(*costs_, in_plain));
+
+  // The view a wire round trip would have produced, aliasing the
+  // caller's message (alive until the handler returns).
+  const RequestView request = request_view_of(req);
+  env_->compute(costs_->http_parse_ns(in_plain));
+
+  // ---- L_F window: the AKA function itself -------------------------
+  const sim::Nanos lf_start = clock.now();
+  env_->compute(costs_->json_parse_ns(request.body.size()));
+  crypto::OpMeter handler_ops;
+  HttpResponse response = router_.route(request);
+  const auto handler_fixed = static_cast<sim::Nanos>(
+      static_cast<double>(costs_->handler_fixed_ns) *
+      jitter.lognormal(1.0, costs_->jitter_sigma));
+  env_->compute(handler_fixed + handler_ops.ns(costs_->primitives));
+  env_->alloc_pages(profile_.alloc_pages);
+  env_->compute(costs_->json_dump_ns(response.body.size()));
+  result.l_f = clock.now() - lf_start;
+
+  const std::size_t out_size = response.serialized_size();
+  result.record_out_size = TlsSession::kRecordOverhead + out_size;
+  if (wire_transparent(response)) {
+    env_->compute(costs_->http_ser_ns(out_size));
+    env_->compute(charge_record_ops(*costs_, out_size));
+    result.response = std::move(response);
+  } else {
+    // The response would not survive serialize -> parse losslessly, so
+    // the client must observe the parsed form — protect a real record
+    // and let the caller run the legacy receive path over it. Charges
+    // are the wire path's own from here on.
+    PooledBuffer wire = BufferPool::local().acquire(
+        TlsSession::kRecordOverhead + out_size, TlsSession::kRecordHeader);
+    response.serialize_into(wire);
+    env_->compute(costs_->http_ser_ns(wire.size()));
+    crypto::OpMeter tls_out;
+    session.protect_in_place(wire);
+    result.record_out = std::move(wire);
+    env_->compute(costs_->tls_record_fixed + tls_out.ns(costs_->primitives));
+    result.fell_back = true;
+  }
+  for (std::uint32_t i = 0; i < profile_.send_chunks; ++i) {
+    env_->syscall(Sys::kSend, result.record_out_size / profile_.send_chunks);
+  }
+  result.l_t = clock.now() - lt_start;
+  result.ok = true;
+
+  ++served_;
+  lf_us_.add(sim::to_us(result.l_f));
+  lt_us_.add(sim::to_us(result.l_t));
+  return result;
+}
+
 Bus::Bus(sim::VirtualClock& clock, NetCosts costs, std::uint64_t seed)
-    : clock_(clock), costs_(costs), rng_(seed), ambient_client_(clock) {}
+    : clock_(clock), costs_(costs), rng_(seed),
+      fastpath_(fastpath_default()), ambient_client_(clock) {}
 
 std::uint32_t Bus::intern(std::string_view name) {
   const auto it = ids_.find(name);
@@ -128,7 +237,8 @@ void Bus::attach(Server& server) {
   if (servers_[id].server != nullptr) {
     throw std::logic_error("Bus: duplicate server name " + server.name());
   }
-  servers_[id] = Attachment{&server, TlsIdentity::generate(rng_), nullptr};
+  servers_[id] =
+      Attachment{&server, TlsIdentity::generate(rng_), nullptr, attach_domain_};
   if (resumption_) {
     // The ticket master key only draws from the bus RNG under
     // resumption, so the legacy RNG stream stays bit-identical.
@@ -145,6 +255,23 @@ void Bus::detach(std::string_view name) {
 Server* Bus::find(std::string_view name) noexcept {
   const auto id = lookup(name);
   return id ? servers_[*id].server : nullptr;
+}
+
+bool Bus::fastpath_eligible(std::string_view from, const Attachment& target,
+                            const HttpRequest& req) const noexcept {
+  if (!fastpath_ || target.domain == kIsolatedDomain) return false;
+  // Fault injection corrupts record bytes in flight; with no bytes in
+  // flight there is nothing to corrupt, so faulted buses always take
+  // the wire. (With both probabilities zero the wire path draws no
+  // fault RNG either — the streams stay aligned.)
+  if (faults_.corrupt_record_prob > 0 || faults_.drop_response_prob > 0) {
+    return false;
+  }
+  const auto from_id = lookup(from);
+  if (!from_id) return false;  // ambient / one-shot client label
+  const Attachment& source = servers_[*from_id];
+  if (source.server == nullptr || source.domain != target.domain) return false;
+  return wire_transparent(req);
 }
 
 double Bus::jitter() { return rng_.lognormal(1.0, costs_.jitter_sigma); }
@@ -343,11 +470,104 @@ Bus::Exchange Bus::request(std::string_view from, std::string_view to,
     conn = &one_shot;
   }
 
+  if (fastpath_eligible(from, target, req)) {
+    // ---- Co-located delivery (DESIGN.md §18) -----------------------
+    // Client and server share one address space and trust domain: the
+    // request crosses as the in-memory message and no record bytes
+    // exist. Everything the wire path charges — virtual time, op
+    // counts, syscalls, RNG draws — is replayed below in the same
+    // order from the same sizes, so virtual-time results and sweep
+    // digests are byte-identical to the wire path (the wire-parity CI
+    // stage holds this at 1/2/4/8 workers). The handshake above ran
+    // for real either way; only per-request record work is elided.
+    const std::size_t in_plain = req.serialized_size();
+    const std::size_t in_wire = TlsSession::kRecordOverhead + in_plain;
+    client.compute(costs_.http_ser_ns(in_plain));
+    client.compute(charge_record_ops(costs_, in_plain));
+    client.syscall(Sys::kSend, in_wire);
+    clock_.advance(bridge_ns(in_wire));
+
+    const sim::Nanos arrival = clock_.now();
+    const ServiceQueue::Admission adm = server.queue().admit(arrival);
+    if (!adm.accepted) {
+      if (!keep_alive_) {
+        client.syscall(Sys::kClose);
+        server.env().syscall(Sys::kClose);
+      }
+      exchange.response =
+          HttpResponse::error(503, "server saturated: queue full");
+      exchange.transport_ok = true;  // clean HTTP-level rejection
+      exchange.response_ns = clock_.now() - start;
+      return exchange;
+    }
+    exchange.queue_ns = adm.start - arrival;
+    if (exchange.queue_ns > 0) clock_.advance(exchange.queue_ns);
+
+    auto served =
+        server.serve_direct(req, in_wire, *conn->server, clock_, rng_);
+    server.queue().complete(adm.worker, clock_.now());
+    exchange.l_f = served.l_f;
+    exchange.l_t = served.l_t;
+    if (!served.ok) {
+      exchange.response = HttpResponse::error(500, "server pipeline failure");
+      exchange.response_ns = clock_.now() - start;
+      return exchange;
+    }
+    ++fastpath_hits_;
+    counter_add("bus.fastpath.hit");
+
+    clock_.advance(bridge_ns(served.record_out_size));
+    client.syscall(Sys::kRecv, served.record_out_size);
+    if (served.fell_back) {
+      // The handler's response was not wire-transparent: a genuinely
+      // protected record came back, so the client must run the legacy
+      // receive path over it (the parsed form is what it observes).
+      counter_add("bus.fastpath.fallback");
+      crypto::OpMeter client_tls_in;
+      const bool resp_open =
+          conn->client->unprotect_in_place(served.record_out);
+      client.compute(costs_.tls_record_fixed +
+                     client_tls_in.ns(costs_.primitives));
+      if (!resp_open) {
+        exchange.response = HttpResponse::error(500, "record verify failed");
+        exchange.response_ns = clock_.now() - start;
+        return exchange;
+      }
+      const auto response = ResponseView::parse(served.record_out.view());
+      client.compute(costs_.http_parse_ns(served.record_out.size()));
+      if (!response) {
+        exchange.response = HttpResponse::error(500, "malformed response");
+        exchange.response_ns = clock_.now() - start;
+        return exchange;
+      }
+      if (!keep_alive_) {
+        client.syscall(Sys::kClose);
+        server.env().syscall(Sys::kClose);
+      }
+      exchange.response = HttpResponse::materialize(*response);
+      exchange.transport_ok = true;
+      exchange.response_ns = clock_.now() - start;
+      return exchange;
+    }
+    const std::size_t out_plain =
+        served.record_out_size - TlsSession::kRecordOverhead;
+    client.compute(charge_record_ops(costs_, out_plain));
+    client.compute(costs_.http_parse_ns(out_plain));
+    if (!keep_alive_) {
+      client.syscall(Sys::kClose);
+      server.env().syscall(Sys::kClose);
+    }
+    exchange.response = std::move(served.response);
+    exchange.transport_ok = true;
+    exchange.response_ns = clock_.now() - start;
+    return exchange;
+  }
+
   // Client: serialize into a pooled record with TLS headroom, protect
   // in place, send. The payload is written exactly once and encrypted
   // where it sits.
   PooledBuffer record = BufferPool::local().acquire(
-      TlsSession::kRecordOverhead + req.serialized_size(), 5);
+      TlsSession::kRecordOverhead + req.serialized_size(), TlsSession::kRecordHeader);
   req.serialize_into(record);
   client.compute(costs_.http_ser_ns(record.size()));
   crypto::OpMeter client_tls;

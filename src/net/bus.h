@@ -134,6 +134,38 @@ class Server {
   ServeResult serve_record(PooledBuffer record_in, TlsSession& session,
                            sim::VirtualClock& clock, Rng& jitter);
 
+  struct DirectServeResult {
+    /// The handler's response, handed across without a wire round trip
+    /// (engaged unless fell_back).
+    HttpResponse response;
+    /// Wire size the response record would have had (charges and
+    /// syscall byte counts on the client side derive from it).
+    std::size_t record_out_size = 0;
+    /// Engaged only when the response was not wire-transparent: the
+    /// real protected record, to be carried through the legacy client
+    /// receive path.
+    PooledBuffer record_out;
+    sim::Nanos l_f = 0;
+    sim::Nanos l_t = 0;
+    bool ok = false;
+    bool fell_back = false;
+  };
+
+  /// Co-located variant of serve_record (DESIGN.md §18): the request is
+  /// handed across as the in-memory message, no record bytes exist, yet
+  /// every virtual-time charge, op count, syscall and RNG draw of the
+  /// wire pipeline is replayed exactly — `record_in_size` (the wire
+  /// size the request record would have had) drives the recv charges
+  /// and the synthetic TLS op counts. `session` is the real server-side
+  /// session of the connection (the handshake always runs for real);
+  /// it is only used when the handler's response turns out not to be
+  /// wire-transparent, in which case the response leg falls back to a
+  /// genuinely protected record. Pre: wire_transparent(req).
+  DirectServeResult serve_direct(const HttpRequest& req,
+                                 std::size_t record_in_size,
+                                 TlsSession& session,
+                                 sim::VirtualClock& clock, Rng& jitter);
+
   /// Latency samples in microseconds, accumulated per request.
   Samples& lf_us() noexcept { return lf_us_; }
   Samples& lt_us() noexcept { return lt_us_; }
@@ -162,6 +194,34 @@ class Bus {
   sim::VirtualClock& clock() noexcept { return clock_; }
   NetCosts& costs() noexcept { return costs_; }
   Rng& rng() noexcept { return rng_; }
+
+  /// Deployment/trust domain of an attached server (DESIGN.md §18). Two
+  /// servers share a domain only when they run in one address space
+  /// with no isolation boundary between them — the monolithic layout.
+  /// kIsolatedDomain (the default) means "this endpoint trusts nothing
+  /// at memory level": container and SGX deployments always keep it, so
+  /// their hops always pay the full wire ceremony.
+  using TrustDomain = std::uint32_t;
+  static constexpr TrustDomain kIsolatedDomain = 0;
+
+  /// Domain stamped on every subsequent attach(). Set before the VNFs
+  /// attach (slice construction does); never retroactive.
+  void set_attach_domain(TrustDomain domain) noexcept {
+    attach_domain_ = domain;
+  }
+
+  /// Co-located delivery fast path: on by default, forced off by
+  /// SHIELD5G_BUS_FASTPATH=off|0 (read at Bus construction) or this
+  /// setter (parity tests toggle it per-bus). Only ever taken between
+  /// two attached endpoints of the same non-isolated trust domain with
+  /// fault injection disabled; virtual time, op counts and digests are
+  /// byte-identical either way — the wire path is the oracle.
+  void set_fastpath(bool enabled) noexcept { fastpath_ = enabled; }
+  bool fastpath() const noexcept { return fastpath_; }
+  /// Requests this bus delivered co-located (also counted globally as
+  /// bus.fastpath.hit); response-leg fallbacks count as hits too — the
+  /// request leg was still zero-wire.
+  std::uint64_t fastpath_hits() const noexcept { return fastpath_hits_; }
 
   /// Attaches a server; a TLS identity is generated for it.
   void attach(Server& server);
@@ -258,6 +318,7 @@ class Bus {
     // Session-ticket authority, present only under resumption (so the
     // legacy path draws no extra RNG bytes at attach time).
     std::unique_ptr<TicketIssuer> issuer;
+    TrustDomain domain = kIsolatedDomain;
   };
   struct Connection {
     std::optional<TlsSession> client;
@@ -291,10 +352,19 @@ class Bus {
   sim::Nanos bridge_ns(std::size_t bytes);
   double jitter();
 
+  /// True when `from` and `to` may use co-located delivery for `req`
+  /// (fast path armed, same non-isolated domain, no fault injection,
+  /// lossless round trip).
+  bool fastpath_eligible(std::string_view from, const Attachment& target,
+                         const HttpRequest& req) const noexcept;
+
   sim::VirtualClock& clock_;
   NetCosts costs_;
   Rng rng_;
   bool keep_alive_ = false;
+  bool fastpath_ = true;
+  TrustDomain attach_domain_ = kIsolatedDomain;
+  std::uint64_t fastpath_hits_ = 0;
   bool resumption_ = false;
   std::uint64_t ticket_lifetime_ns_ = TicketIssuer::kDefaultLifetimeNs;
   crypto::EphemeralKeyPool* eph_pool_ = nullptr;

@@ -445,6 +445,60 @@ HttpResponse HttpResponse::materialize(const ResponseView& view) {
   return resp;
 }
 
+namespace {
+
+// Shared header-block transparency rules; see the header comment on
+// wire_transparent(). Keys may not contain ':' (the parser splits on
+// the first colon), CR or LF (framing); values may not contain CR/LF or
+// start with a space (the parser strips leading spaces); and
+// "content-length" is reserved for framing (the parser consumes every
+// occurrence). Bodies are unconstrained — they ride behind the
+// verified content-length and the parser never scans them.
+bool headers_wire_transparent(const Headers& headers) noexcept {
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    const Headers::View e = headers.entry(i);
+    if (e.key.empty() || e.key == "content-length") return false;
+    if (e.key.find_first_of(":\r\n") != std::string_view::npos) return false;
+    if (!e.value.empty() && e.value.front() == ' ') return false;
+    if (e.value.find_first_of("\r\n") != std::string_view::npos) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool wire_transparent(const HttpRequest& req) noexcept {
+  // The request line splits on single spaces into exactly three tokens,
+  // so the path must be non-empty and free of spaces and CR/LF.
+  if (req.path.empty() ||
+      req.path.find_first_of(" \r\n") != std::string::npos) {
+    return false;
+  }
+  return headers_wire_transparent(req.headers);
+}
+
+bool wire_transparent(const HttpResponse& resp) noexcept {
+  // The status line re-derives the reason phrase from the status, so
+  // any status the start-line parser round-trips is transparent; keep
+  // to the HTTP-meaningful 3-digit range.
+  if (resp.status < 100 || resp.status > 999) return false;
+  return headers_wire_transparent(resp.headers);
+}
+
+RequestView request_view_of(const HttpRequest& req) {
+  RequestView view;
+  view.method = req.method;
+  view.path = req.path;
+  // serialize_into() emits headers in key-sorted entry order and the
+  // parser preserves wire order, so entry order IS the view order.
+  for (std::size_t i = 0; i < req.headers.size(); ++i) {
+    const Headers::View e = req.headers.entry(i);
+    view.headers.add(e.key, e.value);
+  }
+  view.body = req.body;
+  return view;
+}
+
 HttpResponse HttpResponse::json(int status, std::string body) {
   HttpResponse resp;
   resp.status = status;

@@ -177,4 +177,26 @@ struct HttpResponse {
   static HttpResponse error(int status, std::string_view detail);
 };
 
+// ---- Co-located delivery support (net/bus.cpp fast path) -------------
+//
+// The bus may hand a message across a same-trust-domain hop without
+// serializing it, but only when serialize -> parse -> materialize is
+// provably the identity on the message — otherwise a handler (or the
+// client) could observe bytes the wire path would have normalized away.
+// wire_transparent() checks exactly the conditions under which the
+// round trip is lossless: no CR/LF or ':' in header keys, no CR/LF or
+// leading-space values, no user-supplied content-length (the parser
+// consumes it as framing), no space/CR/LF in the request path, and a
+// status the response start-line round-trips (100..999). Every message
+// the SBI builders produce passes; anything else takes the wire.
+
+bool wire_transparent(const HttpRequest& req) noexcept;
+bool wire_transparent(const HttpResponse& resp) noexcept;
+
+/// The RequestView a wire round trip of `req` would produce, aliasing
+/// `req` itself (valid while `req` outlives it). Headers appear in
+/// key-sorted order — exactly the wire order serialize_into() emits.
+/// Pre: wire_transparent(req).
+RequestView request_view_of(const HttpRequest& req);
+
 }  // namespace shield5g::net

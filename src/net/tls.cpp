@@ -39,26 +39,29 @@ TlsDirection make_direction(const Bytes& material, std::size_t off) {
   return dir;
 }
 
-// Seals one record: `record` points at 5 + n + 16 writable bytes with
-// the n plaintext bytes supplied by `src` (which may alias record + 5 —
-// the CTR xor is index-aligned, so encrypting in place is safe). The
+// Seals one record: `record` points at kRecordHeader + n + 16 writable
+// bytes with the n plaintext bytes supplied by `src` (which may alias
+// record + kRecordHeader — the CTR xor is index-aligned, so encrypting
+// in place is safe). The
 // MAC is written straight into the record tail, so sealing allocates
 // nothing. Both protect() and protect_in_place() run through here,
 // which is what makes their wire bytes identical by construction.
 void seal_record(TlsDirection& dir, const std::uint8_t* src,
                  std::uint8_t* record, std::size_t n) {
+  constexpr std::size_t kHdr = TlsSession::kRecordHeader;
   const auto icb = direction_icb(dir);
   const std::size_t len = n + 16;
   record[0] = 0x17;  // application data
   record[1] = 0x03;
   record[2] = 0x03;
-  record[3] = static_cast<std::uint8_t>(len >> 8);
-  record[4] = static_cast<std::uint8_t>(len & 0xff);
-  dir.ctx.ctr_xor(icb, ByteView(src, n), record + 5);
+  record[3] = static_cast<std::uint8_t>(len >> 16);
+  record[4] = static_cast<std::uint8_t>(len >> 8);
+  record[5] = static_cast<std::uint8_t>(len & 0xff);
+  dir.ctx.ctr_xor(icb, ByteView(src, n), record + kHdr);
 
   const auto seq = seq_bytes(dir.seq);
-  crypto::hmac_sha256_trunc_into(dir.mac_key, seq,
-                                 ByteView(record + 5, n), record + 5 + n, 16);
+  crypto::hmac_sha256_trunc_into(dir.mac_key, seq, ByteView(record + kHdr, n),
+                                 record + kHdr + n, 16);
   ++dir.seq;
 }
 
@@ -73,11 +76,13 @@ std::optional<std::size_t> check_record(const TlsDirection& dir,
   if (record[0] != 0x17 || record[1] != 0x03 || record[2] != 0x03) {
     return std::nullopt;
   }
-  const std::size_t len = (static_cast<std::size_t>(record[3]) << 8) |
-                          record[4];
-  if (record.size() != 5 + len || len < 16) return std::nullopt;
-  const ByteView ciphertext = record.subspan(5, len - 16);
-  const ByteView mac = record.subspan(5 + len - 16, 16);
+  constexpr std::size_t kHdr = TlsSession::kRecordHeader;
+  const std::size_t len = (static_cast<std::size_t>(record[3]) << 16) |
+                          (static_cast<std::size_t>(record[4]) << 8) |
+                          record[5];
+  if (record.size() != kHdr + len || len < 16) return std::nullopt;
+  const ByteView ciphertext = record.subspan(kHdr, len - 16);
+  const ByteView mac = record.subspan(kHdr + len - 16, 16);
 
   const auto seq = seq_bytes(dir.seq);
   std::array<std::uint8_t, 16> expected;
@@ -353,9 +358,24 @@ std::optional<Bytes> TlsSession::hello_ticket(ByteView server_hello) {
   return slice_bytes(server_hello, 3, len);
 }
 
+crypto::OpCounts TlsSession::record_op_counts(
+    std::size_t plaintext_len) noexcept {
+  // One record pass = CTR over the payload + HMAC-SHA256 over
+  // seq(8) || ciphertext(n). The HMAC key is 32 <= 64 bytes, so the
+  // inner hash runs over ipad(64) || message and the outer over
+  // opad(64) || digest(32): floor((72 + 8 + n) / 64) + 1 inner blocks
+  // plus 2 outer blocks. protect and unprotect execute exactly the
+  // same primitive counts (verify recomputes the MAC, decrypt is the
+  // same xor), so one formula covers both directions.
+  crypto::OpCounts ops;
+  ops.aes_blocks = (plaintext_len + 15) / 16;
+  ops.sha256_blocks = (80 + plaintext_len) / 64 + 3;
+  return ops;
+}
+
 Bytes TlsSession::protect(ByteView plaintext) {
   ScopedStage timer(HotStage::kCrypto);
-  Bytes record(5 + plaintext.size() + 16);
+  Bytes record(kRecordHeader + plaintext.size() + 16);
   seal_record(send_, plaintext.data(), record.data(), plaintext.size());
   return record;
 }
@@ -363,9 +383,9 @@ Bytes TlsSession::protect(ByteView plaintext) {
 void TlsSession::protect_in_place(PooledBuffer& buf) {
   ScopedStage timer(HotStage::kCrypto);
   const std::size_t n = buf.size();
-  buf.prepend(5);
+  buf.prepend(kRecordHeader);
   buf.grow(16);
-  seal_record(send_, buf.data() + 5, buf.data(), n);
+  seal_record(send_, buf.data() + kRecordHeader, buf.data(), n);
 }
 
 std::optional<Bytes> TlsSession::unprotect(ByteView record) {
@@ -375,7 +395,7 @@ std::optional<Bytes> TlsSession::unprotect(ByteView record) {
   const auto icb = direction_icb(recv_);
   ++recv_.seq;
   Bytes plaintext(*n);
-  recv_.ctx.ctr_xor(icb, record.subspan(5, *n), plaintext.data());
+  recv_.ctx.ctr_xor(icb, record.subspan(kRecordHeader, *n), plaintext.data());
   return plaintext;
 }
 
@@ -385,9 +405,10 @@ bool TlsSession::unprotect_in_place(PooledBuffer& buf) {
   if (!n) return false;
   const auto icb = direction_icb(recv_);
   ++recv_.seq;
-  recv_.ctx.ctr_xor(icb, ByteView(buf.data() + 5, *n), buf.data() + 5);
+  recv_.ctx.ctr_xor(icb, ByteView(buf.data() + kRecordHeader, *n),
+                    buf.data() + kRecordHeader);
   buf.chop(16);
-  buf.chop_front(5);
+  buf.chop_front(kRecordHeader);
   return true;
 }
 

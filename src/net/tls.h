@@ -37,6 +37,7 @@
 #include "common/secret.h"
 #include "common/thread_annotations.h"
 #include "crypto/aes128.h"
+#include "crypto/op_count.h"
 #include "crypto/x25519.h"
 
 namespace shield5g::crypto {
@@ -188,9 +189,9 @@ class TlsSession {
   /// In-place variant over a pooled wire buffer: the payload (the
   /// plaintext) is encrypted where it sits, the record header is
   /// prepended into headroom and the MAC appended into tailroom. The
-  /// buffer must have been acquired with >= 5 bytes of headroom and
-  /// keep >= 16 bytes of tailroom. Wire bytes are identical to
-  /// protect() by construction (shared sealing core).
+  /// buffer must have been acquired with >= kRecordHeader bytes of
+  /// headroom and keep >= 16 bytes of tailroom. Wire bytes are
+  /// identical to protect() by construction (shared sealing core).
   void protect_in_place(PooledBuffer& buf);
 
   /// In-place verify + decrypt: on success the payload window shrinks
@@ -198,9 +199,23 @@ class TlsSession {
   /// malformed or forged record the buffer is left untouched.
   bool unprotect_in_place(PooledBuffer& buf);
 
-  static constexpr std::size_t kRecordOverhead = 5 + 16;
+  /// Record framing: type(1) + version(2) + length(3). The length field
+  /// is 24-bit where real TLS uses 16 — the sim frames one message per
+  /// record instead of fragmenting at 2^14, so the field must cover the
+  /// largest SBI message (64 KiB bodies included).
+  static constexpr std::size_t kRecordHeader = 6;
+  static constexpr std::size_t kRecordOverhead = kRecordHeader + 16;
   /// Modeled certificate/extension payload in each hello.
   static constexpr std::size_t kHelloPadding = 220;
+
+  /// Primitive operations one record pass executes for a plaintext of
+  /// `plaintext_len` bytes — identical for protect and unprotect (CTR
+  /// is an xor either way, and verify recomputes the same HMAC). The
+  /// bus's co-located fast path charges these counts synthetically
+  /// instead of running the record crypto; tests/net_test pins the
+  /// formula against an OpMeter around the real protect/unprotect so
+  /// the two can never drift.
+  static crypto::OpCounts record_op_counts(std::size_t plaintext_len) noexcept;
 
  private:
   TlsSession(ByteView shared_secret, ByteView salt, bool is_client);

@@ -5,11 +5,30 @@
 // one UE at a time), but the scheduler is used for time-driven activity:
 // gNBSIM pacing of mass registrations, periodic SQN refreshes, and idle
 // windows between experiment iterations.
+//
+// Event ordering contract: events fire in (timestamp, FIFO) order — a
+// global sequence number breaks every same-instant tie in insertion
+// order. The structure behind the contract is a two-part queue:
+//
+//  * an indexed 4-ary min-heap of POD {when, seq, slot} entries keyed
+//    on (when, seq). Tasks live in a separate slot vector with a free
+//    list, so sift-up/down moves 16-byte PODs instead of std::function
+//    objects, and reserve() pre-sizes both arrays for a whole slice run;
+//  * a near-term event ring for the dominant append-in-time-order
+//    pattern (arrival schedules are drawn sorted; engine continuations
+//    land at now + elapsed while the clock is monotone). An at() whose
+//    timestamp is >= the ring's tail is appended in O(1); the ring is
+//    therefore sorted by construction and pop merges ring front against
+//    heap top by (when, seq) — provably the same total order a single
+//    priority queue would produce, at a fraction of the comparisons.
+//
+// Counters (wall-path observability, never fed to digests):
+// scheduler.events.{pushed,popped} accumulate per drain;
+// scheduler.events.peak is a high-water mark of pending events.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/clock.h"
@@ -28,6 +47,10 @@ class Scheduler {
   /// Schedules `task` to run `delay` after the current instant.
   void after(Nanos delay, Task task) { at(clock_.now() + delay, task); }
 
+  /// Pre-sizes the heap, ring and task-slot storage for about `events`
+  /// concurrently pending events (one slice run's arrival schedule).
+  void reserve(std::size_t events);
+
   /// Runs events in timestamp order until the queue drains.
   /// The clock is advanced to each event's instant before dispatch.
   void run();
@@ -36,27 +59,46 @@ class Scheduler {
   /// to `deadline` (events scheduled later stay queued).
   void run_until(Nanos deadline);
 
-  bool empty() const noexcept { return queue_.empty(); }
-  std::size_t pending() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return pending() == 0; }
+  std::size_t pending() const noexcept {
+    return heap_.size() + (ring_.size() - ring_head_);
+  }
 
   VirtualClock& clock() noexcept { return clock_; }
 
  private:
-  struct Event {
+  /// POD heap/ring entry; the task lives in slots_[slot].
+  struct Entry {
     Nanos when;
     std::uint64_t seq;  // tie-break: FIFO among same-instant events
-    Task task;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
+  static bool before(const Entry& a, const Entry& b) noexcept {
+    if (a.when != b.when) return a.when < b.when;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot(Task task);
+  void push_heap(Entry entry);
+  /// Removes and returns the globally next entry (ring front vs heap
+  /// top). Pre: !empty().
+  Entry pop_next();
+  void note_pushed();
+  void publish_counters();
 
   VirtualClock& clock_;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Entry> heap_;       // 4-ary min-heap on (when, seq)
+  std::vector<Entry> ring_;       // sorted by construction; FIFO drain
+  std::size_t ring_head_ = 0;
+  std::vector<Task> slots_;       // stable task storage behind entries
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
+  // Drain-local counter accumulation, folded into the global registry
+  // at the end of each run()/run_until() (one locked add per drain, not
+  // per event).
+  std::uint64_t pushed_ = 0;
+  std::uint64_t popped_ = 0;
+  std::size_t peak_ = 0;
 };
 
 }  // namespace shield5g::sim

@@ -41,6 +41,16 @@ Slice::Slice(SliceConfig config)
   }
   hn_key_ = crypto::x25519_keypair(cred_rng_.bytes(32));
 
+  // Monolithic layout: the core VNFs (AKA functions included) share one
+  // address space with no isolation boundary, so every VNF-to-VNF hop
+  // qualifies for the bus's co-located delivery fast path (DESIGN.md
+  // §18). Container and SGX deployments keep the default isolated
+  // domain — their boundaries are the paper's subject, and the wire
+  // ceremony across them is load-bearing.
+  if (config_.mode == IsolationMode::kMonolithic) {
+    bus_.set_attach_domain(1);
+  }
+
   const nf::AkaDeployment deployment =
       config_.mode == IsolationMode::kMonolithic
           ? nf::AkaDeployment::kMonolithic

@@ -2,7 +2,13 @@
 // the bus request pipeline and its latency accounting.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/rng.h"
+#include "common/stats.h"
+#include "crypto/op_count.h"
 #include "net/bus.h"
 #include "net/env.h"
 #include "net/http.h"
@@ -372,6 +378,273 @@ TEST_F(BusFixture, LargerPayloadCostsMore) {
   bus_.request("client", "echo", big);
   const sim::Nanos big_cost = clock_.now() - t1;
   EXPECT_GT(big_cost, small_cost);
+}
+
+// ---------------------------------------------------------------------
+// Co-located fast-path parity (DESIGN.md §18)
+//
+// The wire path is the oracle: a fast-path delivery must be
+// indistinguishable from it in everything except host work — same
+// handler-observed request, same client-observed response, same virtual
+// time, same primitive op counts. Two identical worlds run the same
+// exchanges with the fast path forced on vs off and every observable is
+// compared field by field.
+// ---------------------------------------------------------------------
+
+struct ObservedRequest {
+  Method method = Method::kGet;
+  std::string path;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  bool operator==(const ObservedRequest& rhs) const {
+    return method == rhs.method && path == rhs.path &&
+           headers == rhs.headers && body == rhs.body;
+  }
+};
+
+std::vector<std::pair<std::string, std::string>> headers_of(
+    const Headers& headers) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    const Headers::View e = headers.entry(i);
+    out.emplace_back(std::string(e.key), std::string(e.value));
+  }
+  return out;
+}
+
+/// One self-contained clock+bus+server universe. Both worlds are built
+/// identically (same seeds, same handlers); only the fast-path switch
+/// differs, so any observable divergence is the fast path's fault.
+class FastpathWorld {
+ public:
+  explicit FastpathWorld(bool fastpath) {
+    bus_.set_fastpath(fastpath);
+    bus_.set_attach_domain(1);  // co-located: same address space
+    server_ = std::make_unique<Server>("echo", env_, bus_.costs());
+    server_->router().add(
+        Method::kPost, "/echo",
+        [this](const RequestView& req, const PathParams&) {
+          ObservedRequest seen;
+          seen.method = req.method;
+          seen.path = std::string(req.path);
+          for (std::size_t i = 0; i < req.headers.size(); ++i) {
+            seen.headers.emplace_back(std::string(req.headers[i].key),
+                                      std::string(req.headers[i].value));
+          }
+          seen.body = std::string(req.body);
+          observed_.push_back(std::move(seen));
+          return HttpResponse::json(200, std::string(req.body));
+        });
+    server_->router().add(
+        Method::kGet, "/weird",
+        [](const RequestView&, const PathParams&) {
+          // Leading-space value: the wire round trip normalizes it
+          // away, so this response is NOT wire-transparent and the
+          // fast path must fall back to a real record mid-serve.
+          HttpResponse resp = HttpResponse::json(200, "{}");
+          resp.headers.set("x-odd", " padded");
+          return resp;
+        });
+    bus_.attach(*server_);
+    // The fast path only fires between two attached endpoints of the
+    // same trust domain — an ambient client label (the RAN side) always
+    // takes the wire. Attach a client NF so exchanges originate inside
+    // the domain, as NF-to-NF SBI hops do in a monolithic slice.
+    client_ = std::make_unique<Server>("client", env_, bus_.costs());
+    bus_.attach(*client_);
+  }
+
+  struct Outcome {
+    std::vector<Bus::Exchange> exchanges;
+    sim::Nanos elapsed = 0;
+    crypto::OpCounts ops;
+  };
+
+  /// Runs `requests` back to back and captures every observable delta.
+  Outcome run(const std::vector<std::pair<std::string, HttpRequest>>& requests,
+              bool keep_alive) {
+    bus_.set_keep_alive(keep_alive);
+    Outcome out;
+    const sim::Nanos t0 = clock_.now();
+    const crypto::OpCounts ops0 = crypto::op_counts();
+    for (const auto& [target, req] : requests) {
+      out.exchanges.push_back(bus_.request("client", target, req));
+    }
+    out.elapsed = clock_.now() - t0;
+    out.ops = crypto::op_counts() - ops0;
+    return out;
+  }
+
+  Bus& bus() noexcept { return bus_; }
+  const std::vector<ObservedRequest>& observed() const { return observed_; }
+
+ private:
+  sim::VirtualClock clock_;
+  Bus bus_{clock_};
+  HostEnv env_{clock_};
+  std::unique_ptr<Server> server_;
+  std::unique_ptr<Server> client_;
+  std::vector<ObservedRequest> observed_;
+};
+
+void expect_outcomes_equal(const FastpathWorld::Outcome& on,
+                           const FastpathWorld::Outcome& off) {
+  EXPECT_EQ(on.elapsed, off.elapsed);
+  EXPECT_EQ(on.ops.aes_blocks, off.ops.aes_blocks);
+  EXPECT_EQ(on.ops.sha256_blocks, off.ops.sha256_blocks);
+  EXPECT_EQ(on.ops.x25519_ops, off.ops.x25519_ops);
+  ASSERT_EQ(on.exchanges.size(), off.exchanges.size());
+  for (std::size_t i = 0; i < on.exchanges.size(); ++i) {
+    const Bus::Exchange& a = on.exchanges[i];
+    const Bus::Exchange& b = off.exchanges[i];
+    EXPECT_EQ(a.transport_ok, b.transport_ok) << "exchange " << i;
+    EXPECT_EQ(a.l_f, b.l_f) << "exchange " << i;
+    EXPECT_EQ(a.l_t, b.l_t) << "exchange " << i;
+    EXPECT_EQ(a.response_ns, b.response_ns) << "exchange " << i;
+    EXPECT_EQ(a.response.status, b.response.status) << "exchange " << i;
+    EXPECT_EQ(a.response.body, b.response.body) << "exchange " << i;
+    EXPECT_EQ(headers_of(a.response.headers), headers_of(b.response.headers))
+        << "exchange " << i;
+  }
+}
+
+HttpRequest parity_request(std::string body) {
+  HttpRequest req;
+  req.method = Method::kPost;
+  req.path = "/echo";
+  req.headers.set("content-type", "application/json");
+  req.body = std::move(body);
+  return req;
+}
+
+TEST(FastpathParity, ColdAndKeepAliveExchangesAreByteIdentical) {
+  std::vector<std::pair<std::string, HttpRequest>> plan;
+  for (int i = 0; i < 3; ++i) {
+    plan.emplace_back("echo", parity_request("{\"n\":" + std::to_string(i) +
+                                             "}"));
+  }
+  for (const bool keep_alive : {false, true}) {
+    FastpathWorld world_on(true);
+    FastpathWorld world_off(false);
+    const auto on = world_on.run(plan, keep_alive);
+    const auto off = world_off.run(plan, keep_alive);
+    expect_outcomes_equal(on, off);
+    EXPECT_EQ(world_on.observed().size(), 3u);
+    ASSERT_EQ(world_off.observed().size(), 3u);
+    for (std::size_t i = 0; i < 3; ++i) {
+      EXPECT_TRUE(world_on.observed()[i] == world_off.observed()[i])
+          << "handler saw different requests at " << i;
+    }
+    EXPECT_EQ(world_on.bus().fastpath_hits(), 3u);
+    EXPECT_EQ(world_off.bus().fastpath_hits(), 0u);
+  }
+}
+
+TEST(FastpathParity, ManyHeadersAndLargeBodySurviveZeroCopy) {
+  // Past HeaderViews' inline capacity (8) and with a 64 KiB body: the
+  // fast path hands the handler an aliasing view of the original
+  // request, the wire path a view of the decrypted record — they must
+  // agree byte for byte, and cost the same.
+  HttpRequest req = parity_request(std::string(64 * 1024, 'x'));
+  for (int h = 0; h < 10; ++h) {
+    req.headers.set("x-custom-" + std::to_string(h),
+                    "value-" + std::to_string(h));
+  }
+  std::vector<std::pair<std::string, HttpRequest>> plan{{"echo", req}};
+  FastpathWorld world_on(true);
+  FastpathWorld world_off(false);
+  const auto on = world_on.run(plan, false);
+  const auto off = world_off.run(plan, false);
+  expect_outcomes_equal(on, off);
+  ASSERT_EQ(world_on.observed().size(), 1u);
+  ASSERT_EQ(world_off.observed().size(), 1u);
+  EXPECT_TRUE(world_on.observed()[0] == world_off.observed()[0]);
+  ASSERT_GT(world_on.observed()[0].headers.size(), 8u);
+  EXPECT_EQ(world_on.observed()[0].body.size(), 64u * 1024u);
+  EXPECT_EQ(world_on.bus().fastpath_hits(), 1u);
+}
+
+TEST(FastpathParity, NonTransparentResponseFallsBackIdentically) {
+  // The /weird handler's response does not round-trip the wire
+  // losslessly, so the fast path protects a real record mid-serve. The
+  // client must still observe exactly what the wire path delivers —
+  // including the wire's normalization of the odd header.
+  HttpRequest req;
+  req.method = Method::kGet;
+  req.path = "/weird";
+  std::vector<std::pair<std::string, HttpRequest>> plan{{"echo", req}};
+  const std::uint64_t fallbacks_before =
+      counter_value("bus.fastpath.fallback");
+  FastpathWorld world_on(true);
+  FastpathWorld world_off(false);
+  const auto on = world_on.run(plan, false);
+  const auto off = world_off.run(plan, false);
+  expect_outcomes_equal(on, off);
+  // The request leg was still zero-wire: the delivery counts as a hit,
+  // and the response leg as a fallback.
+  EXPECT_EQ(world_on.bus().fastpath_hits(), 1u);
+  EXPECT_EQ(counter_value("bus.fastpath.fallback") - fallbacks_before, 1u);
+  EXPECT_EQ(world_off.bus().fastpath_hits(), 0u);
+}
+
+TEST(FastpathParity, IneligibleWithoutSharedDomainOrWithFaults) {
+  // Isolated-domain attachments (the container/SGX layout) never take
+  // the fast path even when enabled.
+  sim::VirtualClock clock;
+  Bus bus(clock);
+  HostEnv env(clock);
+  Server server("echo", env, bus.costs());
+  server.router().add(Method::kPost, "/echo",
+                      [](const RequestView& req, const PathParams&) {
+                        return HttpResponse::json(200, std::string(req.body));
+                      });
+  bus.attach(server);  // default domain: kIsolatedDomain
+  const auto exchange = bus.request("client", "echo", parity_request("{}"));
+  EXPECT_TRUE(exchange.transport_ok);
+  EXPECT_EQ(bus.fastpath_hits(), 0u);
+
+  // Fault injection disqualifies a co-located pair too: degraded
+  // transport must exercise the real wire machinery.
+  FastpathWorld faulty(true);
+  Bus::FaultPlan plan_faults;
+  plan_faults.corrupt_record_prob = 0.5;
+  faulty.bus().set_fault_plan(plan_faults);
+  std::vector<std::pair<std::string, HttpRequest>> plan{
+      {"echo", parity_request("{}")}};
+  (void)faulty.run(plan, false);
+  EXPECT_EQ(faulty.bus().fastpath_hits(), 0u);
+}
+
+TEST_F(TlsFixture, RecordOpCountFormulaMatchesRealRecords) {
+  // TlsSession::record_op_counts is the fast path's cost oracle: it
+  // must predict the exact primitive counts of protect()/unprotect()
+  // at every size class (empty, sub-block, block boundaries, large).
+  auto [client, server] = handshake();
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{15}, std::size_t{16},
+        std::size_t{17}, std::size_t{63}, std::size_t{64}, std::size_t{100},
+        std::size_t{1000}, std::size_t{65536}}) {
+    const crypto::OpCounts predicted = TlsSession::record_op_counts(n);
+    const Bytes msg(n, 0xab);
+
+    const crypto::OpCounts before_protect = crypto::op_counts();
+    const Bytes record = client.protect(msg);
+    const crypto::OpCounts protect_delta =
+        crypto::op_counts() - before_protect;
+    EXPECT_EQ(protect_delta.aes_blocks, predicted.aes_blocks) << "n=" << n;
+    EXPECT_EQ(protect_delta.sha256_blocks, predicted.sha256_blocks)
+        << "n=" << n;
+    EXPECT_EQ(protect_delta.x25519_ops, 0u) << "n=" << n;
+
+    const crypto::OpCounts before_unprotect = crypto::op_counts();
+    ASSERT_TRUE(server.unprotect(record).has_value()) << "n=" << n;
+    const crypto::OpCounts unprotect_delta =
+        crypto::op_counts() - before_unprotect;
+    EXPECT_EQ(unprotect_delta.aes_blocks, predicted.aes_blocks) << "n=" << n;
+    EXPECT_EQ(unprotect_delta.sha256_blocks, predicted.sha256_blocks)
+        << "n=" << n;
+  }
 }
 
 TEST(RequestProfileTest, DefaultPreWindowSizesRequestTransitions) {
